@@ -1,0 +1,157 @@
+// Package-level benchmarks: one per reconstructed table and figure (see
+// DESIGN.md §3 and EXPERIMENTS.md), plus micro-benchmarks of the pipeline
+// stages. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark{Table,Figure}* entries time one full regeneration of the
+// corresponding experiment; cmd/experiments prints their actual content.
+package nmostv_test
+
+import (
+	"testing"
+
+	"nmostv"
+	"nmostv/internal/bench"
+	"nmostv/internal/gen"
+	"nmostv/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableT1 regenerates the benchmark inventory.
+func BenchmarkTableT1(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkTableT2 regenerates the cost-vs-size sweep.
+func BenchmarkTableT2(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkTableT3 regenerates the accuracy-vs-simulation comparison.
+func BenchmarkTableT3(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkTableT4 regenerates the flagship verification report.
+func BenchmarkTableT4(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkTableT5 regenerates the flow-analysis ablation.
+func BenchmarkTableT5(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkFigureF1 regenerates the settle-time distribution.
+func BenchmarkFigureF1(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkFigureF2 regenerates the runtime scaling curve.
+func BenchmarkFigureF2(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkFigureF3 regenerates the pass-chain sweep.
+func BenchmarkFigureF3(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkFigureF4 regenerates the ratio sweep.
+func BenchmarkFigureF4(b *testing.B) { benchExperiment(b, "F4") }
+
+// Micro-benchmarks of the pipeline stages on the flagship datapath.
+
+func flagship(b *testing.B) *nmostv.Netlist {
+	b.Helper()
+	return gen.MIPSDatapath(nmostv.DefaultParams(), gen.DefaultDatapath())
+}
+
+// BenchmarkGenerateDatapath times netlist construction alone.
+func BenchmarkGenerateDatapath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flagship(b)
+	}
+}
+
+// BenchmarkPrepare times stage extraction + flow analysis + arc building.
+func BenchmarkPrepare(b *testing.B) {
+	nl := flagship(b)
+	p := nmostv.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nmostv.Prepare(nl, p, nmostv.PrepareOptions{})
+	}
+}
+
+// BenchmarkAnalyze times one case analysis over the prepared design.
+func BenchmarkAnalyze(b *testing.B) {
+	nl := flagship(b)
+	p := nmostv.DefaultParams()
+	d := nmostv.Prepare(nl, p, nmostv.PrepareOptions{})
+	sched := nmostv.TwoPhase(5000, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Analyze(sched, nmostv.AnalyzeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinPeriod times the binary search to the minimum cycle time.
+func BenchmarkMinPeriod(b *testing.B) {
+	nl := flagship(b)
+	p := nmostv.DefaultParams()
+	d := nmostv.Prepare(nl, p, nmostv.PrepareOptions{})
+	sched := nmostv.TwoPhase(5000, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.MinPeriod(sched, nmostv.AnalyzeOptions{}, 1, 5000, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorCycle times the switch-level referee clocking the
+// flagship datapath through one full two-phase cycle.
+func BenchmarkSimulatorCycle(b *testing.B) {
+	p := nmostv.DefaultParams()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 16, Words: 8, ShiftAmounts: 4})
+	s := sim.New(nl, nil, p)
+	phi1, phi2 := nl.Lookup("phi1"), nl.Lookup("phi2")
+	s.Set(phi1, sim.V0)
+	s.Set(phi2, sim.V0)
+	for _, in := range nl.Inputs() {
+		s.Set(in, sim.V0)
+	}
+	s.Quiesce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(phi1, sim.V1)
+		s.Quiesce()
+		s.Set(phi1, sim.V0)
+		s.Quiesce()
+		s.Set(phi2, sim.V1)
+		s.Quiesce()
+		s.Set(phi2, sim.V0)
+		s.Quiesce()
+	}
+}
+
+// BenchmarkSimfileRoundTrip times serialization + parsing of the flagship.
+func BenchmarkSimfileRoundTrip(b *testing.B) {
+	nl := flagship(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discardingBuffer
+		if err := nmostv.WriteSim(&buf, nl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardingBuffer struct{ n int }
+
+func (d *discardingBuffer) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkAblationA1 regenerates the carry-implementation ablation.
+func BenchmarkAblationA1(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkAblationA2 regenerates the slack-vs-skew sweep.
+func BenchmarkAblationA2(b *testing.B) { benchExperiment(b, "A2") }

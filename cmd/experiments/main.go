@@ -1,0 +1,47 @@
+// Command experiments regenerates the reconstructed evaluation: every
+// table (T1–T5) and figure (F1–F4) documented in DESIGN.md, printed as
+// plain text. EXPERIMENTS.md is produced from this output.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -t T3,F1   # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nmostv/internal/bench"
+)
+
+func main() {
+	only := flag.String("t", "", "comma-separated experiment IDs (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		rep := e.Run()
+		fmt.Print(rep.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 F1 F2 F3 F4")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Command nmosgen generates benchmark nMOS circuits in the .sim dialect —
+// the stand-in for layout extraction. It can emit any circuit from the
+// benchmark suite, or a parameterized MIPS-like datapath.
+//
+// Usage:
+//
+//	nmosgen -list
+//	nmosgen -circuit mips32r16 -o out.sim
+//	nmosgen -circuit datapath -bits 64 -words 64 -shifts 8 -o big.sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmostv"
+	"nmostv/internal/bench"
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available circuits")
+	circuit := flag.String("circuit", "", "circuit name, or 'datapath' for a parameterized datapath")
+	bits := flag.Int("bits", 32, "datapath width (with -circuit datapath)")
+	words := flag.Int("words", 16, "register count (with -circuit datapath)")
+	shifts := flag.Int("shifts", 4, "barrel shifter amounts (with -circuit datapath)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, w := range bench.Suite() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Note)
+		}
+		fmt.Printf("%-14s %s\n", "datapath", "parameterized MIPS-like datapath (-bits/-words/-shifts)")
+		return
+	}
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "nmosgen: -circuit required (try -list)")
+		os.Exit(2)
+	}
+
+	p := nmostv.DefaultParams()
+	var nl *netlist.Netlist
+	if *circuit == "datapath" {
+		nl = gen.MIPSDatapath(p, gen.DatapathConfig{
+			Bits: *bits, Words: *words, ShiftAmounts: *shifts,
+		})
+	} else {
+		for _, w := range bench.Suite() {
+			if w.Name == *circuit {
+				nl = w.Build(p)
+				break
+			}
+		}
+		if nl == nil {
+			fmt.Fprintf(os.Stderr, "nmosgen: unknown circuit %q (try -list)\n", *circuit)
+			os.Exit(2)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nmosgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := nmostv.WriteSim(w, nl); err != nil {
+		fmt.Fprintln(os.Stderr, "nmosgen:", err)
+		os.Exit(1)
+	}
+	stats := nl.ComputeStats()
+	fmt.Fprintf(os.Stderr, "nmosgen: %s: %d transistors, %d nodes\n",
+		nl.Name, stats.Transistors, stats.Nodes)
+}

@@ -1,0 +1,149 @@
+// Command nmossim drives the event-driven switch-level simulator over a
+// .sim netlist with a simple stimulus script, printing traced transitions
+// and final values — the SPICE-substitute referee usable standalone.
+//
+// Usage:
+//
+//	nmossim -stim script.stim design.sim
+//
+// Stimulus script, one command per line ('#' comments):
+//
+//	watch <node>         trace a node's transitions
+//	set <node> <0|1|x>   drive a node
+//	release <node>       return a node to circuit control
+//	run                  run to quiescence
+//	print <node>...      print current values
+//	echo <text>          copy text to output
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nmostv"
+	"nmostv/internal/netlist"
+	"nmostv/internal/sim"
+	"nmostv/internal/simfile"
+)
+
+func main() {
+	stim := flag.String("stim", "", "stimulus script (default stdin)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nmossim [-stim script] design.sim")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := simfile.Read(f, flag.Arg(0))
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *stim != "" {
+		sf, err := os.Open(*stim)
+		if err != nil {
+			fatal(err)
+		}
+		defer sf.Close()
+		in = sf
+	}
+
+	s := sim.New(nl, nil, nmostv.DefaultParams())
+	if err := runScript(s, nl, in); err != nil {
+		fatal(err)
+	}
+}
+
+func runScript(s *sim.Sim, nl *netlist.Netlist, in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	lookup := func(name string) (*netlist.Node, error) {
+		n := nl.Lookup(name)
+		if n == nil {
+			return nil, fmt.Errorf("line %d: unknown node %q", lineNo, name)
+		}
+		return n, nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "watch":
+			for _, name := range f[1:] {
+				n, err := lookup(name)
+				if err != nil {
+					return err
+				}
+				s.Trace(n)
+			}
+		case "set":
+			if len(f) != 3 {
+				return fmt.Errorf("line %d: set <node> <0|1|x>", lineNo)
+			}
+			n, err := lookup(f[1])
+			if err != nil {
+				return err
+			}
+			var v sim.Value
+			switch f[2] {
+			case "0":
+				v = sim.V0
+			case "1":
+				v = sim.V1
+			case "x", "X":
+				v = sim.VX
+			default:
+				return fmt.Errorf("line %d: bad value %q", lineNo, f[2])
+			}
+			s.Set(n, v)
+		case "release":
+			for _, name := range f[1:] {
+				n, err := lookup(name)
+				if err != nil {
+					return err
+				}
+				s.Release(n)
+			}
+		case "run":
+			before := len(s.Events())
+			s.Quiesce()
+			for _, e := range s.Events()[before:] {
+				fmt.Println(e)
+			}
+			fmt.Printf("t=%.4f quiescent (%d events processed)\n", s.Now(), s.Steps)
+		case "print":
+			for _, name := range f[1:] {
+				n, err := lookup(name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s=%s ", n, s.Value(n))
+			}
+			fmt.Println()
+		case "echo":
+			fmt.Println(strings.TrimSpace(strings.TrimPrefix(line, "echo")))
+		default:
+			return fmt.Errorf("line %d: unknown command %q", lineNo, f[0])
+		}
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmossim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nmostv"
+	"nmostv/internal/gen"
+	"nmostv/internal/sim"
+)
+
+func testSim(t *testing.T) (*sim.Sim, *nmostv.Netlist) {
+	t.Helper()
+	p := nmostv.DefaultParams()
+	b := gen.New("t", p)
+	b.Output(b.Inverter(b.Input("in")))
+	nl := b.Finish()
+	return sim.New(nl, nil, p), nl
+}
+
+func TestRunScriptDrivesSim(t *testing.T) {
+	s, nl := testSim(t)
+	script := `
+# drive the inverter both ways
+watch inv_1
+set in 0
+run
+print inv_1
+set in 1
+run
+print in inv_1
+echo done
+`
+	if err := runScript(s, nl, strings.NewReader(script)); err != nil {
+		t.Fatalf("runScript: %v", err)
+	}
+	if got := s.Value(nl.Lookup("inv_1")); got != sim.V0 {
+		t.Errorf("after script, inv_1 = %v, want 0", got)
+	}
+}
+
+func TestRunScriptRelease(t *testing.T) {
+	s, nl := testSim(t)
+	script := `
+set in 1
+set inv_1 1
+run
+release inv_1
+run
+`
+	if err := runScript(s, nl, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(nl.Lookup("inv_1")); got != sim.V0 {
+		t.Errorf("released node must return to circuit value, got %v", got)
+	}
+}
+
+func TestRunScriptXValue(t *testing.T) {
+	s, nl := testSim(t)
+	if err := runScript(s, nl, strings.NewReader("set in x\nrun\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(nl.Lookup("inv_1")); got != sim.VX {
+		t.Errorf("inv(X) = %v, want X", got)
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	cases := []struct{ name, script, wantSub string }{
+		{"unknown node", "set ghost 1\n", "unknown node"},
+		{"bad set arity", "set in\n", "set <node>"},
+		{"bad value", "set in 2\n", "bad value"},
+		{"unknown command", "frobnicate\n", "unknown command"},
+		{"watch unknown", "watch ghost\n", "unknown node"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, nl := testSim(t)
+			err := runScript(s, nl, strings.NewReader(c.script))
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("err = %v, want containing %q", err, c.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,251 @@
+// Command tv is the timing analyzer CLI: it reads a transistor netlist in
+// the .sim dialect, runs two-phase case analysis, and prints the
+// verification report — netlist statistics, flow-analysis summary, checks
+// with slacks, the critical path, and (optionally) a minimum-cycle-time
+// search.
+//
+// Usage:
+//
+//	tv [flags] design.sim
+//
+//	-period ns      clock period (default 1000)
+//	-active frac    per-phase active fraction (default 0.8)
+//	-minperiod      binary-search the minimum passing period
+//	-noflow         disable signal-flow analysis (pessimistic)
+//	-nodes          print per-node settle times
+//	-checks n       print the n worst checks (default 10)
+//	-input name=t   input arrival override, repeatable
+//	-erc            run electrical rule checks (ratio rule)
+//	-charge         run charge-sharing analysis on dynamic nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nmostv"
+	"nmostv/internal/report"
+)
+
+type inputTimes map[string]float64
+
+func (it inputTimes) String() string { return fmt.Sprint(map[string]float64(it)) }
+
+func (it inputTimes) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=time, got %q", s)
+	}
+	t, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	it[name] = t
+	return nil
+}
+
+func main() {
+	period := flag.Float64("period", 1000, "clock period in ns")
+	active := flag.Float64("active", 0.8, "per-phase active fraction")
+	minPeriod := flag.Bool("minperiod", false, "search the minimum passing period")
+	noFlow := flag.Bool("noflow", false, "disable signal-flow analysis")
+	nodes := flag.Bool("nodes", false, "print per-node settle times")
+	nChecks := flag.Int("checks", 10, "number of worst checks to print")
+	runERC := flag.Bool("erc", false, "run electrical rule checks")
+	runCharge := flag.Bool("charge", false, "run charge-sharing analysis")
+	setHigh := flag.String("sethigh", "", "comma-separated nodes held high (case analysis)")
+	setLow := flag.String("setlow", "", "comma-separated nodes held low (case analysis)")
+	inputs := inputTimes{}
+	flag.Var(inputs, "input", "input arrival override name=ns (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tv [flags] design.sim")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := nmostv.DefaultParams()
+	d, err := nmostv.LoadSimFile(flag.Arg(0), p)
+	if err != nil {
+		fatal(err)
+	}
+	prepOpt := nmostv.PrepareOptions{
+		DisableFlow: *noFlow,
+		SetHigh:     splitList(*setHigh),
+		SetLow:      splitList(*setLow),
+	}
+	if *noFlow || len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
+		d = nmostv.Prepare(d.NL, p, prepOpt)
+	}
+	if len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
+		fmt.Printf("case analysis: high=%v low=%v\n", prepOpt.SetHigh, prepOpt.SetLow)
+	}
+
+	stats := d.NL.ComputeStats()
+	fmt.Printf("circuit %s: %d transistors (%d enh, %d dep), %d nodes, %d stages, %d timing arcs\n",
+		d.NL.Name, stats.Transistors, stats.Enh, stats.Dep, stats.Nodes,
+		len(d.Stages.Stages), len(d.Model.Edges))
+	fmt.Printf("process: %s\n", p)
+	if !*noFlow {
+		fmt.Printf("%s\n", d.Flow)
+	}
+	if issues := d.NL.Validate(); len(issues) > 0 {
+		fmt.Printf("netlist findings (%d):\n", len(issues))
+		for i, is := range issues {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(issues)-10)
+				break
+			}
+			fmt.Printf("  %s\n", is)
+		}
+	}
+	fmt.Println()
+
+	opt := nmostv.AnalyzeOptions{
+		InputTime: inputs,
+		SetHigh:   prepOpt.SetHigh,
+		SetLow:    prepOpt.SetLow,
+	}
+	sched := nmostv.TwoPhase(*period, *active)
+	res, err := d.Analyze(sched, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *minPeriod {
+		T, resMin, err := d.MinPeriod(sched, opt, *period/1000, *period, *period/10000)
+		if err != nil {
+			fmt.Printf("minimum period search: %v\n", err)
+		} else {
+			fmt.Printf("minimum passing period: %.4g ns (%.4g MHz)\n\n", T, 1000/T)
+			res = resMin
+		}
+	}
+
+	fmt.Printf("schedule: %s\n", res.Sched)
+	worstNode, worstT := res.MaxSettle()
+	if worstNode != nil {
+		fmt.Printf("latest settling node: %s @ %.4g ns\n", worstNode, worstT)
+	}
+	if slack, ok := res.MinSlack(); ok {
+		fmt.Printf("worst slack: %.4g ns\n", slack)
+	}
+	if tol, ok := res.SkewTolerance(); ok {
+		fmt.Printf("clock skew tolerance: %.4g ns\n", tol)
+	}
+	viol := res.Violations()
+	fmt.Printf("checks: %d total, %d violations\n\n", len(res.Checks), len(viol))
+
+	if *nChecks > 0 && len(res.Checks) > 0 {
+		fmt.Printf("worst %d checks:\n", min(*nChecks, len(res.Checks)))
+		for i, c := range res.Checks {
+			if i >= *nChecks {
+				break
+			}
+			fmt.Printf("  %s\n", c)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("critical path:")
+	fmt.Print(nmostv.FormatPath(res.CriticalPath()))
+
+	ruleFail := false
+	if *runERC {
+		fmt.Println()
+		findings := d.CheckERC()
+		fmt.Printf("electrical rule checks: %d findings\n", len(findings))
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+			ruleFail = true
+		}
+	}
+	if *runCharge {
+		fmt.Println()
+		findings := d.CheckCharge()
+		hazards := nmostv.ChargeHazards(findings)
+		fmt.Printf("charge-sharing analysis: %d dynamic nodes, %d hazards\n",
+			len(findings), len(hazards))
+		for i, f := range findings {
+			if i >= *nChecks {
+				fmt.Printf("  ... %d more\n", len(findings)-*nChecks)
+				break
+			}
+			fmt.Printf("  %s\n", f)
+		}
+		if len(hazards) > 0 {
+			ruleFail = true
+		}
+	}
+
+	if *nodes {
+		fmt.Println()
+		printSettles(res)
+	}
+
+	if len(viol) > 0 || ruleFail {
+		os.Exit(1)
+	}
+}
+
+func printSettles(res *nmostv.Result) {
+	tab := report.NewTable("node settle times", "node", "rise (ns)", "fall (ns)", "settle (ns)")
+	type row struct {
+		name             string
+		rise, fall, both float64
+	}
+	var rows []row
+	for _, n := range res.NL.Nodes {
+		if n.IsSupply() || n.IsClock() {
+			continue
+		}
+		s := res.Settle(n)
+		if math.IsInf(s, -1) {
+			continue
+		}
+		rows = append(rows, row{n.Name, res.RiseAt[n.Index], res.FallAt[n.Index], s})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].both > rows[j].both })
+	for _, r := range rows {
+		tab.Add(r.name, fmtArr(r.rise), fmtArr(r.fall), fmtArr(r.both))
+	}
+	fmt.Print(tab.String())
+}
+
+func fmtArr(v float64) string {
+	if math.IsInf(v, -1) {
+		return "static"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tv:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

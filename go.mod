@@ -1,0 +1,3 @@
+module nmostv
+
+go 1.22

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/report"
+	"nmostv/internal/tech"
+)
+
+// CarryPoint is one sample of the A1 carry-implementation ablation.
+type CarryPoint struct {
+	Bits        int
+	Ripple      float64 // ns: worst output settle, gate-level ripple
+	Manchester  float64 // ns: worst settle after evaluate, bare chain
+	Buffered4   float64 // ns: Manchester re-buffered every 4 bits
+	Transistors [3]int  // device counts in the same order
+}
+
+// MeasureCarry compares the three carry implementations at each width.
+// Ripple is combinational: delay = worst settle with operands at t=0.
+// Manchester variants are precharged (φ1 precharge, φ2 evaluate): delay =
+// worst settle − evaluate start.
+func MeasureCarry(widths []int) []CarryPoint {
+	p := tech.Default()
+	var out []CarryPoint
+	for _, bits := range widths {
+		pt := CarryPoint{Bits: bits}
+
+		// Gate-level ripple (AOI full adders).
+		{
+			b := gen.New("ripple", p)
+			a, c := operandInputs(b, bits)
+			sums, cout := b.RippleAdder(a, c, b.Input("cin"))
+			for _, s := range sums {
+				b.Output(s)
+			}
+			b.Output(cout)
+			nl := b.Finish()
+			pr := prepare(nl, p, true)
+			res, _ := pr.analyze(genericSchedule())
+			_, worst := res.MaxSettle()
+			pt.Ripple = worst
+			pt.Transistors[0] = len(nl.Trans)
+		}
+
+		// Manchester chain, bare and buffered.
+		for vi, bufEvery := range []int{0, 4} {
+			b := gen.New("manchester", p)
+			phi1 := b.Clock("phi1", 1)
+			phi2 := b.Clock("phi2", 2)
+			a, c := operandInputs(b, bits)
+			sums, carries := b.ManchesterCarry(a, c, b.Input("cin"), phi1, phi2,
+				gen.ManchesterOptions{BufferEvery: bufEvery})
+			for _, s := range sums {
+				b.Output(s)
+			}
+			b.Output(b.Inverter(carries[len(carries)-1]))
+			nl := b.Finish()
+			pr := prepare(nl, p, true)
+			sched := genericSchedule()
+			res, _ := pr.analyze(sched)
+			_, worst := res.MaxSettle()
+			d := worst - sched.Rise(2) // evaluation starts at φ2 rise
+			if vi == 0 {
+				pt.Manchester = d
+				pt.Transistors[1] = len(nl.Trans)
+			} else {
+				pt.Buffered4 = d
+				pt.Transistors[2] = len(nl.Trans)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func operandInputs(b *gen.B, bits int) (a, c []*netlist.Node) {
+	for i := 0; i < bits; i++ {
+		a = append(a, b.Input(fmt.Sprintf("a%d", i)))
+		c = append(c, b.Input(fmt.Sprintf("b%d", i)))
+	}
+	return a, c
+}
+
+// RunA1 renders the carry ablation: the design-choice study DESIGN.md
+// calls out — gate-level ripple (slow ratioed rises per bit) vs the
+// pass-transistor Manchester chain (quadratic in propagate runs) vs the
+// re-buffered Manchester (the shipped design point).
+func RunA1() *Report {
+	pts := MeasureCarry([]int{4, 8, 16, 32})
+	tab := report.NewTable("Ablation A1 — carry implementation",
+		"bits", "ripple (ns)", "manchester (ns)", "manchester/4buf (ns)",
+		"devices (rip/man/buf)", "best speedup vs ripple")
+	for _, pt := range pts {
+		best := pt.Manchester
+		if pt.Buffered4 < best {
+			best = pt.Buffered4
+		}
+		tab.Add(pt.Bits, pt.Ripple, pt.Manchester, pt.Buffered4,
+			fmt.Sprintf("%d/%d/%d", pt.Transistors[0], pt.Transistors[1], pt.Transistors[2]),
+			pt.Ripple/best)
+	}
+	notes := "claims under test: the gate-level ripple pays one slow ratioed rise\n" +
+		"per bit (linear, large constant); the bare Manchester chain is quadratic\n" +
+		"in the longest propagate run and overtakes ripple only at short widths;\n" +
+		"re-buffering every 4 bits restores linearity with a small constant —\n" +
+		"the design point real datapaths shipped.\n"
+	return &Report{ID: "A1", Title: "Carry implementation ablation",
+		Sections: []string{tab.String(), notes}}
+}
+
+// SkewPoint is one sample of the A2 sweep.
+type SkewPoint struct {
+	Period     float64
+	WorstSlack float64
+	SkewTol    float64
+	Violations int
+}
+
+// MeasureSkew sweeps the clock period on the flagship datapath and records
+// worst setup slack and clock-skew tolerance at each point.
+func MeasureSkew(periods []float64) []SkewPoint {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DefaultDatapath())
+	pr := prepare(nl, p, true)
+	var out []SkewPoint
+	for _, T := range periods {
+		res, _ := pr.analyze(genericSchedule().WithPeriod(T))
+		slack, _ := res.MinSlack()
+		tol, _ := res.SkewTolerance()
+		out = append(out, SkewPoint{
+			Period:     T,
+			WorstSlack: slack,
+			SkewTol:    tol,
+			Violations: len(res.Violations()),
+		})
+	}
+	return out
+}
+
+// RunA2 renders the setup-slack vs skew-tolerance tradeoff over the clock
+// period: the long-path (setup) constraint improves with a slower clock
+// while the short-path (race) margin scales with the non-overlap — the
+// two-sided picture the earliest/latest dual analysis exists to show.
+func RunA2() *Report {
+	pts := MeasureSkew([]float64{400, 500, 600, 700, 800, 1000, 1500, 2000})
+	tab := report.NewTable("Ablation A2 — setup slack vs clock-skew tolerance over the period",
+		"period (ns)", "worst setup slack (ns)", "skew tolerance (ns)", "violations")
+	for _, pt := range pts {
+		tab.Add(pt.Period, pt.WorstSlack, pt.SkewTol, pt.Violations)
+	}
+	notes := "claims under test: below the minimum cycle time the setup side fails\n" +
+		"(negative slack, violations); above it both margins grow linearly with\n" +
+		"the period — the designer buys skew immunity and setup margin with the\n" +
+		"same knob, which is why two-phase systems were tuned by stretching the\n" +
+		"non-overlap rather than redesigning logic.\n"
+	return &Report{ID: "A2", Title: "Setup slack vs skew tolerance",
+		Sections: []string{tab.String(), notes}}
+}

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nmostv/internal/core"
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/sim"
+	"nmostv/internal/tech"
+)
+
+func TestSuiteBuildsAndValidates(t *testing.T) {
+	p := tech.Default()
+	seen := map[string]bool{}
+	for _, w := range Suite() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+		nl := w.Build(p)
+		if issues := nl.Validate(); netlist.HasErrors(issues) {
+			t.Errorf("%s has netlist errors: %v", w.Name, issues)
+		}
+		if len(nl.Trans) == 0 {
+			t.Errorf("%s is empty", w.Name)
+		}
+		if w.Clocked != (len(nl.Clocks()) > 0) {
+			t.Errorf("%s: Clocked=%v but %d clock nodes", w.Name, w.Clocked, len(nl.Clocks()))
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown ID must error")
+	}
+}
+
+func TestConservatismInvariant(t *testing.T) {
+	rows := MeasureAccuracy()
+	if len(rows) < 8 {
+		t.Fatalf("only %d accuracy rows", len(rows))
+	}
+	if err := CheckConservatism(rows); err != nil {
+		t.Fatal(err)
+	}
+	// Conservatism must also be bounded: the static model should not
+	// exceed simulation by an order of magnitude on these idioms.
+	for _, r := range rows {
+		if r.Ratio() > 10 {
+			t.Errorf("%s/%s: conservatism ratio %.2f is excessive", r.Name, r.Pol, r.Ratio())
+		}
+	}
+}
+
+func TestPassChainShapes(t *testing.T) {
+	pts := MeasurePassChains(12)
+	// Quadratic: doubling the length must more than double the delay.
+	if !(pts[11].TV > 3*pts[5].TV) {
+		t.Errorf("chain delay not quadratic: k=6 %.3g, k=12 %.3g", pts[5].TV, pts[11].TV)
+	}
+	for _, pt := range pts {
+		// The analyzer tracks simulation exactly on chains (same Elmore).
+		if math.Abs(pt.TV-pt.Sim) > 1e-6*pt.Sim+1e-9 {
+			t.Errorf("k=%d: TV %.6g != sim %.6g on a pure chain", pt.K, pt.TV, pt.Sim)
+		}
+		// The naive lumped model underestimates beyond k=1.
+		if pt.K > 1 && !(pt.Naive < pt.TV) {
+			t.Errorf("k=%d: naive %.3g not below Elmore %.3g", pt.K, pt.Naive, pt.TV)
+		}
+	}
+}
+
+func TestRatioSweepShapes(t *testing.T) {
+	pts := MeasureRatios([]float64{2, 4, 8, 16})
+	for i := 1; i < len(pts); i++ {
+		if !(pts[i].RiseDelay > pts[i-1].RiseDelay) {
+			t.Errorf("rise delay must grow with ratio: %+v", pts)
+		}
+	}
+	// Rise delay is the ratio knob; fall grows only through the longer
+	// load's extra gate capacitance — far slower.
+	first, last := pts[0], pts[len(pts)-1]
+	riseGrowth := last.RiseDelay / first.RiseDelay
+	fallGrowth := last.FallDelay / first.FallDelay
+	if !(riseGrowth > 5*fallGrowth) {
+		t.Errorf("rise growth %.2f must dwarf fall growth %.2f", riseGrowth, fallGrowth)
+	}
+	// Rise asymmetry at 16:1 must be large.
+	if !(last.RiseDelay/last.FallDelay > 8) {
+		t.Errorf("rise/fall at 16:1 = %.2f, want ≫ 1", last.RiseDelay/last.FallDelay)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweeps skipped in -short")
+	}
+	for _, id := range []string{"T1", "T3", "T5", "F3", "F4"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		s := rep.String()
+		if !strings.Contains(s, id) || len(s) < 100 {
+			t.Errorf("%s report suspiciously small:\n%s", id, s)
+		}
+	}
+}
+
+// TestRandomCircuitConservatism is the central cross-validation property:
+// on random combinational circuits with random stimulus, the event-driven
+// simulator never observes a transition later than the static analyzer's
+// worst-case settle time for that node.
+func TestRandomCircuitConservatism(t *testing.T) {
+	p := tech.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := gen.New("rand", p)
+		inputs := []*netlist.Node{b.Input("i0"), b.Input("i1"), b.Input("i2"), b.Input("i3")}
+		pool := append([]*netlist.Node{}, inputs...)
+		pick := func() *netlist.Node { return pool[rng.Intn(len(pool))] }
+		n := 4 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			var out *netlist.Node
+			switch rng.Intn(4) {
+			case 0:
+				out = b.Inverter(pick())
+			case 1:
+				out = b.Nand(pick(), pick())
+			case 2:
+				out = b.Nor(pick(), pick())
+			default:
+				out = b.AOI([]*netlist.Node{pick(), pick()}, []*netlist.Node{pick()})
+			}
+			pool = append(pool, out)
+		}
+		nl := b.Finish()
+		pr := prepare(nl, p, true)
+		res, _ := pr.analyze(genericSchedule())
+
+		s := sim.New(nl, nil, p)
+		// Random initial vector, quiesce, then flip a random subset at
+		// a common instant and compare every node's last transition
+		// against the analyzer's settle time.
+		for _, in := range inputs {
+			s.Set(in, sim.Value(rng.Intn(2)))
+		}
+		s.Quiesce()
+		t0 := s.Now()
+		for _, in := range inputs {
+			if rng.Intn(2) == 0 {
+				s.Set(in, flip(s.Value(in)))
+			}
+		}
+		s.Quiesce()
+		for _, nd := range nl.Nodes {
+			if nd.IsSupply() || nd.Flags.Has(netlist.FlagInput) {
+				continue
+			}
+			// The bound is guaranteed for observable nodes — those that
+			// drive gates or are outputs/storage. Internal stack nodes
+			// have charge-sharing dynamics the static model abstracts.
+			if len(nd.Gates) == 0 && !nd.Flags.Has(netlist.FlagOutput) &&
+				!nd.Flags.Has(netlist.FlagStorage) {
+				continue
+			}
+			last := s.LastChange(nd)
+			if last <= t0 {
+				continue // did not move under this stimulus
+			}
+			observed := last - t0
+			bound := res.Settle(nd)
+			if observed > bound+1e-9 {
+				t.Logf("seed %d node %s: observed %.6g > bound %.6g", seed, nd, observed, bound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func flip(v sim.Value) sim.Value {
+	if v == sim.V0 {
+		return sim.V1
+	}
+	return sim.V0
+}
+
+// TestMinPeriodMatchesWorstSlack: at the found minimum period the worst
+// slack must be close to zero (the search converged onto the boundary).
+func TestMinPeriodMatchesWorstSlack(t *testing.T) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 4, ShiftAmounts: 2})
+	pr := prepare(nl, p, true)
+	base := genericSchedule()
+	T, res, err := core.MinPeriod(nl, pr.model, base, core.Options{}, 1, base.Period, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, ok := res.MinSlack()
+	if !ok {
+		t.Fatal("no slack checks")
+	}
+	if slack < 0 || slack > 0.1*T {
+		t.Errorf("worst slack at Tmin = %.4g (T = %.4g): search did not converge to the boundary", slack, T)
+	}
+}
+
+func TestCarryAblationShapes(t *testing.T) {
+	pts := MeasureCarry([]int{8, 16, 32})
+	for i, pt := range pts {
+		// Buffered Manchester beats ripple at every width.
+		if !(pt.Buffered4 < pt.Ripple) {
+			t.Errorf("bits=%d: buffered %.4g not faster than ripple %.4g",
+				pt.Bits, pt.Buffered4, pt.Ripple)
+		}
+		if i > 0 {
+			prev := pts[i-1]
+			// Ripple and buffered are ~linear: doubling width should
+			// roughly double delay (allow generous slop).
+			if r := pt.Ripple / prev.Ripple; r < 1.5 || r > 2.5 {
+				t.Errorf("ripple growth %0.2f not linear", r)
+			}
+			// Bare Manchester is quadratic: clearly superlinear.
+			if r := pt.Manchester / prev.Manchester; r < 2.6 {
+				t.Errorf("bare Manchester growth %0.2f not quadratic", r)
+			}
+		}
+	}
+}
+
+// TestFSMFeedbackLoopCut: the PLA state machine's feedback passes through
+// both latch phases; the analyzer must cut the cycle (no loop findings),
+// verify it at a generous period, and find a finite minimum period.
+func TestFSMFeedbackLoopCut(t *testing.T) {
+	p := tech.Default()
+	var w Workload
+	for _, cand := range Suite() {
+		if cand.Name == "fsmctl" {
+			w = cand
+		}
+	}
+	nl := w.Build(p)
+	pr := prepare(nl, p, true)
+	res, _ := pr.analyze(genericSchedule())
+	for _, c := range res.Checks {
+		if c.Kind == core.CheckLoop {
+			t.Fatalf("latched feedback must not be flagged as a loop: %v", c)
+		}
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("FSM violates at a generous period: %v", v)
+	}
+	T, _, err := core.MinPeriod(nl, pr.model, genericSchedule(), core.Options{}, 1, 5000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(T > 1 && T < 5000) {
+		t.Fatalf("FSM min period %g out of range", T)
+	}
+}
+
+func TestSkewSweepShapes(t *testing.T) {
+	pts := MeasureSkew([]float64{800, 1600})
+	if pts[0].Violations != 0 || pts[1].Violations != 0 {
+		t.Fatalf("sweep points above Tmin must pass: %+v", pts)
+	}
+	// Both margins grow with the period; skew tolerance scales ~linearly
+	// (it follows the clock geometry).
+	if !(pts[1].WorstSlack > pts[0].WorstSlack) {
+		t.Error("setup slack must grow with the period")
+	}
+	ratio := pts[1].SkewTol / pts[0].SkewTol
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("skew tolerance should scale with the period: ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/core"
+	"nmostv/internal/delay"
+	"nmostv/internal/flow"
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+// Report is the rendered output of one experiment.
+type Report struct {
+	ID       string
+	Title    string
+	Sections []string
+}
+
+// String concatenates the sections under a header.
+func (r *Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		out += s
+		if len(s) > 0 && s[len(s)-1] != '\n' {
+			out += "\n"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Experiment is one runnable table or figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Report
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Benchmark inventory", RunT1},
+		{"T2", "Analyzer cost vs design size", RunT2},
+		{"T3", "Accuracy vs switch-level simulation", RunT3},
+		{"T4", "Flagship datapath verification report", RunT4},
+		{"T5", "Signal-flow analysis ablation", RunT5},
+		{"F1", "Settle-time distribution per phase", RunF1},
+		{"F2", "Runtime scaling curve", RunF2},
+		{"F3", "Pass-chain delay vs length", RunF3},
+		{"F4", "Delay vs pullup/pulldown ratio", RunF4},
+		{"A1", "Carry implementation ablation", RunA1},
+		{"A2", "Setup slack vs skew tolerance", RunA2},
+	}
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (*Report, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run(), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// prepared bundles the pipeline products for one workload.
+type prepared struct {
+	nl      *netlist.Netlist
+	stats   netlist.Stats
+	stages  *stage.Result
+	flowSum flow.Summary
+	model   *delay.Model
+	prepDur time.Duration
+}
+
+func prepare(nl *netlist.Netlist, p tech.Params, useFlow bool) *prepared {
+	start := time.Now()
+	st := stage.Extract(nl)
+	var fs flow.Summary
+	if useFlow {
+		fs = flow.Analyze(nl)
+	} else {
+		flow.Reset(nl)
+	}
+	m := delay.Build(nl, st, p, delay.Options{})
+	return &prepared{
+		nl:      nl,
+		stats:   nl.ComputeStats(),
+		stages:  st,
+		flowSum: fs,
+		model:   m,
+		prepDur: time.Since(start),
+	}
+}
+
+// analyze runs case analysis and returns the result with its duration.
+func (pr *prepared) analyze(sched clocks.Schedule) (*core.Result, time.Duration) {
+	start := time.Now()
+	res, err := core.Analyze(pr.nl, pr.model, sched, core.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("bench: analyze %s: %v", pr.nl.Name, err))
+	}
+	return res, time.Since(start)
+}
+
+// genericSchedule is the long default cycle used when an experiment is not
+// probing cycle time.
+func genericSchedule() clocks.Schedule { return clocks.TwoPhase(5000, 0.8) }
+
+// settleTimes collects finite settle times of all signal nodes.
+func settleTimes(res *core.Result) []float64 {
+	var out []float64
+	for _, n := range res.NL.Nodes {
+		if n.IsSupply() || n.IsClock() {
+			continue
+		}
+		if s := res.Settle(n); !isNegInf(s) {
+			out = append(out, s)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func isNegInf(v float64) bool { return v < -1e300 }

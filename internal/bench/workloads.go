@@ -1,0 +1,189 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the reconstructed evaluation (see DESIGN.md §3), each
+// producing a plain-text report section. The cmd/experiments binary and
+// the repository-root benchmarks drive these runners.
+package bench
+
+import (
+	"fmt"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// Workload is one named benchmark circuit.
+type Workload struct {
+	Name string
+	// Clocked reports whether the circuit uses the two-phase clocks.
+	Clocked bool
+	// Build constructs the netlist.
+	Build func(p tech.Params) *netlist.Netlist
+	// Note describes the structure for the inventory table.
+	Note string
+}
+
+// Suite returns the benchmark inventory (table T1's rows): one circuit
+// per nMOS idiom plus the composed MIPS-like datapath.
+func Suite() []Workload {
+	return []Workload{
+		{
+			Name: "invchain32",
+			Note: "32 ratioed inverters in series",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("invchain32", p)
+				b.Output(b.InvChain(b.Input("in"), 32))
+				return b.Finish()
+			},
+		},
+		{
+			Name: "nandtree4x4",
+			Note: "4-deep tree of 4-input NANDs",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("nandtree4x4", p)
+				// 256 leaf inputs reduced by 4-input NANDs, 4 levels.
+				var level []*netlist.Node
+				for i := 0; i < 256; i++ {
+					level = append(level, b.Input(fmt.Sprintf("in%d", i)))
+				}
+				for len(level) > 1 {
+					var next []*netlist.Node
+					for i := 0; i+3 < len(level); i += 4 {
+						next = append(next, b.Nand(level[i], level[i+1], level[i+2], level[i+3]))
+					}
+					level = next
+				}
+				b.Output(level[0])
+				return b.Finish()
+			},
+		},
+		{
+			Name: "passxor8",
+			Note: "8-bit pass-transistor XOR array",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("passxor8", p)
+				for i := 0; i < 8; i++ {
+					a := b.Input(fmt.Sprintf("a%d", i))
+					c := b.Input(fmt.Sprintf("b%d", i))
+					ab := b.Inverter(a)
+					cb := b.Inverter(c)
+					b.Output(b.Inverter(b.XorPass(a, ab, c, cb)))
+				}
+				return b.Finish()
+			},
+		},
+		{
+			Name:    "shiftreg16",
+			Clocked: true,
+			Note:    "16-stage two-phase dynamic shift register",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("shiftreg16", p)
+				phi1 := b.Clock("phi1", 1)
+				phi2 := b.Clock("phi2", 2)
+				b.Output(b.ShiftRegister(b.Input("in"), phi1, phi2, 16))
+				return b.Finish()
+			},
+		},
+		{
+			Name: "barrel32x8",
+			Note: "32-bit barrel shifter, 8 amounts (pass matrix)",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("barrel32x8", p)
+				in := make([]*netlist.Node, 32)
+				for i := range in {
+					in[i] = b.Input(fmt.Sprintf("in%d", i))
+				}
+				outs := b.BarrelShifter(in, b.ShiftControls(8))
+				for _, o := range outs {
+					b.Output(b.Inverter(o))
+				}
+				return b.Finish()
+			},
+		},
+		{
+			Name:    "regfile16x32",
+			Clocked: true,
+			Note:    "16-word × 32-bit register file, precharged bit lines",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("regfile16x32", p)
+				phi2 := b.Clock("phi2", 2)
+				bls, _ := b.RegisterFile(16, 32, phi2)
+				for _, bl := range bls {
+					b.Output(b.Inverter(bl))
+				}
+				return b.Finish()
+			},
+		},
+		{
+			Name: "placontrol",
+			Note: "NOR-NOR PLA, 6 inputs, 14 products, 8 outputs",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("placontrol", p)
+				ins := make([]*netlist.Node, 6)
+				for i := range ins {
+					ins[i] = b.Input(fmt.Sprintf("in%d", i))
+				}
+				and, or := controlPLASpec()
+				for _, o := range b.PLA(ins, and, or) {
+					b.Output(o)
+				}
+				return b.Finish()
+			},
+		},
+		{
+			Name:    "fsmctl",
+			Clocked: true,
+			Note:    "PLA state machine, 4 state bits (control engine)",
+			Build: func(p tech.Params) *netlist.Netlist {
+				b := gen.New("fsmctl", p)
+				gen.FSM(b, gen.FSMConfig{StateBits: 4, Inputs: 2, Outputs: 8})
+				return b.Finish()
+			},
+		},
+		{
+			Name:    "mips32r16",
+			Clocked: true,
+			Note:    "32-bit MIPS-like datapath, 16 registers (flagship)",
+			Build: func(p tech.Params) *netlist.Netlist {
+				return gen.MIPSDatapath(p, gen.DefaultDatapath())
+			},
+		},
+	}
+}
+
+// controlPLASpec returns a fixed 6-input/14-product/8-output control PLA
+// personality, deterministic but irregular like real decode logic.
+func controlPLASpec() (and [][]int, or [][]int) {
+	and = make([][]int, 14)
+	seed := uint32(0x9e3779b9)
+	next := func() uint32 {
+		seed ^= seed << 13
+		seed ^= seed >> 17
+		seed ^= seed << 5
+		return seed
+	}
+	for i := range and {
+		row := make([]int, 6)
+		for j := range row {
+			switch next() % 3 {
+			case 0:
+				row[j] = 1
+			case 1:
+				row[j] = -1
+			}
+		}
+		and[i] = row
+	}
+	or = make([][]int, 8)
+	for i := range or {
+		for pTerm := 0; pTerm < 14; pTerm++ {
+			if next()%3 == 0 {
+				or[i] = append(or[i], pTerm)
+			}
+		}
+		if len(or[i]) == 0 {
+			or[i] = []int{i % 14}
+		}
+	}
+	return and, or
+}

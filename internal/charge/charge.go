@@ -1,0 +1,237 @@
+// Package charge statically analyzes charge sharing on dynamic nodes —
+// the hazard peculiar to nMOS dynamic design that timing verifiers of the
+// era checked alongside delays. A precharged bus or a latched storage node
+// holds its level only as charge; when pass or stack devices open, that
+// charge redistributes over every capacitance the conducting subnetwork
+// can reach. If the reachable parasitic capacitance is comparable to the
+// storage capacitance, the stored high droops below the inverter threshold
+// and the design malfunctions even though every timing check passes.
+//
+// For each dynamic node the checker computes the worst-case sharable
+// capacitance: all capacitance reachable through potentially conducting
+// enhancement devices without passing through a driven (restored, input,
+// or clock) node, excluding paths that reach a supply (a supply contact
+// means the node is driven, not shared). The droop fraction
+//
+//	droop = Cshared / (Cstore + Cshared)
+//
+// is compared against the process's tolerable level loss (VDD−VInv)/VDD.
+package charge
+
+import (
+	"fmt"
+	"sort"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// Finding is one dynamic node's charge-sharing exposure.
+type Finding struct {
+	// Node is the dynamic (precharged or storage) node.
+	Node *netlist.Node
+	// CStore is the node's own capacitance in pF.
+	CStore float64
+	// CShared is the worst-case reachable parasitic capacitance in pF.
+	CShared float64
+	// Droop is CShared/(CStore+CShared): the fraction of the stored
+	// swing lost in the worst redistribution.
+	Droop float64
+	// Budget is the tolerable droop for the process.
+	Budget float64
+	// OK reports Droop ≤ Budget.
+	OK bool
+	// Nodes is how many parasitic nodes the shared set contains.
+	Nodes int
+}
+
+func (f Finding) String() string {
+	status := "ok"
+	if !f.OK {
+		status = "HAZARD"
+	}
+	return fmt.Sprintf("charge %s: store %.4g pF, shares %.4g pF over %d nodes, droop %.1f%% (budget %.1f%%) [%s]",
+		f.Node, f.CStore, f.CShared, f.Nodes, 100*f.Droop, 100*f.Budget, status)
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Budget overrides the droop budget; 0 derives it from the process
+	// as (VDD−VInv)/VDD.
+	Budget float64
+	// MaxRegion bounds the explored subnetwork size per node; beyond it
+	// the node is reported with the capacitance found so far (still a
+	// lower bound on exposure). Default 4096.
+	MaxRegion int
+}
+
+func (o Options) withDefaults(p tech.Params) Options {
+	if o.Budget <= 0 {
+		o.Budget = (p.VDD - p.VInv) / p.VDD
+	}
+	if o.MaxRegion <= 0 {
+		o.MaxRegion = 4096
+	}
+	return o
+}
+
+// Analyze checks every precharged and storage node. Findings are sorted
+// hazards first, then by droop descending.
+func Analyze(nl *netlist.Netlist, p tech.Params, opt Options) []Finding {
+	opt = opt.withDefaults(p)
+	var out []Finding
+	for _, n := range nl.Nodes {
+		if !n.Flags.Has(netlist.FlagPrecharged) && !n.Flags.Has(netlist.FlagStorage) {
+			continue
+		}
+		f := analyzeNode(nl, n, p, opt)
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].OK != out[j].OK {
+			return !out[i].OK
+		}
+		if out[i].Droop != out[j].Droop {
+			return out[i].Droop > out[j].Droop
+		}
+		return out[i].Node.Index < out[j].Node.Index
+	})
+	return out
+}
+
+// Hazards filters the failing findings.
+func Hazards(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.OK {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// blocked reports whether a node stops charge spreading: it is actively
+// conditioned each cycle — an input, a clock, a precharged node (restored
+// by its precharge device before any sharing matters), or a restored node
+// with an always-on pullup.
+func blocked(nl *netlist.Netlist, o *netlist.Node) bool {
+	if o.Flags.Has(netlist.FlagInput) || o.IsClock() || o.Flags.Has(netlist.FlagPrecharged) {
+		return true
+	}
+	for _, t := range o.Terms {
+		if t.Role == netlist.RolePullup && (t.Kind == netlist.Dep || t.Gate == nl.VDD) {
+			return true
+		}
+	}
+	return false
+}
+
+// region explores the sharable subnetwork reachable from the far terminal
+// of device via, returning the capacitance and node count gathered into
+// seen. Every enhancement device beyond the first hop is conservatively
+// assumed conducting (except GND-gated ones).
+func region(nl *netlist.Netlist, origin *netlist.Node, via *netlist.Transistor,
+	p tech.Params, maxRegion int, seen map[*netlist.Node]bool) (capSum float64, count int) {
+	o := via.Other(origin)
+	if o == nil || o.IsSupply() || seen[o] {
+		return 0, 0
+	}
+	seen[o] = true
+	if blocked(nl, o) {
+		return 0, 0
+	}
+	capSum = delay.NodeCap(o, p)
+	count = 1
+	stack := []*netlist.Node{o}
+	for len(stack) > 0 && count < maxRegion {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range cur.Terms {
+			if t.Kind != netlist.Enh || t.Gate == nl.GND {
+				continue
+			}
+			next := t.Other(cur)
+			if next == nil || next.IsSupply() || seen[next] || next == origin {
+				continue
+			}
+			seen[next] = true
+			if blocked(nl, next) {
+				continue
+			}
+			capSum += delay.NodeCap(next, p)
+			count++
+			stack = append(stack, next)
+		}
+	}
+	return capSum, count
+}
+
+func analyzeNode(nl *netlist.Netlist, n *netlist.Node, p tech.Params, opt Options) Finding {
+	cstore := delay.NodeCap(n, p)
+
+	// Partition the node's own devices by the gate's exclusivity group:
+	// within a one-hot group at most one device conducts, so only the
+	// largest single contribution counts. Ungrouped devices all count.
+	groups := map[int][]*netlist.Transistor{}
+	var order []int
+	for _, t := range n.Terms {
+		if t.Kind != netlist.Enh || t.Gate == nl.GND {
+			continue
+		}
+		g := t.Gate.Exclusive
+		if _, ok := groups[g]; !ok && g != 0 {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], t)
+	}
+	sort.Ints(order)
+
+	var shared float64
+	count := 0
+	seen := map[*netlist.Node]bool{n: true}
+
+	// Ungrouped devices: everything conducts at once (worst case).
+	for _, t := range groups[0] {
+		c, k := region(nl, n, t, p, opt.MaxRegion, seen)
+		shared += c
+		count += k
+	}
+	// Exclusive groups: take the single worst member. Each candidate is
+	// explored with its own view so alternatives don't mask each other;
+	// the winner's region merges into the global seen set.
+	for _, g := range order {
+		var best float64
+		bestCount := 0
+		var bestSeen map[*netlist.Node]bool
+		for _, t := range groups[g] {
+			local := map[*netlist.Node]bool{n: true}
+			for k := range seen {
+				local[k] = true
+			}
+			c, k := region(nl, n, t, p, opt.MaxRegion, local)
+			if c > best {
+				best, bestCount, bestSeen = c, k, local
+			}
+		}
+		if bestSeen != nil {
+			seen = bestSeen
+		}
+		shared += best
+		count += bestCount
+	}
+
+	droop := 0.0
+	if cstore+shared > 0 {
+		droop = shared / (cstore + shared)
+	}
+	return Finding{
+		Node:    n,
+		CStore:  cstore,
+		CShared: shared,
+		Droop:   droop,
+		Budget:  opt.Budget,
+		OK:      droop <= opt.Budget,
+		Nodes:   count,
+	}
+}

@@ -1,0 +1,190 @@
+package charge
+
+import (
+	"testing"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/sim"
+	"nmostv/internal/tech"
+)
+
+func TestIsolatedLatchIsSafe(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi := b.Clock("phi1", 1)
+	store, _ := b.Latch(phi, b.Input("d"))
+	nl := b.Finish()
+	fs := Analyze(nl, p, Options{})
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1 (the storage node)", len(fs))
+	}
+	f := fs[0]
+	if f.Node != store || !f.OK {
+		t.Errorf("isolated latch must be safe: %v", f)
+	}
+	// Through the pass device the latch sees its driven data input,
+	// which blocks the spread: nothing shares.
+	if f.CShared != 0 {
+		t.Errorf("CShared = %g, want 0", f.CShared)
+	}
+}
+
+func TestBigParasiticChainIsHazard(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi := b.Clock("phi1", 1)
+	store, _ := b.Latch(phi, b.Input("d"))
+	// Hang a long undriven pass chain off the storage node, gated by a
+	// signal: when it opens, the stored charge spreads over it.
+	g := b.Input("g")
+	b.PassChain(store, g, 20)
+	nl := b.Finish()
+	fs := Analyze(nl, p, Options{})
+	var f *Finding
+	for i := range fs {
+		if fs[i].Node == store {
+			f = &fs[i]
+		}
+	}
+	if f == nil {
+		t.Fatal("storage finding missing")
+	}
+	if f.OK {
+		t.Errorf("20-node parasitic chain must be a hazard: %v", *f)
+	}
+	if f.Nodes != 20 {
+		t.Errorf("shared region = %d nodes, want 20", f.Nodes)
+	}
+	if hz := Hazards(fs); len(hz) == 0 || hz[0].Node != store {
+		t.Error("Hazards must surface the failing node first")
+	}
+}
+
+func TestBudgetFollowsProcess(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi := b.Clock("phi1", 1)
+	b.Latch(phi, b.Input("d"))
+	nl := b.Finish()
+	fs := Analyze(nl, p, Options{})
+	want := (p.VDD - p.VInv) / p.VDD
+	if fs[0].Budget != want {
+		t.Errorf("budget = %g, want (VDD-VInv)/VDD = %g", fs[0].Budget, want)
+	}
+	fs2 := Analyze(nl, p, Options{Budget: 0.01})
+	if fs2[0].Budget != 0.01 {
+		t.Error("explicit budget must override")
+	}
+}
+
+func TestStackNodesCountAgainstBus(t *testing.T) {
+	// A precharged bus with discharge stacks: the stack intermediate
+	// nodes share charge with the bus when the top devices open.
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi1 := b.Clock("phi1", 1)
+	dyn := b.PrechargedNode(phi1)
+	for i := 0; i < 4; i++ {
+		b.DischargeBranch(dyn, b.Input("en"), b.Input("sig"))
+	}
+	nl := b.Finish()
+	fs := Analyze(nl, p, Options{})
+	var f *Finding
+	for i := range fs {
+		if fs[i].Node == dyn {
+			f = &fs[i]
+		}
+	}
+	if f == nil {
+		t.Fatal("bus finding missing")
+	}
+	if f.Nodes != 4 {
+		t.Errorf("bus shares with %d nodes, want 4 stack intermediates", f.Nodes)
+	}
+	if f.CShared <= 0 {
+		t.Error("stack intermediates must contribute capacitance")
+	}
+}
+
+func TestDatapathBitlinesAnalyzed(t *testing.T) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 4, ShiftAmounts: 2})
+	fs := Analyze(nl, p, Options{})
+	if len(fs) == 0 {
+		t.Fatal("datapath has dynamic nodes to analyze")
+	}
+	// Bit lines carry deliberate extra wiring capacitance, so they must
+	// tolerate their cells; report any hazard for inspection rather
+	// than asserting none (the generator is meant to be clean).
+	for _, f := range Hazards(fs) {
+		t.Errorf("unexpected charge hazard in generated datapath: %v", f)
+	}
+}
+
+// TestDroopMatchesSimulation cross-validates the droop prediction: a
+// storage node sharing with one known parasitic must droop by exactly the
+// capacitance ratio — the simulator's ternary model reports the merge as
+// retention (agreeing) or X (disagreeing), and the checker's arithmetic
+// must match the hand-computed ratio.
+func TestDroopArithmetic(t *testing.T) {
+	p := tech.Default()
+	nl := netlist.New("t")
+	store := nl.Node("store")
+	store.Flags |= netlist.FlagStorage
+	par := nl.Node("par")
+	g := nl.Node("g")
+	g.Flags |= netlist.FlagInput
+	store.Cap = 0.09
+	par.Cap = 0.01
+	nl.AddTransistor(netlist.Enh, g, store, par, 4, 4)
+	nl.Finalize()
+	fs := Analyze(nl, p, Options{})
+	f := fs[0]
+	cs := delay.NodeCap(store, p)
+	cp := delay.NodeCap(par, p)
+	want := cp / (cs + cp)
+	if diff := f.Droop - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("droop = %g, want %g", f.Droop, want)
+	}
+}
+
+// TestHazardVisibleInSimulation demonstrates the physical effect the
+// checker guards against, using the simulator's disagreeing-merge rule:
+// an opened pass onto a discharged parasitic turns the stored 1 into X.
+func TestHazardVisibleInSimulation(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi := b.Input("phi")
+	d := b.Input("d")
+	store, _ := b.Latch(phi, d)
+	g := b.Input("g")
+	par := b.PassChain(store, g, 1)
+	par.Cap += 0.2 // a big discharged parasitic plate
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+
+	// Write 1 into the latch; par holds 0 from a previous discharge.
+	s.Set(nl.Lookup("g"), sim.V0)
+	s.Set(nl.Lookup("d"), sim.V1)
+	s.Set(nl.Lookup("phi"), sim.V1)
+	s.Quiesce()
+	s.Set(nl.Lookup("phi"), sim.V0)
+	s.Quiesce()
+	// Force the parasitic low, then isolate it again.
+	s.Set(par, sim.V0)
+	s.Quiesce()
+	s.Release(par)
+	s.Quiesce()
+	if s.Value(store) != sim.V1 {
+		t.Fatalf("setup failed: store=%v", s.Value(store))
+	}
+	// Open the sharing device: the dominant low plate destroys the
+	// stored one (capacitance-weighted merge).
+	s.Set(nl.Lookup("g"), sim.V1)
+	s.Quiesce()
+	if got := s.Value(store); got == sim.V1 {
+		t.Errorf("charge-sharing merge must corrupt the store: still %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+// Package clocks models the two-phase non-overlapping clocking discipline
+// universal in nMOS VLSI: φ1 and φ2 are each high for an active window,
+// separated by non-overlap gaps, within a cycle of period T. Data latched
+// by a φ-gated pass transistor must be stable before that φ falls; logic
+// between φ1 latches and φ2 latches evaluates during the intervening
+// window.
+package clocks
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Schedule describes one clock cycle. All times in ns, measured from the
+// rise of φ1 at t = 0.
+type Schedule struct {
+	// Period is the cycle time T.
+	Period float64
+	// Phi1Rise, Phi1Fall bound the φ1-high window.
+	Phi1Rise, Phi1Fall float64
+	// Phi2Rise, Phi2Fall bound the φ2-high window.
+	Phi2Rise, Phi2Fall float64
+}
+
+// TwoPhase returns a symmetric schedule: each phase is high for activeFrac
+// of its half-period, centered, with equal non-overlap gaps.
+func TwoPhase(period, activeFrac float64) Schedule {
+	half := period / 2
+	active := half * activeFrac
+	gap := (half - active) / 2
+	return Schedule{
+		Period:   period,
+		Phi1Rise: gap,
+		Phi1Fall: gap + active,
+		Phi2Rise: half + gap,
+		Phi2Fall: half + gap + active,
+	}
+}
+
+// Validate checks the schedule is a legal non-overlapping two-phase cycle.
+func (s Schedule) Validate() error {
+	switch {
+	case s.Period <= 0:
+		return errors.New("clocks: period must be positive")
+	case !(0 <= s.Phi1Rise && s.Phi1Rise < s.Phi1Fall):
+		return errors.New("clocks: phi1 window is empty or negative")
+	case !(s.Phi1Fall <= s.Phi2Rise):
+		return errors.New("clocks: phi1 and phi2 overlap")
+	case !(s.Phi2Rise < s.Phi2Fall):
+		return errors.New("clocks: phi2 window is empty or negative")
+	case !(s.Phi2Fall <= s.Period):
+		return errors.New("clocks: phi2 extends past the period")
+	}
+	return nil
+}
+
+// Rise returns the rise time of the given phase (1 or 2).
+func (s Schedule) Rise(phase int) float64 {
+	if phase == 2 {
+		return s.Phi2Rise
+	}
+	return s.Phi1Rise
+}
+
+// Fall returns the fall time of the given phase (1 or 2).
+func (s Schedule) Fall(phase int) float64 {
+	if phase == 2 {
+		return s.Phi2Fall
+	}
+	return s.Phi1Fall
+}
+
+// Active returns the width of the given phase's high window.
+func (s Schedule) Active(phase int) float64 { return s.Fall(phase) - s.Rise(phase) }
+
+// Other returns the opposite phase number.
+func Other(phase int) int {
+	if phase == 1 {
+		return 2
+	}
+	return 1
+}
+
+// WithPeriod returns the schedule rescaled proportionally to a new period.
+func (s Schedule) WithPeriod(period float64) Schedule {
+	k := period / s.Period
+	return Schedule{
+		Period:   period,
+		Phi1Rise: s.Phi1Rise * k,
+		Phi1Fall: s.Phi1Fall * k,
+		Phi2Rise: s.Phi2Rise * k,
+		Phi2Fall: s.Phi2Fall * k,
+	}
+}
+
+// String summarizes the schedule.
+func (s Schedule) String() string {
+	return fmt.Sprintf("T=%.4gns φ1=[%.4g,%.4g] φ2=[%.4g,%.4g]",
+		s.Period, s.Phi1Rise, s.Phi1Fall, s.Phi2Rise, s.Phi2Fall)
+}

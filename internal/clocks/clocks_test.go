@@ -1,0 +1,95 @@
+package clocks
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoPhaseGeometry(t *testing.T) {
+	s := TwoPhase(100, 0.8)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("TwoPhase must validate: %v", err)
+	}
+	if s.Period != 100 {
+		t.Errorf("Period = %g", s.Period)
+	}
+	// Each phase active 0.8 × 50 = 40 ns, centered with 5 ns gaps.
+	if math.Abs(s.Phi1Rise-5) > 1e-9 || math.Abs(s.Phi1Fall-45) > 1e-9 {
+		t.Errorf("phi1 window [%g,%g], want [5,45]", s.Phi1Rise, s.Phi1Fall)
+	}
+	if math.Abs(s.Phi2Rise-55) > 1e-9 || math.Abs(s.Phi2Fall-95) > 1e-9 {
+		t.Errorf("phi2 window [%g,%g], want [55,95]", s.Phi2Rise, s.Phi2Fall)
+	}
+	if math.Abs(s.Active(1)-40) > 1e-9 || math.Abs(s.Active(2)-40) > 1e-9 {
+		t.Error("Active widths wrong")
+	}
+	if s.Rise(1) != s.Phi1Rise || s.Fall(2) != s.Phi2Fall {
+		t.Error("Rise/Fall accessors wrong")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := TwoPhase(100, 0.8)
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+	}{
+		{"zero period", func(s *Schedule) { s.Period = 0 }},
+		{"empty phi1", func(s *Schedule) { s.Phi1Fall = s.Phi1Rise }},
+		{"negative phi1 rise", func(s *Schedule) { s.Phi1Rise = -1 }},
+		{"overlap", func(s *Schedule) { s.Phi2Rise = s.Phi1Fall - 1 }},
+		{"empty phi2", func(s *Schedule) { s.Phi2Fall = s.Phi2Rise }},
+		{"phi2 past period", func(s *Schedule) { s.Phi2Fall = s.Period + 1 }},
+	}
+	for _, c := range cases {
+		s := good
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+}
+
+func TestOther(t *testing.T) {
+	if Other(1) != 2 || Other(2) != 1 {
+		t.Error("Other must swap phases")
+	}
+}
+
+func TestWithPeriodScalesProportionally(t *testing.T) {
+	s := TwoPhase(100, 0.8)
+	d := s.WithPeriod(250)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("scaled schedule invalid: %v", err)
+	}
+	k := 2.5
+	for _, pair := range [][2]float64{
+		{d.Phi1Rise, s.Phi1Rise * k},
+		{d.Phi1Fall, s.Phi1Fall * k},
+		{d.Phi2Rise, s.Phi2Rise * k},
+		{d.Phi2Fall, s.Phi2Fall * k},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9 {
+			t.Fatalf("WithPeriod did not scale proportionally: %v", d)
+		}
+	}
+}
+
+func TestTwoPhaseAlwaysValidProperty(t *testing.T) {
+	f := func(pRaw, fRaw uint16) bool {
+		period := 1 + float64(pRaw%10000)/10
+		frac := 0.05 + 0.9*float64(fRaw%1000)/1000
+		return TwoPhase(period, frac).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := TwoPhase(100, 0.8).String(); !strings.Contains(s, "T=100") {
+		t.Errorf("String() = %q", s)
+	}
+}

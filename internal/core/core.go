@@ -1,0 +1,450 @@
+// Package core implements the timing analyzer itself: TV-style
+// value-independent case analysis of an nMOS transistor netlist under a
+// two-phase clocking discipline.
+//
+// The analysis unfolds one clock cycle. Clock nodes transition at their
+// scheduled times; primary inputs are stable at user-given times; every
+// other node's worst-case rise and fall arrival ("settle") times are the
+// longest-path fixpoint over the timing arcs produced by the delay model.
+// Transitions whose conducting path runs through a clock-gated device are
+// clamped to launch no earlier than that clock's rise, and checked to
+// complete before that clock falls — the nMOS discipline that data written
+// through a clocked pass transistor (a latch) or evaluated through a
+// clocked pulldown (dynamic logic) must settle within the clock window.
+//
+// Outputs: per-node settle times, setup/precharge/output checks with
+// slacks, critical paths with per-arc breakdowns, and a minimum-period
+// search.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+)
+
+// NegInf is the arrival time of a node that never transitions during the
+// cycle (a static node).
+var NegInf = math.Inf(-1)
+
+// Options tunes an analysis run.
+type Options struct {
+	// InputTime gives per-input arrival times in ns (by node name).
+	// Inputs not listed are stable at DefaultInputTime.
+	InputTime map[string]float64
+	// DefaultInputTime is the arrival applied to unlisted primary
+	// inputs. Zero means stable at the start of the cycle.
+	DefaultInputTime float64
+	// SCCIterBound multiplies the SCC size to bound fixpoint iteration
+	// inside cyclic regions; default 4.
+	SCCIterBound int
+	// SetHigh and SetLow name nodes held constant for this case (TV
+	// case analysis). They never transition; pass the same lists to the
+	// delay model so conducting paths through them are pruned too.
+	SetHigh, SetLow []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.SCCIterBound <= 0 {
+		o.SCCIterBound = 4
+	}
+	return o
+}
+
+// Polarity of a transition.
+type Polarity uint8
+
+const (
+	// Rise denotes a 0→1 transition.
+	Rise Polarity = iota
+	// Fall denotes a 1→0 transition.
+	Fall
+)
+
+// String names the polarity.
+func (p Polarity) String() string {
+	if p == Rise {
+		return "rise"
+	}
+	return "fall"
+}
+
+// CheckKind classifies a timing check.
+type CheckKind uint8
+
+const (
+	// CheckLatch verifies a transition through a clock-gated path
+	// settles before that clock falls (latch setup / dynamic-logic
+	// evaluate-complete).
+	CheckLatch CheckKind = iota
+	// CheckOutput verifies a primary output settles within the cycle.
+	CheckOutput
+	// CheckMissedWindow flags data arriving at a clocked element after
+	// its clock window closed entirely.
+	CheckMissedWindow
+	// CheckDeadPath flags an arc requiring both clock phases high at
+	// once (never conducts under non-overlapping clocks).
+	CheckDeadPath
+	// CheckLoop flags a node inside a combinational cycle whose arrival
+	// did not converge.
+	CheckLoop
+	// CheckRace reports the clock-skew margin at a latch: the earliest
+	// same-cycle data arrival against the previous closing of its
+	// clock. Informational; a negative margin means a race even with
+	// perfect clocks.
+	CheckRace
+)
+
+// String names the kind.
+func (k CheckKind) String() string {
+	switch k {
+	case CheckLatch:
+		return "latch-settle"
+	case CheckOutput:
+		return "output-settle"
+	case CheckMissedWindow:
+		return "missed-window"
+	case CheckDeadPath:
+		return "dead-path"
+	case CheckLoop:
+		return "loop"
+	case CheckRace:
+		return "race-margin"
+	}
+	return fmt.Sprintf("CheckKind(%d)", uint8(k))
+}
+
+// Check is one verification result.
+type Check struct {
+	Kind CheckKind
+	// Node is the checked node.
+	Node *netlist.Node
+	// Pol is the transition checked (meaningful for latch checks).
+	Pol Polarity
+	// Phase is the governing clock phase, when applicable.
+	Phase int
+	// Arrival is the settle time being checked (ns).
+	Arrival float64
+	// Deadline is the time it must not exceed (ns).
+	Deadline float64
+	// Slack = Deadline − Arrival; negative means violation.
+	Slack float64
+	// OK reports whether the check passes.
+	OK bool
+
+	// edge is the producing arc's index into the model, -1 when the
+	// check has no single producing arc (outputs, loops).
+	edge int32
+}
+
+func (c Check) String() string {
+	status := "ok"
+	if !c.OK {
+		status = "VIOLATION"
+	}
+	return fmt.Sprintf("%s %s %s: arrival %.4g deadline %.4g slack %.4g [%s]",
+		c.Kind, c.Node, c.Pol, c.Arrival, c.Deadline, c.Slack, status)
+}
+
+// pred records how a node's worst arrival was produced, for path recovery.
+type pred struct {
+	edge    int32 // index into model.Edges; -1 = source
+	fromPol Polarity
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// NL is the analyzed netlist.
+	NL *netlist.Netlist
+	// Model is the timing-arc set used.
+	Model *delay.Model
+	// Sched is the clock schedule analyzed against.
+	Sched clocks.Schedule
+
+	// RiseAt and FallAt are per-node-index settle times in ns; NegInf
+	// for transitions that never occur.
+	RiseAt, FallAt []float64
+
+	// EarlyRise and EarlyFall are per-node-index earliest arrivals in
+	// ns (best case); PosInf for transitions that never occur.
+	EarlyRise, EarlyFall []float64
+
+	// Checks holds every verification result, violations first.
+	Checks []Check
+
+	predRise, predFall []pred
+}
+
+// Settle returns the overall settle time of a node: the latest of its rise
+// and fall arrivals, NegInf if static.
+func (r *Result) Settle(n *netlist.Node) float64 {
+	return math.Max(r.RiseAt[n.Index], r.FallAt[n.Index])
+}
+
+// Violations returns the failing checks.
+func (r *Result) Violations() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MinSlack returns the smallest slack over all deadline checks (latch and
+// output), and true if any such check exists.
+func (r *Result) MinSlack() (float64, bool) {
+	min, ok := math.Inf(1), false
+	for _, c := range r.Checks {
+		if c.Kind == CheckLatch || c.Kind == CheckOutput {
+			if c.Slack < min {
+				min = c.Slack
+			}
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// MaxSettle returns the node with the latest settle time and that time.
+// Nil if every node is static.
+func (r *Result) MaxSettle() (*netlist.Node, float64) {
+	var worst *netlist.Node
+	t := NegInf
+	for _, n := range r.NL.Nodes {
+		if n.IsSupply() || n.IsClock() {
+			continue
+		}
+		if s := r.Settle(n); s > t {
+			t = s
+			worst = n
+		}
+	}
+	return worst, t
+}
+
+// Analyze runs the full case analysis. The netlist must be finalized and
+// flow-analyzed, and model must have been built from it.
+func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt Options) (*Result, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	n := len(nl.Nodes)
+	r := &Result{
+		NL:     nl,
+		Model:  model,
+		Sched:  sched,
+		RiseAt: fill(n, NegInf),
+		FallAt: fill(n, NegInf),
+	}
+	r.predRise = fillPred(n)
+	r.predFall = fillPred(n)
+
+	a := &analysis{Result: r, opt: opt}
+	a.initSources()
+	a.classifyStorage()
+	a.propagate()
+	a.propagateEarly()
+	a.runChecks()
+	return r, nil
+}
+
+// classifyStorage determines which storage nodes are clock-latched: at
+// least one incoming arc launched by a clock.
+func (a *analysis) classifyStorage() {
+	a.clockedStorage = make([]bool, len(a.NL.Nodes))
+	for i := range a.Model.Edges {
+		e := &a.Model.Edges[i]
+		if e.To.Flags.Has(netlist.FlagStorage) && e.From.IsClock() {
+			a.clockedStorage[e.To.Index] = true
+		}
+	}
+}
+
+func fill(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func fillPred(n int) []pred {
+	s := make([]pred, n)
+	for i := range s {
+		s[i] = pred{edge: -1}
+	}
+	return s
+}
+
+type analysis struct {
+	*Result
+	opt Options
+	// fixedRise/fixedFall mark per-polarity source arrivals that must
+	// not be relaxed.
+	fixedRise, fixedFall []bool
+	// clockedStorage marks storage nodes written through a clock-gated
+	// device: they launch from the clock arc and their data arcs become
+	// setup checks. Storage gated by ordinary signals (register-file
+	// cells behind word lines) is transparent whenever its gate is high
+	// and propagates normally.
+	clockedStorage []bool
+	// loopNodes collects nodes in non-converging cycles.
+	loopNodes []*netlist.Node
+}
+
+// initSources fixes the arrivals that anchor the analysis:
+//
+//   - supplies never transition;
+//   - clocks transition at their scheduled edges;
+//   - primary inputs are stable at their given times;
+//   - precharged nodes are high from the start of the cycle (their
+//     precharge happened in the previous cycle's window; that the
+//     precharge completes in its window is verified as a check);
+//   - storage nodes (latch outputs) launch from their clock edge only —
+//     handled in relaxNode by restricting their incoming arcs to
+//     clock-driven ones; data arcs into them become setup checks.
+func (a *analysis) initSources() {
+	nl := a.NL
+	a.fixedRise = make([]bool, len(nl.Nodes))
+	a.fixedFall = make([]bool, len(nl.Nodes))
+	forced := make(map[string]bool, len(a.opt.SetHigh)+len(a.opt.SetLow))
+	for _, name := range a.opt.SetHigh {
+		forced[name] = true
+	}
+	for _, name := range a.opt.SetLow {
+		forced[name] = true
+	}
+	for _, n := range nl.Nodes {
+		if forced[n.Name] {
+			// Case constant: never transitions (arrivals stay -Inf).
+			a.fixedRise[n.Index] = true
+			a.fixedFall[n.Index] = true
+			continue
+		}
+		switch {
+		case n.IsSupply():
+			a.fixedRise[n.Index] = true
+			a.fixedFall[n.Index] = true
+		case n.IsClock():
+			a.RiseAt[n.Index] = a.Sched.Rise(n.Phase)
+			a.FallAt[n.Index] = a.Sched.Fall(n.Phase)
+			a.fixedRise[n.Index] = true
+			a.fixedFall[n.Index] = true
+		case n.Flags.Has(netlist.FlagInput):
+			t := a.opt.DefaultInputTime
+			if it, ok := a.opt.InputTime[n.Name]; ok {
+				t = it
+			}
+			a.RiseAt[n.Index] = t
+			a.FallAt[n.Index] = t
+			a.fixedRise[n.Index] = true
+			a.fixedFall[n.Index] = true
+		case n.Flags.Has(netlist.FlagPrecharged):
+			a.RiseAt[n.Index] = 0
+			a.fixedRise[n.Index] = true
+		}
+	}
+}
+
+func (a *analysis) isFixed(idx int, pol Polarity) bool {
+	if pol == Rise {
+		return a.fixedRise[idx]
+	}
+	return a.fixedFall[idx]
+}
+
+// maskWindow returns the launch clamp and completion deadline implied by a
+// phase mask: ok=false when the mask requires both phases (dead path).
+// A zero mask imposes no constraint.
+func (a *analysis) maskWindow(mask uint8) (clampRise, deadline float64, constrained, ok bool) {
+	switch mask {
+	case 0:
+		return 0, 0, false, true
+	case delay.MaskPhi1:
+		return a.Sched.Rise(1), a.Sched.Fall(1), true, true
+	case delay.MaskPhi2:
+		return a.Sched.Rise(2), a.Sched.Fall(2), true, true
+	default:
+		return 0, 0, false, false
+	}
+}
+
+// relaxEdge computes the candidate arrival contributed by edge ei for the
+// given target polarity from current arrivals. ok=false when the edge
+// cannot fire (cause never happens, impossible transition, or the cause
+// misses the clock window).
+func (a *analysis) relaxEdge(ei int, target Polarity) (t float64, fromPol Polarity, ok bool) {
+	e := &a.Model.Edges[ei]
+	var d float64
+	var mask uint8
+	if target == Rise {
+		d, mask = e.DRise, e.MaskRise
+	} else {
+		d, mask = e.DFall, e.MaskFall
+	}
+	if math.IsInf(d, 1) {
+		return 0, 0, false
+	}
+	fromPol = causePol(e, target)
+	var cause float64
+	if fromPol == Rise {
+		cause = a.RiseAt[e.From.Index]
+	} else {
+		cause = a.FallAt[e.From.Index]
+	}
+	if math.IsInf(cause, -1) {
+		return 0, 0, false
+	}
+	clamp, deadline, constrained, alive := a.maskWindow(mask)
+	if !alive {
+		return 0, 0, false
+	}
+	if constrained {
+		if cause > deadline {
+			// Missed the window: the transition waits for the next
+			// cycle; the clock-rise arc already models that launch.
+			return 0, 0, false
+		}
+		if cause < clamp {
+			cause = clamp
+		}
+	}
+	return cause + d, fromPol, true
+}
+
+// causePol returns which transition of From causes the target transition
+// of To along edge e: gate arcs launch on From rising regardless of
+// target; inverting arcs flip; pass arcs preserve polarity.
+func causePol(e *delay.Edge, target Polarity) Polarity {
+	switch {
+	case e.GateArc:
+		return Rise
+	case e.Invert:
+		return 1 - target
+	default:
+		return target
+	}
+}
+
+func (a *analysis) arrival(idx int, pol Polarity) float64 {
+	if pol == Rise {
+		return a.RiseAt[idx]
+	}
+	return a.FallAt[idx]
+}
+
+func (a *analysis) setArrival(idx int, pol Polarity, t float64, p pred) {
+	if pol == Rise {
+		a.RiseAt[idx] = t
+		a.predRise[idx] = p
+	} else {
+		a.FallAt[idx] = t
+		a.predFall[idx] = p
+	}
+}

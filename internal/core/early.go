@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+
+	"nmostv/internal/delay"
+)
+
+// PosInf is the earliest arrival of a node that never transitions.
+var PosInf = math.Inf(1)
+
+// propagateEarly computes earliest (best-case) arrival times — the
+// shortest-path dual of the settle computation. Two-phase discipline needs
+// it for race margins: how much clock skew the design tolerates before a
+// newly launched value could reach a latch whose previous-phase clock has
+// not yet closed.
+func (a *analysis) propagateEarly() {
+	n := len(a.NL.Nodes)
+	a.EarlyRise = fill(n, PosInf)
+	a.EarlyFall = fill(n, PosInf)
+
+	// Sources get the same anchor times as the settle pass: a clock
+	// edge happens exactly at its scheduled time; an input changes at
+	// its given time; a precharged node is high from the cycle start.
+	for _, nd := range a.NL.Nodes {
+		if a.fixedRise[nd.Index] && !isInfNeg(a.RiseAt[nd.Index]) {
+			a.EarlyRise[nd.Index] = a.RiseAt[nd.Index]
+		}
+		if a.fixedFall[nd.Index] && !isInfNeg(a.FallAt[nd.Index]) {
+			a.EarlyFall[nd.Index] = a.FallAt[nd.Index]
+		}
+	}
+
+	out := make([][]int32, n)
+	in := make([][]int32, n)
+	for i := range a.Model.Edges {
+		e := &a.Model.Edges[i]
+		out[e.From.Index] = append(out[e.From.Index], int32(i))
+		in[e.To.Index] = append(in[e.To.Index], int32(i))
+	}
+	sccs := tarjan(n, out, a.Model)
+	for i := len(sccs) - 1; i >= 0; i-- {
+		comp := sccs[i]
+		if len(comp) == 1 && !hasSelfArc(a.Model, out, comp[0]) {
+			a.relaxNodeEarly(int(comp[0]), in[comp[0]])
+			continue
+		}
+		bound := a.opt.SCCIterBound*len(comp) + 8
+		for iter := 0; iter < bound; iter++ {
+			changed := false
+			for _, idx := range comp {
+				if a.relaxNodeEarly(int(idx), in[idx]) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// relaxNodeEarly recomputes both polarities' earliest arrivals from the
+// incoming arcs (min instead of max). Storage nodes launch from clock arcs
+// only, as in the settle pass.
+func (a *analysis) relaxNodeEarly(idx int, incoming []int32) bool {
+	storage := a.clockedStorage[idx]
+	changed := false
+	for _, pol := range []Polarity{Rise, Fall} {
+		if a.isFixed(idx, pol) {
+			continue
+		}
+		best := a.earlyArrival(idx, pol)
+		for _, ei := range incoming {
+			if storage && !a.Model.Edges[ei].From.IsClock() {
+				continue
+			}
+			t, ok := a.relaxEdgeEarly(int(ei), pol)
+			if ok && t < best {
+				best = t
+				changed = true
+			}
+		}
+		if changed {
+			a.setEarly(idx, pol, best)
+		}
+	}
+	return changed
+}
+
+// relaxEdgeEarly is relaxEdge with best-case semantics: the cause's
+// earliest arrival, clamped into the clock window for masked arcs.
+func (a *analysis) relaxEdgeEarly(ei int, target Polarity) (t float64, ok bool) {
+	e := &a.Model.Edges[ei]
+	var d float64
+	var mask uint8
+	if target == Rise {
+		d, mask = e.DRise, e.MaskRise
+	} else {
+		d, mask = e.DFall, e.MaskFall
+	}
+	if math.IsInf(d, 1) {
+		return 0, false
+	}
+	cause := a.earlyArrival(e.From.Index, causePol(e, target))
+	if math.IsInf(cause, 1) {
+		return 0, false
+	}
+	clamp, deadline, constrained, alive := a.maskWindow(mask)
+	if !alive {
+		return 0, false
+	}
+	if constrained {
+		if cause > deadline {
+			return 0, false
+		}
+		if cause < clamp {
+			cause = clamp
+		}
+	}
+	return cause + d, true
+}
+
+func (a *analysis) earlyArrival(idx int, pol Polarity) float64 {
+	if pol == Rise {
+		return a.EarlyRise[idx]
+	}
+	return a.EarlyFall[idx]
+}
+
+func (a *analysis) setEarly(idx int, pol Polarity, t float64) {
+	if pol == Rise {
+		a.EarlyRise[idx] = t
+	} else {
+		a.EarlyFall[idx] = t
+	}
+}
+
+// raceChecks emits CheckRace findings: for every clocked data arc into a
+// storage node of phase q, the earliest same-cycle data arrival measured
+// against the previous closing of that clock (Fall(q) − T). The margin is
+// the clock skew the latch tolerates before freshly launched data could
+// reach it while still transparent from the previous phase. Informational
+// in a correct design — margins are large and positive — but the number a
+// designer trimming non-overlap wants.
+func (a *analysis) raceChecks() []Check {
+	type key struct {
+		node  int
+		phase int
+	}
+	worst := map[key]Check{}
+	for i := range a.Model.Edges {
+		e := &a.Model.Edges[i]
+		if !a.clockedStorage[e.To.Index] || e.From.IsClock() {
+			continue
+		}
+		for _, pol := range []Polarity{Rise, Fall} {
+			var d float64
+			var mask uint8
+			if pol == Rise {
+				d, mask = e.DRise, e.MaskRise
+			} else {
+				d, mask = e.DFall, e.MaskFall
+			}
+			if mask == 0 || mask == delay.MaskPhi1|delay.MaskPhi2 || isInfPos(d) {
+				continue
+			}
+			phase := 1
+			if mask == delay.MaskPhi2 {
+				phase = 2
+			}
+			cause := a.earlyArrival(e.From.Index, causePol(e, pol))
+			if math.IsInf(cause, 1) {
+				continue
+			}
+			prevClose := a.Sched.Fall(phase) - a.Sched.Period
+			margin := cause - prevClose
+			c := Check{
+				Kind: CheckRace, Node: e.To, Pol: pol, Phase: phase,
+				Arrival: cause, Deadline: prevClose,
+				Slack: margin, OK: margin >= 0,
+				edge: int32(i),
+			}
+			k := key{e.To.Index, phase}
+			if old, ok := worst[k]; !ok || c.Slack < old.Slack {
+				worst[k] = c
+			}
+		}
+	}
+	var out []Check
+	for _, c := range worst {
+		out = append(out, c)
+	}
+	return out
+}
+
+// SkewTolerance returns the smallest race margin in ns — how much relative
+// clock skew the design tolerates — and whether any race check exists.
+func (r *Result) SkewTolerance() (float64, bool) {
+	min, ok := math.Inf(1), false
+	for _, c := range r.Checks {
+		if c.Kind == CheckRace {
+			if c.Slack < min {
+				min = c.Slack
+			}
+			ok = true
+		}
+	}
+	return min, ok
+}

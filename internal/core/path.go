@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nmostv/internal/netlist"
+)
+
+// Step is one hop of a critical path, latest node first when produced by
+// Path (the slice is ordered source → endpoint).
+type Step struct {
+	// Node is the node reached at this step.
+	Node *netlist.Node
+	// Pol is the transition polarity at Node.
+	Pol Polarity
+	// Time is the arrival in ns.
+	Time float64
+	// Via is the representative device of the arc that produced the
+	// arrival; nil at the path source.
+	Via *netlist.Transistor
+	// Invert reports whether the producing arc inverted polarity.
+	Invert bool
+}
+
+func (s Step) String() string {
+	via := ""
+	if s.Via != nil {
+		kind := "pass"
+		if s.Invert {
+			kind = "gate"
+		}
+		via = fmt.Sprintf(" (via %s %s)", kind, s.Via.Gate)
+	}
+	return fmt.Sprintf("%-20s %s @ %8.4f ns%s", s.Node, s.Pol, s.Time, via)
+}
+
+// Path recovers the worst-case path producing the given node transition,
+// ordered from source to endpoint. Returns nil when the node never makes
+// that transition.
+func (r *Result) Path(n *netlist.Node, pol Polarity) []Step {
+	if math.IsInf(r.arrivalOf(n.Index, pol), -1) {
+		return nil
+	}
+	type key struct {
+		idx int
+		pol Polarity
+	}
+	seen := make(map[key]bool)
+	var rev []Step
+	idx, p := n.Index, pol
+	for {
+		k := key{idx, p}
+		if seen[k] {
+			break // defensive: cyclic predecessor chain
+		}
+		seen[k] = true
+		pr := r.predOf(idx, p)
+		step := Step{Node: r.NL.Nodes[idx], Pol: p, Time: r.arrivalOf(idx, p)}
+		if pr.edge >= 0 {
+			e := &r.Model.Edges[pr.edge]
+			step.Via = e.Via
+			step.Invert = e.Invert
+			rev = append(rev, step)
+			idx, p = e.From.Index, pr.fromPol
+			continue
+		}
+		rev = append(rev, step)
+		break
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (r *Result) arrivalOf(idx int, pol Polarity) float64 {
+	if pol == Rise {
+		return r.RiseAt[idx]
+	}
+	return r.FallAt[idx]
+}
+
+func (r *Result) predOf(idx int, pol Polarity) pred {
+	if pol == Rise {
+		return r.predRise[idx]
+	}
+	return r.predFall[idx]
+}
+
+// CriticalPath returns the path to the design's most constrained endpoint:
+// the minimum-slack latch or output check if any exist, otherwise the
+// latest-settling node. For a latch check the path runs through the
+// checked data arc: the cause's own worst path plus the final arc into
+// the latched node. Returns nil for an empty or fully static design.
+func (r *Result) CriticalPath() []Step {
+	var worst *Check
+	best := math.Inf(1)
+	for i := range r.Checks {
+		c := &r.Checks[i]
+		if (c.Kind == CheckLatch || c.Kind == CheckOutput) && c.Slack < best {
+			best = c.Slack
+			worst = c
+		}
+	}
+	if worst == nil {
+		n, _ := r.MaxSettle()
+		if n == nil {
+			return nil
+		}
+		pol := Rise
+		if r.FallAt[n.Index] > r.RiseAt[n.Index] {
+			pol = Fall
+		}
+		return r.Path(n, pol)
+	}
+	return r.CheckPath(*worst)
+}
+
+// CheckPath reconstructs the worst-case path leading to a check: for
+// checks produced by a specific arc, the causing node's path plus the
+// final hop; otherwise the checked node's own path.
+func (r *Result) CheckPath(c Check) []Step {
+	if c.edge < 0 {
+		return r.Path(c.Node, c.Pol)
+	}
+	e := &r.Model.Edges[c.edge]
+	steps := r.Path(e.From, causePol(e, c.Pol))
+	return append(steps, Step{
+		Node:   c.Node,
+		Pol:    c.Pol,
+		Time:   c.Arrival,
+		Via:    e.Via,
+		Invert: e.Invert,
+	})
+}
+
+// FormatPath renders a path as an indented multi-line listing with per-arc
+// increments.
+func FormatPath(steps []Step) string {
+	if len(steps) == 0 {
+		return "(no path)"
+	}
+	var b strings.Builder
+	prev := steps[0].Time
+	for i, s := range steps {
+		if i == 0 {
+			fmt.Fprintf(&b, "  start  %s\n", s)
+			continue
+		}
+		fmt.Fprintf(&b, "  +%.4f %s\n", s.Time-prev, s)
+		prev = s.Time
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"sort"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+)
+
+// propagate computes the longest-path fixpoint of arrival times. The arc
+// graph is decomposed into strongly connected components; the condensation
+// is processed in topological order. Acyclic regions (the vast majority of
+// a clocked design) settle in a single relaxation per node; cyclic regions
+// (cross-coupled structures, unresolved bidirectional pass networks)
+// iterate to a fixpoint with a bound, beyond which their nodes are flagged
+// as non-converging loops.
+func (a *analysis) propagate() {
+	n := len(a.NL.Nodes)
+	out := make([][]int32, n) // node -> outgoing edge indices
+	in := make([][]int32, n)  // node -> incoming edge indices
+	for i := range a.Model.Edges {
+		e := &a.Model.Edges[i]
+		out[e.From.Index] = append(out[e.From.Index], int32(i))
+		in[e.To.Index] = append(in[e.To.Index], int32(i))
+	}
+
+	sccs := tarjan(n, out, a.Model)
+	// tarjan emits components sinks-first; process in reverse for
+	// topological (sources-first) order.
+	for i := len(sccs) - 1; i >= 0; i-- {
+		comp := sccs[i]
+		if len(comp) == 1 && !hasSelfArc(a.Model, out, comp[0]) {
+			a.relaxNode(int(comp[0]), in[comp[0]])
+			continue
+		}
+		a.iterateSCC(comp, in)
+	}
+}
+
+// relaxNode recomputes both polarities of one node from its incoming arcs.
+// Storage nodes (latch outputs) relax only from clock-driven arcs: their
+// value launches when the latch opens; late data arcs are setup checks,
+// not propagation — this is what cuts every legal sequential cycle.
+// Returns true if either arrival increased.
+func (a *analysis) relaxNode(idx int, incoming []int32) bool {
+	storage := a.clockedStorage[idx]
+	changed := false
+	for _, pol := range []Polarity{Rise, Fall} {
+		if a.isFixed(idx, pol) {
+			continue
+		}
+		best := a.arrival(idx, pol)
+		bestPred := pred{edge: -1}
+		havePred := false
+		for _, ei := range incoming {
+			if storage && !a.Model.Edges[ei].From.IsClock() {
+				continue
+			}
+			t, fromPol, ok := a.relaxEdge(int(ei), pol)
+			if ok && t > best {
+				best = t
+				bestPred = pred{edge: ei, fromPol: fromPol}
+				havePred = true
+			}
+		}
+		if havePred {
+			a.setArrival(idx, pol, best, bestPred)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// iterateSCC runs bounded fixpoint iteration over a cyclic component.
+func (a *analysis) iterateSCC(comp []int32, in [][]int32) {
+	bound := a.opt.SCCIterBound*len(comp) + 8
+	for iter := 0; iter < bound; iter++ {
+		changed := false
+		for _, idx := range comp {
+			if a.relaxNode(int(idx), in[idx]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+	// Did not converge: flag every non-fixed node in the component.
+	for _, idx := range comp {
+		if !a.fixedRise[idx] || !a.fixedFall[idx] {
+			a.loopNodes = append(a.loopNodes, a.NL.Nodes[idx])
+		}
+	}
+	sort.Slice(a.loopNodes, func(i, j int) bool {
+		return a.loopNodes[i].Index < a.loopNodes[j].Index
+	})
+}
+
+func hasSelfArc(m *delay.Model, out [][]int32, idx int32) bool {
+	for _, ei := range out[idx] {
+		if m.Edges[ei].To.Index == int(idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// tarjan computes strongly connected components iteratively (netlists can
+// be deep enough to overflow the goroutine stack with recursion). The
+// returned components appear in reverse topological order of the
+// condensation.
+func tarjan(n int, out [][]int32, m *delay.Model) [][]int32 {
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []int32 // Tarjan node stack
+		sccs    [][]int32
+	)
+
+	type frame struct {
+		v  int32
+		ei int // next out-edge position to examine
+	}
+	var call []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(start)})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(out[v]) {
+				w := int32(m.Edges[out[v][f.ei]].To.Index)
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// runChecks populates Result.Checks from the settled arrivals.
+func (a *analysis) runChecks() {
+	type aggKey struct {
+		node  int
+		pol   Polarity
+		phase int
+	}
+	worstLatch := make(map[aggKey]Check)
+	var missed []Check
+	deadSeen := make(map[int]bool)
+	var dead []Check
+
+	for i := range a.Model.Edges {
+		e := &a.Model.Edges[i]
+		for _, pol := range []Polarity{Rise, Fall} {
+			var d float64
+			var mask uint8
+			if pol == Rise {
+				d, mask = e.DRise, e.MaskRise
+			} else {
+				d, mask = e.DFall, e.MaskFall
+			}
+			if mask == 0 || isInfPos(d) {
+				continue
+			}
+			clamp, deadline, _, alive := a.maskWindow(mask)
+			if !alive {
+				if !deadSeen[e.To.Index] {
+					deadSeen[e.To.Index] = true
+					dead = append(dead, Check{
+						Kind: CheckDeadPath, Node: e.To, Pol: pol, OK: false, edge: int32(i),
+					})
+				}
+				continue
+			}
+			phase := 1
+			if mask == delay.MaskPhi2 {
+				phase = 2
+			}
+			cause := a.arrival(e.From.Index, causePol(e, pol))
+			if isInfNeg(cause) {
+				continue
+			}
+			// Data arcs into φ1 storage wrap into the next cycle's
+			// window: in the canonical frame (φ1 first), φ1 latches
+			// capture values produced by the preceding φ2 half — i.e.
+			// across the cycle boundary. φ2 latches capture same-cycle
+			// φ1-launched data and must not wrap: missing their window
+			// is a real violation, and allowing the wrap would also
+			// make period feasibility non-monotone (a silently
+			// multicycle reinterpretation of the design).
+			if cause > deadline && phase == 1 && a.clockedStorage[e.To.Index] {
+				clamp += a.Sched.Period
+				deadline += a.Sched.Period
+			}
+			if cause > deadline {
+				missed = append(missed, Check{
+					Kind: CheckMissedWindow, Node: e.To, Pol: pol, Phase: phase,
+					Arrival: cause, Deadline: deadline,
+					Slack: deadline - cause, OK: false, edge: int32(i),
+				})
+				continue
+			}
+			launch := cause
+			if launch < clamp {
+				launch = clamp
+			}
+			arr := launch + d
+			c := Check{
+				Kind: CheckLatch, Node: e.To, Pol: pol, Phase: phase,
+				Arrival: arr, Deadline: deadline,
+				Slack: deadline - arr, OK: deadline-arr >= 0,
+				edge: int32(i),
+			}
+			k := aggKey{e.To.Index, pol, phase}
+			if old, ok := worstLatch[k]; !ok || c.Slack < old.Slack {
+				worstLatch[k] = c
+			}
+		}
+	}
+
+	var checks []Check
+	for _, c := range worstLatch {
+		checks = append(checks, c)
+	}
+	checks = append(checks, missed...)
+	checks = append(checks, dead...)
+
+	for _, n := range a.NL.Nodes {
+		if !n.Flags.Has(netlist.FlagOutput) {
+			continue
+		}
+		s := a.Settle(n)
+		if isInfNeg(s) {
+			continue // static output
+		}
+		pol := Rise
+		if a.FallAt[n.Index] > a.RiseAt[n.Index] {
+			pol = Fall
+		}
+		checks = append(checks, Check{
+			Kind: CheckOutput, Node: n, Pol: pol,
+			Arrival: s, Deadline: a.Sched.Period,
+			Slack: a.Sched.Period - s, OK: a.Sched.Period-s >= 0,
+			edge: -1,
+		})
+	}
+
+	for _, n := range a.loopNodes {
+		checks = append(checks, Check{Kind: CheckLoop, Node: n, OK: false, edge: -1})
+	}
+
+	checks = append(checks, a.raceChecks()...)
+
+	sort.SliceStable(checks, func(i, j int) bool {
+		ci, cj := checks[i], checks[j]
+		if ci.OK != cj.OK {
+			return !ci.OK
+		}
+		if ci.Slack != cj.Slack {
+			return ci.Slack < cj.Slack
+		}
+		if ci.Node.Index != cj.Node.Index {
+			return ci.Node.Index < cj.Node.Index
+		}
+		return ci.Pol < cj.Pol
+	})
+	a.Checks = checks
+}

@@ -1,0 +1,646 @@
+// Package delay turns a staged, flow-analyzed transistor netlist into
+// timing edges: directed (from-node → to-node) delay arcs with separate
+// rise and fall values, computed from RC models in the style of 1983-era
+// nMOS timing analyzers.
+//
+// The model per stage:
+//
+//   - A node falls through a conducting path of enhancement devices to GND.
+//     The worst case over enumerated simple paths of the Elmore sum along
+//     the path (each path node's capacitance times the resistance between
+//     it and GND) gives the fall delay; each gate on the path contributes a
+//     timing edge, because the last-arriving series input determines when
+//     the path conducts.
+//
+//   - A node rises through its attached pullup: the depletion load in
+//     ratioed logic (resistance RDep, always on), or an enhancement
+//     precharge device (gated by a clock, degraded drive).
+//
+//   - Signal propagates through a pass device from its flow-source terminal
+//     to its flow-sink terminal with delay R_pass × C_downstream, where
+//     C_downstream is everything reachable onward through conducting pass
+//     devices — the stepwise form of the Elmore delay of the pass tree.
+//
+// Rise and fall are asymmetric (ratioed logic) and edges carry an Invert
+// flag: restoring stages invert (input rise causes output fall), pass
+// propagation does not.
+package delay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+// Inf marks a transition an edge cannot cause.
+var Inf = math.Inf(1)
+
+// Phase masks: a transition whose conducting path runs through devices
+// gated by a clock can only happen while that clock is high. MaskRise and
+// MaskFall on an edge record which clock phases the corresponding
+// transition requires.
+const (
+	// MaskPhi1 marks a path through a φ1-gated device.
+	MaskPhi1 uint8 = 1 << 0
+	// MaskPhi2 marks a path through a φ2-gated device.
+	MaskPhi2 uint8 = 1 << 1
+)
+
+// PhaseBit returns the mask bit for a clock phase number (1 or 2).
+func PhaseBit(phase int) uint8 {
+	if phase == 2 {
+		return MaskPhi2
+	}
+	return MaskPhi1
+}
+
+// clockMask returns the phase requirement contributed by a device gated by
+// node g: a mask bit if g is a clock, else 0.
+func clockMask(g *netlist.Node) uint8 {
+	if g.IsClock() {
+		return PhaseBit(g.Phase)
+	}
+	return 0
+}
+
+// Edge is one directed timing arc.
+type Edge struct {
+	// From is the causing node (a gate input, clock, or pass-network
+	// upstream node).
+	From *netlist.Node
+	// To is the affected node.
+	To *netlist.Node
+	// DRise is the delay in ns from the causing transition of From to To
+	// rising; Inf if this edge cannot make To rise. For Invert edges the
+	// causing transition is From falling, otherwise From rising.
+	DRise float64
+	// DFall is the delay in ns to To falling (caused by From rising if
+	// Invert, else From falling).
+	DFall float64
+	// MaskRise and MaskFall record which clock phases must be high for
+	// the corresponding transition's conducting path (0 = unconditional).
+	MaskRise, MaskFall uint8
+	// Invert is true for restoring (gate-like) arcs, false for pass
+	// propagation and precharge arcs.
+	Invert bool
+	// GateArc is true for arcs launched by a device's gate *rising*
+	// (opening a pass transistor or a precharge pullup): both output
+	// transitions are caused by From rising; From falling causes
+	// nothing (the device merely turns off).
+	GateArc bool
+	// Via is a representative device for reporting.
+	Via *netlist.Transistor
+}
+
+func (e Edge) String() string {
+	pol := "pass"
+	if e.Invert {
+		pol = "inv"
+	}
+	return fmt.Sprintf("%s -> %s [%s rise=%.4g fall=%.4g]", e.From, e.To, pol, e.DRise, e.DFall)
+}
+
+// Options tunes the edge builder.
+type Options struct {
+	// MaxPaths bounds GND-path enumeration per node; beyond it the
+	// builder falls back to a single conservative pseudo-path using the
+	// maximum observed resistance. Default 64.
+	MaxPaths int
+	// MaxDepth bounds the series length of an enumerated path.
+	// Default 32.
+	MaxDepth int
+	// MaxSteps bounds the total DFS work per node during GND-path
+	// enumeration; unoriented dense pass networks otherwise explode
+	// combinatorially. Default 20000.
+	MaxSteps int
+	// SetHigh and SetLow name nodes the analysis holds at constant
+	// values — TV-style case analysis. Devices gated by a SetLow node
+	// never conduct (their paths vanish); SetHigh gates conduct
+	// permanently but never launch transitions. Unknown names are
+	// ignored (the case may name nodes absent from a partial design).
+	SetHigh, SetLow []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 64
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 32
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 20000
+	}
+	return o
+}
+
+// Model is the computed set of timing edges for a netlist.
+type Model struct {
+	// Edges holds every arc, deterministically ordered.
+	Edges []Edge
+	// Caps[i] is the total capacitance in pF seen at node index i
+	// (extracted wire cap + gate loading + diffusion loading).
+	Caps []float64
+	// Truncated counts nodes whose GND-path enumeration hit MaxPaths and
+	// used the conservative fallback.
+	Truncated int
+}
+
+// NodeCap returns the total loading of one node in pF under params p:
+// extracted capacitance plus the gate capacitance of every device the node
+// gates plus the diffusion capacitance of every channel terminal on it.
+func NodeCap(n *netlist.Node, p tech.Params) float64 {
+	c := n.Cap
+	for _, t := range n.Gates {
+		c += p.CGateOf(t.W, t.L)
+	}
+	for _, t := range n.Terms {
+		c += p.CDiffOf(t.W)
+	}
+	return c
+}
+
+// Build computes the timing edges for the netlist. The netlist must be
+// finalized, staged, and flow-analyzed (or flow.Reset for the pessimistic
+// ablation).
+func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
+	opt = opt.withDefaults()
+	m := &Model{Caps: make([]float64, len(nl.Nodes))}
+	for _, n := range nl.Nodes {
+		m.Caps[n.Index] = NodeCap(n, p)
+	}
+
+	b := &builder{nl: nl, st: st, p: p, opt: opt, m: m,
+		merged:   make(map[edgeKey]int),
+		forced:   make(map[*netlist.Node]bool),
+		srcMemo:  make(map[*netlist.Node][2]float64),
+		visiting: make(map[*netlist.Node]bool)}
+	for _, name := range opt.SetHigh {
+		if n := nl.Lookup(name); n != nil {
+			b.forced[n] = true
+		}
+	}
+	for _, name := range opt.SetLow {
+		if n := nl.Lookup(name); n != nil {
+			b.forced[n] = false
+		}
+	}
+	for _, s := range st.Stages {
+		b.stageEdges(s)
+	}
+	sort.SliceStable(m.Edges, func(i, j int) bool {
+		a, c := m.Edges[i], m.Edges[j]
+		if a.From.Index != c.From.Index {
+			return a.From.Index < c.From.Index
+		}
+		if a.To.Index != c.To.Index {
+			return a.To.Index < c.To.Index
+		}
+		return !a.Invert && c.Invert
+	})
+	return m
+}
+
+type edgeKey struct {
+	from, to           int
+	invert, gateArc    bool
+	maskRise, maskFall uint8
+}
+
+type builder struct {
+	nl     *netlist.Netlist
+	st     *stage.Result
+	p      tech.Params
+	opt    Options
+	m      *Model
+	merged map[edgeKey]int // key -> index into m.Edges
+	// forced maps case-analysis constants: node -> held value.
+	forced map[*netlist.Node]bool
+	// srcMemo caches sourceDelays results: [rise, fall].
+	srcMemo map[*netlist.Node][2]float64
+	// visiting guards sourceDelays recursion against pass-network
+	// cycles.
+	visiting map[*netlist.Node]bool
+}
+
+// sourceDelays returns the worst-case RC delay (rise, fall) in ns from
+// the nearest driving structures to node u with every pass conducting —
+// the time for u's value to re-establish through its drivers once a
+// downstream device opens. Inputs and clocks are ideal (0); restored
+// nodes pay their pullup / worst pulldown-path Elmore; pass intermediates
+// accumulate their upstream source plus the chain steps. Gate arcs use
+// this so that opening a pass transistor charges its load through the
+// real upstream resistance, matching (conservatively) what the
+// switch-level referee computes.
+func (b *builder) sourceDelays(u *netlist.Node) (rise, fall float64) {
+	if v, ok := b.srcMemo[u]; ok {
+		return v[0], v[1]
+	}
+	if u.IsSupply() || u.IsClock() || u.Flags.Has(netlist.FlagInput) {
+		b.srcMemo[u] = [2]float64{0, 0}
+		return 0, 0
+	}
+	if b.visiting[u] {
+		return Inf, Inf // cycle: no independent source along this branch
+	}
+	b.visiting[u] = true
+	rise, fall = Inf, Inf
+
+	// Own restoring structures.
+	rise = b.staticRiseDelay(u)
+	for _, t := range u.Terms {
+		if t.Role == netlist.RolePullup && t.Kind == netlist.Enh &&
+			!t.Gate.IsSupply() && !b.deviceOff(t) {
+			if d := b.deviceR(t) * b.downstreamCap(u, t); d < rise {
+				rise = d
+			}
+		}
+	}
+	if paths, _ := b.gndPaths(u); len(paths) > 0 {
+		fall = 0
+		for _, path := range paths {
+			if d := b.pathFallDelay(u, path); d > fall {
+				fall = d
+			}
+		}
+	}
+
+	// Upstream pass sources: worst case over the alternatives that have
+	// a source at all.
+	for _, t := range u.Terms {
+		if t.Role != netlist.RolePass || b.deviceOff(t) || !t.ConductsToward(u) {
+			continue
+		}
+		w := t.Other(u)
+		if w == nil || w.IsSupply() {
+			continue
+		}
+		wr, wf := b.sourceDelays(w)
+		step := b.deviceR(t) * b.downstreamCap(u, t)
+		if cand := wr + step; !math.IsInf(wr, 1) && (math.IsInf(rise, 1) || cand > rise) {
+			rise = cand
+		}
+		if cand := wf + step; !math.IsInf(wf, 1) && (math.IsInf(fall, 1) || cand > fall) {
+			fall = cand
+		}
+	}
+
+	delete(b.visiting, u)
+	b.srcMemo[u] = [2]float64{rise, fall}
+	return rise, fall
+}
+
+// deviceOff reports whether case analysis holds the device permanently
+// non-conducting (an enhancement device gated by a forced-low node).
+func (b *builder) deviceOff(t *netlist.Transistor) bool {
+	if t.Kind != netlist.Enh {
+		return false
+	}
+	v, ok := b.forced[t.Gate]
+	return ok && !v
+}
+
+// isForced reports whether the node is held constant by case analysis.
+func (b *builder) isForced(n *netlist.Node) bool {
+	_, ok := b.forced[n]
+	return ok
+}
+
+// addEdge merges worst-case delays for duplicate (from,to,invert) arcs.
+func (b *builder) addEdge(e Edge) {
+	if e.From == e.To || e.From.IsSupply() {
+		return
+	}
+	if b.isForced(e.From) || b.isForced(e.To) {
+		return // constants neither launch nor receive transitions
+	}
+	if math.IsInf(e.DRise, 1) && math.IsInf(e.DFall, 1) {
+		return // an arc that can cause nothing
+	}
+	k := edgeKey{e.From.Index, e.To.Index, e.Invert, e.GateArc, e.MaskRise, e.MaskFall}
+	if i, ok := b.merged[k]; ok {
+		old := &b.m.Edges[i]
+		old.DRise = mergeDelay(old.DRise, e.DRise)
+		old.DFall = mergeDelay(old.DFall, e.DFall)
+		return
+	}
+	b.merged[k] = len(b.m.Edges)
+	b.m.Edges = append(b.m.Edges, e)
+}
+
+// mergeDelay takes the worst case of two delays where Inf means the
+// transition is impossible via that arc: any finite delay dominates Inf
+// (the arc *can* cause the transition), and among finite values the larger
+// wins.
+func mergeDelay(a, c float64) float64 {
+	switch {
+	case math.IsInf(a, 1):
+		return c
+	case math.IsInf(c, 1):
+		return a
+	case c > a:
+		return c
+	default:
+		return a
+	}
+}
+
+// DeviceR returns the effective channel resistance in kΩ of a device in
+// its structural role: depletion loads use RDep, pass devices and
+// enhancement pullups (degraded gate drive) use RPass, grounded-source
+// pulldowns use REnh.
+func DeviceR(t *netlist.Transistor, p tech.Params) float64 {
+	switch {
+	case t.Kind == netlist.Dep:
+		return p.RLoad(t.W, t.L)
+	case t.Role == netlist.RolePass, t.Role == netlist.RolePullup:
+		return p.RPassDevice(t.W, t.L)
+	default:
+		return p.RPulldown(t.W, t.L)
+	}
+}
+
+func (b *builder) deviceR(t *netlist.Transistor) float64 { return DeviceR(t, b.p) }
+
+// downstreamCap returns the capacitance in pF at node v plus everything
+// reachable onward through conducting pass devices, excluding travel back
+// through device via. Visited tracking makes it safe on cyclic pass
+// structures (each node counted once — the tree-Elmore view).
+func (b *builder) downstreamCap(v *netlist.Node, via *netlist.Transistor) float64 {
+	seen := map[*netlist.Node]bool{v: true}
+	total := 0.0
+	stack := []*netlist.Node{v}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		total += b.m.Caps[n.Index]
+		for _, t := range n.Terms {
+			if t == via || t.Role != netlist.RolePass || b.deviceOff(t) {
+				continue
+			}
+			o := t.Other(n)
+			if o == nil || o.IsSupply() || seen[o] {
+				continue
+			}
+			if !t.ConductsToward(o) {
+				continue
+			}
+			seen[o] = true
+			stack = append(stack, o)
+		}
+	}
+	return total
+}
+
+// interestingNodes returns the stage nodes whose fall paths are worth
+// enumerating: anything observable (fans out to gates, primary output,
+// storage) or restored (has an attached pullup).
+func interestingNodes(s *stage.Stage) []*netlist.Node {
+	var out []*netlist.Node
+	for _, n := range s.Nodes {
+		if len(n.Gates) > 0 || n.Flags.Has(netlist.FlagOutput) ||
+			n.Flags.Has(netlist.FlagStorage) || hasPullup(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func hasPullup(n *netlist.Node) bool {
+	for _, t := range n.Terms {
+		if t.Role == netlist.RolePullup {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) stageEdges(s *stage.Stage) {
+	// Pass-propagation arcs: for every pass device and every allowed
+	// direction, node-to-node and gate-to-node arcs.
+	for _, t := range s.Trans {
+		if t.Role != netlist.RolePass || b.deviceOff(t) {
+			continue
+		}
+		dirs := [][2]*netlist.Node{}
+		switch t.Flow {
+		case netlist.FlowAB:
+			dirs = append(dirs, [2]*netlist.Node{t.A, t.B})
+		case netlist.FlowBA:
+			dirs = append(dirs, [2]*netlist.Node{t.B, t.A})
+		default:
+			dirs = append(dirs,
+				[2]*netlist.Node{t.A, t.B},
+				[2]*netlist.Node{t.B, t.A})
+		}
+		mask := clockMask(t.Gate)
+		for _, d := range dirs {
+			u, v := d[0], d[1]
+			del := b.deviceR(t) * b.downstreamCap(v, t)
+			b.addEdge(Edge{From: u, To: v, DRise: del, DFall: del,
+				MaskRise: mask, MaskFall: mask, Via: t})
+			// The gate opening the device also launches the value,
+			// which must re-establish through the upstream drivers:
+			// their source delay rides on top of this device's step.
+			ur, uf := b.sourceDelays(u)
+			b.addEdge(Edge{From: t.Gate, To: v,
+				DRise: ur + del, DFall: uf + del,
+				MaskRise: mask, MaskFall: mask, GateArc: true, Via: t})
+		}
+	}
+
+	// Restoring arcs per interesting node: rise via pullup, fall via
+	// enumerated GND paths. A stage with no GND connection at all (a
+	// pure pass network) has nothing to enumerate.
+	for _, o := range interestingNodes(s) {
+		riseD := b.staticRiseDelay(o)
+		var paths [][]*netlist.Transistor
+		if s.HasPulldown {
+			var truncated bool
+			paths, truncated = b.gndPaths(o)
+			if truncated {
+				b.m.Truncated++
+			}
+		}
+		for _, path := range paths {
+			dfall := b.pathFallDelay(o, path)
+			var pathMask uint8
+			for _, t := range path {
+				pathMask |= clockMask(t.Gate)
+			}
+			for _, t := range path {
+				if t.Gate.IsSupply() {
+					continue
+				}
+				b.addEdge(Edge{
+					From:     t.Gate,
+					To:       o,
+					DRise:    riseD,
+					DFall:    dfall,
+					MaskFall: pathMask,
+					Invert:   true,
+					Via:      t,
+				})
+			}
+		}
+		// Gated enhancement pullups (precharge devices and the like):
+		// a non-inverting rise-only arc from the gating signal.
+		for _, t := range o.Terms {
+			if t.Role != netlist.RolePullup || t.Kind != netlist.Enh || t.Gate.IsSupply() {
+				continue
+			}
+			if b.deviceOff(t) || b.isForced(t.Gate) {
+				continue // handled by staticRiseDelay when forced high
+			}
+			b.addEdge(Edge{
+				From:     t.Gate,
+				To:       o,
+				DRise:    b.deviceR(t) * b.downstreamCap(o, t),
+				DFall:    Inf,
+				MaskRise: clockMask(t.Gate),
+				GateArc:  true,
+				Via:      t,
+			})
+		}
+	}
+}
+
+// staticRiseDelay computes the rise delay of node o through its always-on
+// pullups (depletion loads, or enhancement devices gated by VDD). Inf if o
+// has no static pullup — dynamic nodes rise only through gated devices.
+func (b *builder) staticRiseDelay(o *netlist.Node) float64 {
+	d := Inf
+	for _, t := range o.Terms {
+		if t.Role != netlist.RolePullup {
+			continue
+		}
+		forcedHigh, forced := b.forced[t.Gate]
+		alwaysOn := t.Kind == netlist.Dep || t.Gate == b.nl.VDD ||
+			(forced && forcedHigh)
+		if !alwaysOn {
+			continue
+		}
+		if del := b.deviceR(t) * b.downstreamCap(o, t); del < d {
+			d = del
+		}
+	}
+	return d
+}
+
+// gndPaths enumerates simple conducting paths from node o to GND through
+// enhancement devices, respecting flow direction (steps move away from o).
+// It returns at most MaxPaths paths; if the bound is hit it returns the
+// enumerated prefix plus reports truncation (the caller then still has the
+// worst of the enumerated paths — in practice stages are small and
+// enumeration is exhaustive).
+func (b *builder) gndPaths(o *netlist.Node) (paths [][]*netlist.Transistor, truncated bool) {
+	var cur []*netlist.Transistor
+	steps := 0
+	onPath := map[*netlist.Node]bool{o: true}
+	var dfs func(n *netlist.Node, depth int) bool
+	dfs = func(n *netlist.Node, depth int) bool {
+		if depth > b.opt.MaxDepth {
+			return true
+		}
+		if steps += len(n.Terms); steps > b.opt.MaxSteps {
+			return false
+		}
+		for _, t := range n.Terms {
+			if t.Kind != netlist.Enh || b.deviceOff(t) {
+				continue
+			}
+			if t.Role == netlist.RolePullup {
+				continue
+			}
+			other := t.Other(n)
+			if other == nil {
+				continue
+			}
+			if other == b.nl.GND {
+				path := make([]*netlist.Transistor, len(cur)+1)
+				copy(path, cur)
+				path[len(cur)] = t
+				paths = append(paths, path)
+				if len(paths) >= b.opt.MaxPaths {
+					return false
+				}
+				continue
+			}
+			if other.IsSupply() || onPath[other] {
+				continue
+			}
+			// Never continue *through* a node that has its own pullup
+			// (a restored gate output or a precharged node): discharge
+			// paths re-entering another driver's network are false
+			// paths — that driver's own fall plus pass propagation
+			// models them. Stack intermediates have no pullup and pass
+			// freely.
+			if hasPullup(other) {
+				continue
+			}
+			// Orientation prunes walking upstream into another driver's
+			// pass network (whose discharge is modeled as that driver
+			// falling and propagating through the pass arc instead). A
+			// device oriented strictly toward n means other is upstream.
+			if t.Role == netlist.RolePass && t.Flow != netlist.FlowBoth && t.ConductsToward(n) {
+				continue
+			}
+			cur = append(cur, t)
+			onPath[other] = true
+			ok := dfs(other, depth+1)
+			delete(onPath, other)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	complete := dfs(o, 0)
+	return paths, !complete
+}
+
+// pathFallDelay computes the Elmore discharge delay of node o through the
+// given path (ordered from o toward GND): Σ over path nodes of that node's
+// capacitance times the total resistance between it and GND. Node o itself
+// carries its full downstream load.
+func (b *builder) pathFallDelay(o *netlist.Node, path []*netlist.Transistor) float64 {
+	// Total path resistance first.
+	total := 0.0
+	for _, t := range path {
+		total += b.deviceR(t)
+	}
+	d := total * b.downstreamCapExcludingPath(o, path)
+	// Intermediate nodes: walk from o; after traversing device i the
+	// remaining resistance to GND shrinks.
+	n := o
+	remaining := total
+	last := len(path) - 1
+	if last < 0 {
+		last = 0
+	}
+	for _, t := range path[:last] {
+		remaining -= b.deviceR(t)
+		n = t.Other(n)
+		if n == nil || n.IsSupply() {
+			break
+		}
+		d += remaining * b.m.Caps[n.Index]
+	}
+	return d
+}
+
+// downstreamCapExcludingPath is downstreamCap but never traverses the first
+// path device (discharge current leaves o through it; the load hanging the
+// other way off o still must discharge through the path).
+func (b *builder) downstreamCapExcludingPath(o *netlist.Node, path []*netlist.Transistor) float64 {
+	var via *netlist.Transistor
+	if len(path) > 0 {
+		via = path[0]
+	}
+	return b.downstreamCap(o, via)
+}

@@ -1,0 +1,295 @@
+// Package erc performs the static electrical rule checks that every nMOS
+// toolchain ran beside timing analysis — above all the Mead & Conway
+// ratio rule: a ratioed gate only produces a legal low level when its
+// pullup is sufficiently more resistive than its worst (most resistive)
+// conducting pulldown path. The required ratio is ~4:1 for inputs driven
+// by restored signals and ~8:1 for inputs arriving through pass
+// transistors, whose high level is degraded by a threshold drop.
+//
+// The checker also flags gates whose inputs have suffered more than one
+// threshold drop (a pass chain fed by another pass-driven gate level
+// cannot restore at any ratio) and dynamic nodes with no restoring path
+// at all.
+package erc
+
+import (
+	"fmt"
+	"sort"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/flow"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// Kind classifies a finding.
+type Kind uint8
+
+const (
+	// KindRatio is a pullup/pulldown ratio below the requirement.
+	KindRatio Kind = iota
+	// KindNoPulldown is a restored node that can never be pulled low
+	// (its output is stuck high — suspicious in ratioed logic).
+	KindNoPulldown
+	// KindFloatingGate is an enhancement device gated by a node with no
+	// drive at all.
+	KindFloatingGate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRatio:
+		return "ratio"
+	case KindNoPulldown:
+		return "no-pulldown"
+	case KindFloatingGate:
+		return "floating-gate"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Finding is one rule violation or observation.
+type Finding struct {
+	Kind Kind
+	// Node is the gate output (ratio checks) or the offending node.
+	Node *netlist.Node
+	// Ratio is the measured pullup/pulldown resistance ratio.
+	Ratio float64
+	// Required is the minimum legal ratio for this gate's input drive.
+	Required float64
+	// Degraded reports whether the binding pulldown path is controlled
+	// by a pass-driven (threshold-degraded) input.
+	Degraded bool
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s %s: %s", f.Kind, f.Node, f.Msg) }
+
+// Options tunes the checker.
+type Options struct {
+	// RestoredRatio is the minimum pullup:pulldown ratio for gates with
+	// restored inputs. Default 4.
+	RestoredRatio float64
+	// DegradedRatio is the minimum ratio when any series device on the
+	// binding path is gated by a pass-driven level. Default 8.
+	DegradedRatio float64
+	// MaxPaths bounds pulldown path enumeration per node. Default 64.
+	MaxPaths int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RestoredRatio <= 0 {
+		o.RestoredRatio = 4
+	}
+	if o.DegradedRatio <= 0 {
+		o.DegradedRatio = 8
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 64
+	}
+	return o
+}
+
+// Check runs the rules over a finalized netlist. Flow analysis is run
+// internally (it determines which gate inputs are pass-driven).
+func Check(nl *netlist.Netlist, p tech.Params, opt Options) []Finding {
+	opt = opt.withDefaults()
+	dist := flow.Distances(nl)
+	var out []Finding
+
+	// Pass-driven gate level: the gate node's drive distance through
+	// pass devices is nonzero — one threshold drop.
+	degradedGate := func(n *netlist.Node) bool {
+		d := dist[n.Index]
+		return d > 0 && d < 1<<30
+	}
+
+	for _, n := range nl.Nodes {
+		if n.IsSupply() {
+			continue
+		}
+		pullupR, hasStatic := staticPullup(n, p)
+		if !hasStatic {
+			continue // dynamic node: ratio rule does not apply
+		}
+		paths := pulldownPaths(nl, n, opt.MaxPaths)
+		if len(paths) == 0 {
+			out = append(out, Finding{
+				Kind: KindNoPulldown,
+				Node: n,
+				Msg:  "restored node has a static pullup but no pulldown path; output is stuck high",
+			})
+			continue
+		}
+		// The binding path is the most resistive one (weakest pulldown
+		// → lowest ratio when it conducts alone).
+		worstRatio := -1.0
+		worstDegraded := false
+		for _, path := range paths {
+			var r float64
+			degraded := false
+			for _, t := range path {
+				r += delay.DeviceR(t, p)
+				if !t.Gate.IsSupply() && !t.Gate.IsClock() && degradedGate(t.Gate) {
+					degraded = true
+				}
+			}
+			if r <= 0 {
+				continue
+			}
+			ratio := pullupR / r
+			if worstRatio < 0 || ratio < worstRatio {
+				worstRatio = ratio
+				worstDegraded = degraded
+			}
+		}
+		if worstRatio < 0 {
+			continue
+		}
+		required := opt.RestoredRatio
+		if worstDegraded {
+			required = opt.DegradedRatio
+		}
+		if worstRatio < required {
+			out = append(out, Finding{
+				Kind:     KindRatio,
+				Node:     n,
+				Ratio:    worstRatio,
+				Required: required,
+				Degraded: worstDegraded,
+				Msg: fmt.Sprintf("pullup/pulldown ratio %.2f below required %.0f:1%s",
+					worstRatio, required, degradedNote(worstDegraded)),
+			})
+		}
+	}
+
+	// Floating gates: enhancement devices whose gate node has neither
+	// drive nor annotation.
+	for _, t := range nl.Trans {
+		g := t.Gate
+		if t.Kind != netlist.Enh || g.IsSupply() {
+			continue
+		}
+		driven := g.Flags.Has(netlist.FlagInput) || g.IsClock() ||
+			g.Flags.Has(netlist.FlagStorage) || g.Flags.Has(netlist.FlagPrecharged) ||
+			len(g.Terms) > 0
+		if !driven {
+			out = append(out, Finding{
+				Kind: KindFloatingGate,
+				Node: g,
+				Msg:  fmt.Sprintf("gate of %v is never driven", t),
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Node.Index < out[j].Node.Index
+	})
+	return out
+}
+
+func degradedNote(d bool) string {
+	if d {
+		return " (pass-driven input: one threshold drop)"
+	}
+	return ""
+}
+
+// hasAnyPullup reports whether the node carries any pullup device
+// (depletion load or precharge), marking it as another driver's territory
+// for path enumeration.
+func hasAnyPullup(n *netlist.Node) bool {
+	for _, t := range n.Terms {
+		if t.Role == netlist.RolePullup {
+			return true
+		}
+	}
+	return false
+}
+
+// staticPullup returns the resistance of the strongest always-on pullup on
+// the node and whether one exists.
+func staticPullup(n *netlist.Node, p tech.Params) (float64, bool) {
+	best := 0.0
+	found := false
+	for _, t := range n.Terms {
+		if t.Role != netlist.RolePullup {
+			continue
+		}
+		alwaysOn := t.Kind == netlist.Dep || t.Gate.Name == "vdd"
+		if !alwaysOn {
+			continue
+		}
+		r := delay.DeviceR(t, p)
+		if !found || r < best {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// pulldownPaths enumerates simple enhancement paths from n to GND within
+// its stage, bounded by maxPaths (and a matching step budget).
+func pulldownPaths(nl *netlist.Netlist, n *netlist.Node, maxPaths int) [][]*netlist.Transistor {
+	var paths [][]*netlist.Transistor
+	var cur []*netlist.Transistor
+	onPath := map[*netlist.Node]bool{n: true}
+	steps := 0
+	budget := maxPaths * 64
+
+	var dfs func(v *netlist.Node) bool
+	dfs = func(v *netlist.Node) bool {
+		if steps += len(v.Terms); steps > budget {
+			return false
+		}
+		for _, t := range v.Terms {
+			if t.Kind != netlist.Enh || t.Role == netlist.RolePullup {
+				continue
+			}
+			o := t.Other(v)
+			if o == nil {
+				continue
+			}
+			if o == nl.GND {
+				path := make([]*netlist.Transistor, len(cur)+1)
+				copy(path, cur)
+				path[len(cur)] = t
+				paths = append(paths, path)
+				if len(paths) >= maxPaths {
+					return false
+				}
+				continue
+			}
+			if o.IsSupply() || onPath[o] {
+				continue
+			}
+			// Never continue through a node with its own pullup: such
+			// paths re-enter another driver's network (false sneak
+			// paths through pass matrices).
+			if hasAnyPullup(o) {
+				continue
+			}
+			// Do not wander upstream into another driver's network.
+			if t.Role == netlist.RolePass && t.Flow != netlist.FlowBoth && t.ConductsToward(v) {
+				continue
+			}
+			onPath[o] = true
+			cur = append(cur, t)
+			ok := dfs(o)
+			cur = cur[:len(cur)-1]
+			delete(onPath, o)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(n)
+	return paths
+}

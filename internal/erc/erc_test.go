@@ -1,0 +1,136 @@
+package erc
+
+import (
+	"strings"
+	"testing"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+func TestDefaultInverterPasses(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	b.Inverter(b.Input("in"))
+	nl := b.Finish()
+	findings := Check(nl, p, Options{})
+	for _, f := range findings {
+		if f.Kind == KindRatio {
+			t.Errorf("default sizing must satisfy the ratio rule: %v", f)
+		}
+	}
+}
+
+func TestWeakPulldownFlagged(t *testing.T) {
+	p := tech.Default()
+	nl := netlist.New("t")
+	in, out := nl.Node("in"), nl.Node("out")
+	in.Flags |= netlist.FlagInput
+	// Pullup 4/8 dep = 80 kΩ; pulldown 4/16 enh = 40 kΩ: ratio 2 < 4.
+	nl.AddTransistor(netlist.Dep, out, nl.VDD, out, 4, 8)
+	nl.AddTransistor(netlist.Enh, in, out, nl.GND, 4, 16)
+	nl.Finalize()
+	findings := Check(nl, p, Options{})
+	found := false
+	for _, f := range findings {
+		if f.Kind == KindRatio && f.Node == out {
+			found = true
+			if f.Required != 4 || f.Degraded {
+				t.Errorf("restored input requires 4:1, got %+v", f)
+			}
+			if f.Ratio < 1.9 || f.Ratio > 2.1 {
+				t.Errorf("ratio = %g, want ≈2", f.Ratio)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("weak pulldown not flagged: %v", findings)
+	}
+}
+
+func TestPassDrivenInputRequiresEight(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	// A latch output (unrestored storage node) directly gates an
+	// inverter: the stored level is one threshold down, so the gate
+	// needs 8:1. The default sizing gives 80/5 = 16, which passes; make
+	// the pulldown weaker so the ratio lands between 4 and 8.
+	phi := b.Clock("phi1", 1)
+	d := b.Input("d")
+	store, _ := b.Latch(phi, d)
+	out := b.Fresh("weak")
+	b.NL.AddTransistor(netlist.Dep, out, b.NL.VDD, out, 4, 8) // 80 kΩ
+	b.NL.AddTransistor(netlist.Enh, store, out, b.NL.GND, 4, 6)
+	// 10×6/4 = 15 kΩ → ratio 5.33: legal for restored, illegal for
+	// pass-driven.
+	nl := b.Finish()
+	findings := Check(nl, p, Options{})
+	found := false
+	for _, f := range findings {
+		if f.Kind == KindRatio && f.Node == out {
+			found = true
+			if !f.Degraded || f.Required != 8 {
+				t.Errorf("pass-driven input must require 8:1: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("degraded-input ratio not flagged: %v", findings)
+	}
+}
+
+func TestStuckHighFlagged(t *testing.T) {
+	p := tech.Default()
+	nl := netlist.New("t")
+	out := nl.Node("out")
+	nl.AddTransistor(netlist.Dep, out, nl.VDD, out, 4, 8)
+	nl.Finalize()
+	findings := Check(nl, p, Options{})
+	found := false
+	for _, f := range findings {
+		if f.Kind == KindNoPulldown && f.Node == out {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stuck-high node not flagged: %v", findings)
+	}
+}
+
+func TestFloatingGateFlagged(t *testing.T) {
+	p := tech.Default()
+	nl := netlist.New("t")
+	ghost := nl.Node("ghost")
+	nl.AddTransistor(netlist.Enh, ghost, nl.Node("x"), nl.GND, 8, 4)
+	nl.Finalize()
+	findings := Check(nl, p, Options{})
+	found := false
+	for _, f := range findings {
+		if f.Kind == KindFloatingGate && f.Node == ghost {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("floating gate not flagged: %v", findings)
+	}
+}
+
+func TestDatapathIsClean(t *testing.T) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 4, ShiftAmounts: 2})
+	findings := Check(nl, p, Options{})
+	for _, f := range findings {
+		if f.Kind == KindRatio || f.Kind == KindFloatingGate {
+			t.Errorf("generated datapath must be ERC-clean: %v", f)
+		}
+	}
+}
+
+func TestFindingStrings(t *testing.T) {
+	for _, k := range []Kind{KindRatio, KindNoPulldown, KindFloatingGate} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d must have a name", k)
+		}
+	}
+}

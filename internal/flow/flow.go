@@ -1,0 +1,191 @@
+// Package flow infers the direction of signal flow through pass
+// transistors. nMOS designs route data through enhancement devices whose
+// channels carry signal (latches, shifters, multiplexers, buses); a timing
+// analyzer must know which way information moves through each channel or
+// every pass network becomes a pessimistic tangle of false paths.
+//
+// The inference is the classic drive-distance heuristic: signal originates
+// at restored nodes (outputs of ratioed gates, i.e. channel nodes with an
+// attached pullup), at primary inputs, and at clocks; it flows outward
+// through pass devices. A multi-source BFS from those roots labels every
+// channel node with its distance from restoring drive, and each pass device
+// is oriented from its nearer terminal to its farther one. Ties (genuinely
+// bidirectional structures such as dual-ported buses) remain bidirectional
+// and are timed pessimistically. Designer annotations (flow-in, flow-out)
+// override the heuristic, exactly as the 1983-era tools allowed.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"nmostv/internal/netlist"
+)
+
+// Summary reports what the analysis decided.
+type Summary struct {
+	// PassDevices is the number of devices with RolePass.
+	PassDevices int
+	// Oriented is how many pass devices received a definite direction.
+	Oriented int
+	// Bidirectional is how many remained FlowBoth.
+	Bidirectional int
+	// UnreachedNodes counts channel nodes in pass networks that no
+	// restoring root reaches; their devices stay bidirectional.
+	UnreachedNodes int
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("flow: %d pass devices, %d oriented, %d bidirectional, %d unreached nodes",
+		s.PassDevices, s.Oriented, s.Bidirectional, s.UnreachedNodes)
+}
+
+// Analyze assigns Flow on every transistor of the netlist in place and
+// returns a summary. Devices that touch a supply (pullups, pulldowns)
+// always conduct toward their non-supply terminal and are oriented
+// accordingly. Finalize must have been called on the netlist.
+func Analyze(nl *netlist.Netlist) Summary {
+	dist := Distances(nl)
+	var sum Summary
+	for _, t := range nl.Trans {
+		switch t.Role {
+		case netlist.RolePullup, netlist.RolePulldown:
+			// Supply devices drive their non-supply terminal.
+			if t.A.IsSupply() {
+				t.Flow = netlist.FlowAB
+			} else {
+				t.Flow = netlist.FlowBA
+			}
+			continue
+		}
+		sum.PassDevices++
+		if t.ForceFlow != netlist.FlowBoth {
+			t.Flow = t.ForceFlow
+			sum.Oriented++
+			continue
+		}
+		da, db := dist[t.A.Index], dist[t.B.Index]
+		switch {
+		case da < db:
+			t.Flow = netlist.FlowAB
+		case db < da:
+			t.Flow = netlist.FlowBA
+		default:
+			t.Flow = netlist.FlowBoth
+		}
+		// Designer annotations override the heuristic: flow never
+		// leaves a flow-out sink and never enters a flow-in source.
+		switch {
+		case isOut(t.A) && !isOut(t.B):
+			t.Flow = netlist.FlowBA
+		case isOut(t.B) && !isOut(t.A):
+			t.Flow = netlist.FlowAB
+		case isIn(t.A) && !isIn(t.B):
+			t.Flow = netlist.FlowAB
+		case isIn(t.B) && !isIn(t.A):
+			t.Flow = netlist.FlowBA
+		}
+		if t.Flow == netlist.FlowBoth {
+			sum.Bidirectional++
+		} else {
+			sum.Oriented++
+		}
+	}
+	for _, n := range nl.Nodes {
+		if n.IsSupply() {
+			continue
+		}
+		if dist[n.Index] == unreached && touchesPass(n) {
+			sum.UnreachedNodes++
+		}
+	}
+	return sum
+}
+
+// Reset restores every device to FlowBoth, the state timing uses when flow
+// analysis is disabled (the T5 ablation).
+func Reset(nl *netlist.Netlist) {
+	for _, t := range nl.Trans {
+		switch t.Role {
+		case netlist.RolePullup, netlist.RolePulldown:
+			if t.A.IsSupply() {
+				t.Flow = netlist.FlowAB
+			} else {
+				t.Flow = netlist.FlowBA
+			}
+		default:
+			t.Flow = netlist.FlowBoth
+		}
+	}
+}
+
+const unreached = math.MaxInt32
+
+func isOut(n *netlist.Node) bool { return n.Flags.Has(netlist.FlagFlowOut) }
+func isIn(n *netlist.Node) bool  { return n.Flags.Has(netlist.FlagFlowIn) }
+
+// Distances computes the drive distance of each node (indexed by
+// Node.Index): 0 for restoring roots, +1 per pass device hop, unreached
+// (MaxInt32) for nodes no root reaches.
+func Distances(nl *netlist.Netlist) []int {
+	dist := make([]int, len(nl.Nodes))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	var queue []*netlist.Node
+	push := func(n *netlist.Node, d int) {
+		if d < dist[n.Index] {
+			dist[n.Index] = d
+			queue = append(queue, n)
+		}
+	}
+
+	for _, n := range nl.Nodes {
+		if n.IsSupply() {
+			dist[n.Index] = 0
+			continue
+		}
+		if n.Flags.Has(netlist.FlagFlowOut) {
+			continue // annotated sink: never a root
+		}
+		if n.Flags.Has(netlist.FlagInput) || n.IsClock() || n.Flags.Has(netlist.FlagFlowIn) {
+			push(n, 0)
+			continue
+		}
+		// Restored node: a ratioed gate output has a pullup attached.
+		for _, t := range n.Terms {
+			if t.Role == netlist.RolePullup {
+				push(n, 0)
+				break
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.Flags.Has(netlist.FlagFlowOut) {
+			continue // sinks absorb flow; do not propagate through them
+		}
+		d := dist[n.Index]
+		for _, t := range n.Terms {
+			if t.Role != netlist.RolePass {
+				continue
+			}
+			o := t.Other(n)
+			if o != nil && !o.IsSupply() {
+				push(o, d+1)
+			}
+		}
+	}
+	return dist
+}
+
+func touchesPass(n *netlist.Node) bool {
+	for _, t := range n.Terms {
+		if t.Role == netlist.RolePass {
+			return true
+		}
+	}
+	return false
+}

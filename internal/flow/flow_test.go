@@ -1,0 +1,260 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+func TestLatchOrientedFromData(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	phi := b.Clock("phi1", 1)
+	d := b.Input("d")
+	store, _ := b.Latch(phi, d)
+	nl := b.Finish()
+	sum := Analyze(nl)
+
+	if sum.PassDevices != 1 || sum.Oriented != 1 || sum.Bidirectional != 0 {
+		t.Fatalf("latch summary wrong: %v", sum)
+	}
+	var pass *netlist.Transistor
+	for _, tr := range nl.Trans {
+		if tr.Role == netlist.RolePass {
+			pass = tr
+		}
+	}
+	if !pass.ConductsToward(store) {
+		t.Errorf("latch pass must conduct toward the storage node, got %v", pass.Flow)
+	}
+	if pass.ConductsToward(nl.Lookup("d")) {
+		t.Error("latch pass must not conduct back toward the data input")
+	}
+}
+
+func TestChainOrientedAwayFromDriver(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	driver := b.Inverter(in)
+	end := b.PassChain(driver, b.Input("ctrl"), 5)
+	nl := b.Finish()
+	Analyze(nl)
+
+	dist := Distances(nl)
+	if dist[driver.Index] != 0 {
+		t.Errorf("restored driver distance = %d, want 0", dist[driver.Index])
+	}
+	if dist[end.Index] != 5 {
+		t.Errorf("chain end distance = %d, want 5", dist[end.Index])
+	}
+	for _, tr := range nl.Trans {
+		if tr.Role != netlist.RolePass {
+			continue
+		}
+		if tr.Flow == netlist.FlowBoth {
+			t.Errorf("chain device left bidirectional: %v", tr)
+		}
+	}
+}
+
+func TestDualDrivenBusMeetsInTheMiddle(t *testing.T) {
+	// left -t1- mid -t2- right: both ends are driven roots; the devices
+	// adjacent to the roots orient inward toward the meeting node.
+	nl := netlist.New("bus")
+	l, r, m := nl.Node("l"), nl.Node("r"), nl.Node("m")
+	c := nl.Node("c")
+	l.Flags |= netlist.FlagInput
+	r.Flags |= netlist.FlagInput
+	c.Flags |= netlist.FlagInput
+	t1 := nl.AddTransistor(netlist.Enh, c, l, m, 4, 4)
+	t2 := nl.AddTransistor(netlist.Enh, c, r, m, 4, 4)
+	nl.Finalize()
+	Analyze(nl)
+	if t1.Flow == netlist.FlowBoth || t2.Flow == netlist.FlowBoth {
+		t.Error("devices adjacent to roots must orient, not tie")
+	}
+	if !t1.ConductsToward(m) || !t2.ConductsToward(m) {
+		t.Error("both devices must conduct toward the meeting node")
+	}
+}
+
+func TestSymmetricMiddleDeviceTies(t *testing.T) {
+	// l -t1- m1 -t2- m2 -t3- r: the middle device sees equal distances
+	// from both sides and must stay bidirectional.
+	nl := netlist.New("bus")
+	l, r := nl.Node("l"), nl.Node("r")
+	m1, m2 := nl.Node("m1"), nl.Node("m2")
+	c := nl.Node("c")
+	for _, n := range []*netlist.Node{l, r, c} {
+		n.Flags |= netlist.FlagInput
+	}
+	nl.AddTransistor(netlist.Enh, c, l, m1, 4, 4)
+	mid := nl.AddTransistor(netlist.Enh, c, m1, m2, 4, 4)
+	nl.AddTransistor(netlist.Enh, c, r, m2, 4, 4)
+	nl.Finalize()
+	sum := Analyze(nl)
+	if mid.Flow != netlist.FlowBoth {
+		t.Errorf("symmetric middle device must tie, got %v", mid.Flow)
+	}
+	if sum.Bidirectional != 1 || sum.Oriented != 2 {
+		t.Errorf("summary wrong: %v", sum)
+	}
+}
+
+func TestAnnotationsOverrideHeuristic(t *testing.T) {
+	// Both terminals are distance-0 roots (a is an input, b is
+	// annotated flow-in); the heuristic would tie, but the explicit
+	// flow-in annotation wins: signal leaves b.
+	nl := netlist.New("t")
+	a, bn, c := nl.Node("a"), nl.Node("b"), nl.Node("c")
+	a.Flags |= netlist.FlagInput
+	bn.Flags |= netlist.FlagFlowIn
+	tr := nl.AddTransistor(netlist.Enh, c, a, bn, 4, 4)
+	c.Flags |= netlist.FlagInput
+	nl.Finalize()
+	Analyze(nl)
+	if !tr.ConductsToward(a) || tr.ConductsToward(bn) {
+		t.Errorf("flow-in annotation must orient flow away from b: got %v", tr.Flow)
+	}
+}
+
+func TestFlowOutNeverRootNorPropagates(t *testing.T) {
+	nl := netlist.New("t")
+	a, bn, c, g := nl.Node("a"), nl.Node("b"), nl.Node("c"), nl.Node("g")
+	a.Flags |= netlist.FlagInput
+	bn.Flags |= netlist.FlagFlowOut
+	g.Flags |= netlist.FlagInput
+	t1 := nl.AddTransistor(netlist.Enh, g, a, bn, 4, 4)
+	t2 := nl.AddTransistor(netlist.Enh, g, bn, c, 4, 4)
+	nl.Finalize()
+	Analyze(nl)
+	if !t1.ConductsToward(bn) {
+		t.Error("flow must run into the annotated sink")
+	}
+	// Flow never leaves the sink: t2 also conducts toward it, and node
+	// c stays unreached (the sink does not propagate distance).
+	if !t2.ConductsToward(bn) || t2.ConductsToward(c) {
+		t.Errorf("flow must not leave a flow-out sink, got %v", t2.Flow)
+	}
+	sum := Analyze(nl)
+	if sum.UnreachedNodes != 1 {
+		t.Errorf("unreached nodes = %d, want 1 (node c)", sum.UnreachedNodes)
+	}
+}
+
+func TestResetRestoresPessimism(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	b.PassChain(b.Inverter(in), b.Input("ctrl"), 3)
+	nl := b.Finish()
+	Analyze(nl)
+	Reset(nl)
+	for _, tr := range nl.Trans {
+		switch tr.Role {
+		case netlist.RolePass:
+			if tr.Flow != netlist.FlowBoth {
+				t.Errorf("Reset must leave pass devices bidirectional: %v", tr)
+			}
+		case netlist.RolePullup, netlist.RolePulldown:
+			if tr.Flow == netlist.FlowBoth {
+				t.Errorf("Reset must keep supply devices oriented: %v", tr)
+			}
+		}
+	}
+}
+
+func TestSupplyDeviceOrientation(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	out := b.Inverter(b.Input("in"))
+	nl := b.Finish()
+	Analyze(nl)
+	for _, tr := range nl.Trans {
+		if !tr.ConductsToward(out) {
+			t.Errorf("supply device must conduct toward its signal node: %v", tr)
+		}
+	}
+}
+
+// TestTreePropertyAllOriented: a random pass tree hung off a single driven
+// root must orient every device away from the root, with no ties.
+func TestTreePropertyAllOriented(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netlist.New("tree")
+		root := nl.Node("root")
+		root.Flags |= netlist.FlagInput
+		g := nl.Node("g")
+		g.Flags |= netlist.FlagInput
+		nodes := []*netlist.Node{root}
+		n := 2 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			child := nl.Node(nodeName(i))
+			nl.AddTransistor(netlist.Enh, g, parent, child, 4, 4)
+			nodes = append(nodes, child)
+		}
+		nl.Finalize()
+		sum := Analyze(nl)
+		if sum.Bidirectional != 0 || sum.Oriented != n || sum.UnreachedNodes != 0 {
+			return false
+		}
+		dist := Distances(nl)
+		for _, tr := range nl.Trans {
+			if tr.Role != netlist.RolePass {
+				continue
+			}
+			// Orientation must point from nearer to farther.
+			var from, to *netlist.Node
+			if tr.Flow == netlist.FlowAB {
+				from, to = tr.A, tr.B
+			} else {
+				from, to = tr.B, tr.A
+			}
+			if dist[from.Index] >= dist[to.Index] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{PassDevices: 4, Oriented: 3, Bidirectional: 1}
+	if s.String() == "" {
+		t.Error("Summary must stringify")
+	}
+}
+
+func TestForceFlowOverridesTie(t *testing.T) {
+	// Both terminals restored (inputs): heuristic ties; the device
+	// annotation decides.
+	nl := netlist.New("t")
+	a, c, g := nl.Node("a"), nl.Node("b"), nl.Node("g")
+	a.Flags |= netlist.FlagInput
+	c.Flags |= netlist.FlagInput
+	g.Flags |= netlist.FlagInput
+	tr := nl.AddTransistor(netlist.Enh, g, a, c, 4, 4)
+	tr.ForceFlow = netlist.FlowBA
+	nl.Finalize()
+	sum := Analyze(nl)
+	if tr.Flow != netlist.FlowBA {
+		t.Errorf("forced flow ignored: got %v", tr.Flow)
+	}
+	if sum.Oriented != 1 || sum.Bidirectional != 0 {
+		t.Errorf("forced device must count as oriented: %v", sum)
+	}
+}

@@ -1,0 +1,138 @@
+// Package gen constructs nMOS transistor netlists for the circuit idioms
+// of the MIPS era: ratioed inverters and NAND/NOR gates, complex
+// AND-OR-INVERT pulldown networks, pass-transistor latches and
+// multiplexers, two-phase dynamic shift registers, barrel shifters,
+// precharged buses, static PLAs, register files, and a composed MIPS-like
+// datapath. These stand in for layout extraction: they produce the same
+// transistor graphs, annotations, and electrical parasitics the real
+// chip's .sim file would.
+package gen
+
+import (
+	"fmt"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// Sizes holds the drawn device sizes (µm) used by the cell constructors.
+type Sizes struct {
+	// PDW, PDL size enhancement pulldowns.
+	PDW, PDL float64
+	// PUW, PUL size depletion pullups; the pullup:pulldown resistance
+	// ratio (squares ratio × RDep/REnh) sets rise/fall asymmetry.
+	PUW, PUL float64
+	// PassW, PassL size pass transistors.
+	PassW, PassL float64
+}
+
+// DefaultSizes returns the 4:1-squares ratioed sizing used throughout the
+// benchmarks: double-width pulldowns, long-channel pullups.
+func DefaultSizes(p tech.Params) Sizes {
+	w, l := p.MinW(), p.MinL()
+	return Sizes{
+		PDW: 2 * w, PDL: l,
+		PUW: w, PUL: 2 * l,
+		PassW: w, PassL: l,
+	}
+}
+
+// B is a netlist builder: a thin layer over netlist.Netlist carrying the
+// technology, default sizes, and a wiring-capacitance model.
+type B struct {
+	// NL is the netlist under construction.
+	NL *netlist.Netlist
+	// P is the process.
+	P tech.Params
+	// Sizes are the default device sizes.
+	Sizes Sizes
+	// WireCap is the extracted interconnect capacitance in pF attached
+	// to every freshly created signal node.
+	WireCap float64
+
+	seq      int
+	groupSeq int
+}
+
+// ExclusiveGroup marks the given nodes as a one-hot set (at most one high
+// at a time) under a fresh group id and returns the id. Decoder outputs
+// and shifter controls are marked automatically.
+func (b *B) ExclusiveGroup(nodes ...*netlist.Node) int {
+	b.groupSeq++
+	for _, n := range nodes {
+		n.Exclusive = b.groupSeq
+	}
+	return b.groupSeq
+}
+
+// New starts a builder for a circuit with the given name.
+func New(name string, p tech.Params) *B {
+	return &B{
+		NL:      netlist.New(name),
+		P:       p,
+		Sizes:   DefaultSizes(p),
+		WireCap: 0.01,
+	}
+}
+
+// Fresh creates a new uniquely named node with the default wire cap.
+func (b *B) Fresh(prefix string) *netlist.Node {
+	b.seq++
+	n := b.NL.Node(fmt.Sprintf("%s_%d", prefix, b.seq))
+	n.Cap += b.WireCap
+	return n
+}
+
+// Named creates (or returns) a node by exact name, attaching the wire cap
+// on first creation.
+func (b *B) Named(name string) *netlist.Node {
+	if existing := b.NL.Lookup(name); existing != nil {
+		return existing
+	}
+	n := b.NL.Node(name)
+	n.Cap += b.WireCap
+	return n
+}
+
+// Input creates a primary input node.
+func (b *B) Input(name string) *netlist.Node {
+	n := b.Named(name)
+	n.Flags |= netlist.FlagInput
+	return n
+}
+
+// Output marks a node as a primary output.
+func (b *B) Output(n *netlist.Node) *netlist.Node {
+	n.Flags |= netlist.FlagOutput
+	return n
+}
+
+// Clock creates a clock node of the given phase (1 or 2).
+func (b *B) Clock(name string, phase int) *netlist.Node {
+	n := b.Named(name)
+	n.Flags |= netlist.FlagClock
+	n.Phase = phase
+	return n
+}
+
+// Finish finalizes and returns the netlist.
+func (b *B) Finish() *netlist.Netlist {
+	b.NL.Finalize()
+	return b.NL
+}
+
+// pullup attaches a depletion load (gate tied to the output, the standard
+// nMOS load connection) from VDD to n.
+func (b *B) pullup(n *netlist.Node) {
+	b.NL.AddTransistor(netlist.Dep, n, b.NL.VDD, n, b.Sizes.PUW, b.Sizes.PUL)
+}
+
+// pulldown attaches one enhancement pulldown gated by in between n and GND.
+func (b *B) pulldown(in, n *netlist.Node) {
+	b.NL.AddTransistor(netlist.Enh, in, n, b.NL.GND, b.Sizes.PDW, b.Sizes.PDL)
+}
+
+// pass attaches a pass transistor gated by ctrl between a and bNode.
+func (b *B) pass(ctrl, a, bNode *netlist.Node) *netlist.Transistor {
+	return b.NL.AddTransistor(netlist.Enh, ctrl, a, bNode, b.Sizes.PassW, b.Sizes.PassL)
+}

@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"nmostv/internal/netlist"
+)
+
+// Inverter builds a ratioed inverter and returns its output.
+func (b *B) Inverter(in *netlist.Node) *netlist.Node {
+	out := b.Fresh("inv")
+	b.pullup(out)
+	b.pulldown(in, out)
+	return out
+}
+
+// InverterRatio builds an inverter whose pullup channel length is scaled
+// by ratio relative to a square device, controlling rise/fall asymmetry
+// (the F4 experiment's knob).
+func (b *B) InverterRatio(in *netlist.Node, ratio float64) *netlist.Node {
+	out := b.Fresh("inv")
+	b.NL.AddTransistor(netlist.Dep, out, b.NL.VDD, out, b.Sizes.PUW, b.Sizes.PUW*ratio)
+	b.pulldown(in, out)
+	return out
+}
+
+// Nand builds an n-input NAND: series pulldown stack under one load. The
+// stack devices are widened by the fan-in to keep series resistance
+// comparable to a single pulldown, the standard sizing discipline.
+func (b *B) Nand(ins ...*netlist.Node) *netlist.Node {
+	out := b.Fresh("nand")
+	b.pullup(out)
+	cur := out
+	for i, in := range ins {
+		var next *netlist.Node
+		if i == len(ins)-1 {
+			next = b.NL.GND
+		} else {
+			next = b.Fresh("nst")
+		}
+		b.NL.AddTransistor(netlist.Enh, in, cur, next,
+			b.Sizes.PDW*float64(len(ins)), b.Sizes.PDL)
+		cur = next
+	}
+	return out
+}
+
+// Nor builds an n-input NOR: parallel pulldowns under one load.
+func (b *B) Nor(ins ...*netlist.Node) *netlist.Node {
+	out := b.Fresh("nor")
+	b.pullup(out)
+	for _, in := range ins {
+		b.pulldown(in, out)
+	}
+	return out
+}
+
+// AOI builds a complex AND-OR-INVERT gate: the output is the complement of
+// the OR over branches of the AND within each branch — one pulldown path
+// per branch, series devices within a branch. This single-stage complex
+// gate is the idiomatic nMOS way to build carry and sum logic.
+func (b *B) AOI(branches ...[]*netlist.Node) *netlist.Node {
+	out := b.Fresh("aoi")
+	b.pullup(out)
+	for _, branch := range branches {
+		cur := out
+		for i, in := range branch {
+			var next *netlist.Node
+			if i == len(branch)-1 {
+				next = b.NL.GND
+			} else {
+				next = b.Fresh("ast")
+			}
+			b.NL.AddTransistor(netlist.Enh, in, cur, next,
+				b.Sizes.PDW*float64(len(branch)), b.Sizes.PDL)
+			cur = next
+		}
+	}
+	return out
+}
+
+// Buffer builds a two-inverter (non-inverting) buffer.
+func (b *B) Buffer(in *netlist.Node) *netlist.Node {
+	return b.Inverter(b.Inverter(in))
+}
+
+// InvChain builds a chain of n inverters and returns the final output.
+func (b *B) InvChain(in *netlist.Node, n int) *netlist.Node {
+	cur := in
+	for i := 0; i < n; i++ {
+		cur = b.Inverter(cur)
+	}
+	return cur
+}
+
+// PassChain threads in through n pass transistors all gated by ctrl and
+// returns the far end — the structure whose delay grows quadratically.
+func (b *B) PassChain(in, ctrl *netlist.Node, n int) *netlist.Node {
+	cur := in
+	for i := 0; i < n; i++ {
+		next := b.Fresh("pch")
+		b.pass(ctrl, cur, next)
+		cur = next
+	}
+	return cur
+}
+
+// Latch builds a clocked pass-transistor latch: d is gated onto the
+// storage node by phi; an output inverter restores the stored level.
+// It returns the storage node and the restored (inverted) output.
+func (b *B) Latch(phi, d *netlist.Node) (store, qbar *netlist.Node) {
+	store = b.Fresh("lat")
+	store.Flags |= netlist.FlagStorage
+	store.Phase = phi.Phase
+	b.pass(phi, d, store)
+	qbar = b.Inverter(store)
+	return store, qbar
+}
+
+// Mux2 builds a two-way pass multiplexer: sel passes a, selBar passes c.
+func (b *B) Mux2(sel, selBar, a, c *netlist.Node) *netlist.Node {
+	out := b.Fresh("mux")
+	b.pass(sel, a, out)
+	b.pass(selBar, c, out)
+	return out
+}
+
+// XorPass builds the classic pass-transistor XOR from the true and
+// complement forms of both operands: out = a⊕c, built as c passing ā and
+// c̄ passing a.
+func (b *B) XorPass(a, aBar, c, cBar *netlist.Node) *netlist.Node {
+	out := b.Fresh("xor")
+	b.pass(c, aBar, out)
+	b.pass(cBar, a, out)
+	return out
+}
+
+// PrechargedNode builds a dynamic node precharged through an enhancement
+// device gated by the clock prechargePhi; pulldown branches are added by
+// the caller via DischargeBranch. The node is annotated precharged with
+// the precharge phase.
+func (b *B) PrechargedNode(prechargePhi *netlist.Node) *netlist.Node {
+	n := b.Fresh("dyn")
+	n.Flags |= netlist.FlagPrecharged
+	n.Phase = prechargePhi.Phase
+	// Precharge pullup: enhancement, clock gated, modest size.
+	b.NL.AddTransistor(netlist.Enh, prechargePhi, b.NL.VDD, n,
+		b.Sizes.PDW, b.Sizes.PDL)
+	return n
+}
+
+// DischargeBranch adds a series enhancement pulldown path from dyn to GND
+// gated by the given signals (e.g. evaluate clock then data), the dynamic
+// logic evaluate stack.
+func (b *B) DischargeBranch(dyn *netlist.Node, gates ...*netlist.Node) {
+	cur := dyn
+	for i, g := range gates {
+		var next *netlist.Node
+		if i == len(gates)-1 {
+			next = b.NL.GND
+		} else {
+			next = b.Fresh("dst")
+		}
+		b.NL.AddTransistor(netlist.Enh, g, cur, next,
+			b.Sizes.PDW*float64(len(gates)), b.Sizes.PDL)
+		cur = next
+	}
+}
+
+// Superbuffer builds an inverting superbuffer: an input inverter whose
+// output gates a wide totem output stage (enhancement pullup driven by the
+// input, wide pulldown driven by the inverted input), the standard nMOS
+// trick for driving large capacitive loads with symmetric edges.
+func (b *B) Superbuffer(in *netlist.Node) *netlist.Node {
+	invOut := b.Inverter(in)
+	out := b.Fresh("sbuf")
+	// Wide enhancement pullup gated by the inverted input.
+	b.NL.AddTransistor(netlist.Enh, invOut, b.NL.VDD, out,
+		4*b.Sizes.PDW, b.Sizes.PDL)
+	// Wide pulldown gated by the input.
+	b.NL.AddTransistor(netlist.Enh, in, out, b.NL.GND,
+		4*b.Sizes.PDW, b.Sizes.PDL)
+	return out
+}

@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"fmt"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// FullAdder builds a one-bit full adder from two complex AOI gates plus
+// restoring inverters — the idiomatic nMOS realization:
+//
+//	carry̅ = NOT(a·b + a·c + b·c)
+//	sum̅   = NOT(a·b·c + (a + b + c)·carry̅)
+//
+// It returns sum and carry (true polarity).
+func (b *B) FullAdder(a, c, cin *netlist.Node) (sum, carry *netlist.Node) {
+	cb := b.AOI(
+		[]*netlist.Node{a, c},
+		[]*netlist.Node{a, cin},
+		[]*netlist.Node{c, cin},
+	)
+	sb := b.AOI(
+		[]*netlist.Node{a, c, cin},
+		[]*netlist.Node{a, cb},
+		[]*netlist.Node{c, cb},
+		[]*netlist.Node{cin, cb},
+	)
+	return b.Inverter(sb), b.Inverter(cb)
+}
+
+// RippleAdder chains FullAdder over the operand slices; the carry ripple
+// is the canonical datapath critical path. Returns sums and the final
+// carry out.
+func (b *B) RippleAdder(a, c []*netlist.Node, cin *netlist.Node) (sums []*netlist.Node, cout *netlist.Node) {
+	if len(a) != len(c) {
+		panic("gen: RippleAdder operand width mismatch")
+	}
+	sums = make([]*netlist.Node, len(a))
+	carry := cin
+	for i := range a {
+		sums[i], carry = b.FullAdder(a[i], c[i], carry)
+	}
+	return sums, carry
+}
+
+// DatapathConfig parameterizes the MIPS-like datapath.
+type DatapathConfig struct {
+	// Bits is the datapath width.
+	Bits int
+	// Words is the register-file depth (power of two).
+	Words int
+	// ShiftAmounts is how many barrel-shifter settings exist (control
+	// lines come from the PLA; must be ≥1 and ≤ Bits).
+	ShiftAmounts int
+}
+
+// DefaultDatapath returns the flagship configuration: a 32-bit datapath
+// with 16 registers and a 4-position shifter, comparable in structure to
+// the MIPS execution core.
+func DefaultDatapath() DatapathConfig {
+	return DatapathConfig{Bits: 32, Words: 16, ShiftAmounts: 4}
+}
+
+// MIPSDatapath composes the full benchmark chip:
+//
+//	φ2: register-file bit lines precharge;
+//	φ1: two register-file read ports evaluate onto the bit lines,
+//	    operand latches capture them;
+//	φ1→φ2 window: ripple-carry ALU and barrel shifter evaluate;
+//	φ2: result bus latches capture, a precharged result bus (precharged
+//	    during φ1) evaluates from the shifted result.
+//
+// Control comes from a small PLA decoding opcode inputs into the shifter's
+// one-hot amount lines. The carry ripple through the ALU plus the shifter
+// pass network is the expected critical path.
+func MIPSDatapath(p tech.Params, cfg DatapathConfig) *netlist.Netlist {
+	if cfg.Bits <= 0 || cfg.Words <= 0 || cfg.ShiftAmounts <= 0 {
+		panic("gen: MIPSDatapath config fields must be positive")
+	}
+	if cfg.ShiftAmounts > cfg.Bits {
+		cfg.ShiftAmounts = cfg.Bits
+	}
+	b := New(fmt.Sprintf("mips%d_r%d", cfg.Bits, cfg.Words), p)
+	phi1 := b.Clock("phi1", 1)
+	phi2 := b.Clock("phi2", 2)
+
+	// Address decode for the two read ports.
+	addrBits := 0
+	for 1<<addrBits < cfg.Words {
+		addrBits++
+	}
+	makePort := func(port string) []*netlist.Node {
+		addr := make([]*netlist.Node, addrBits)
+		for i := range addr {
+			addr[i] = b.Input(fmt.Sprintf("%saddr%d", port, i))
+		}
+		words := b.Decoder(addr)
+		bitLines, _ := b.registerFileWith(words[:cfg.Words], cfg.Bits, phi2)
+		return bitLines
+	}
+	blA := makePort("a")
+	blB := makePort("b")
+
+	// Operand latches (φ1) with restoring inverters; the adder needs
+	// true polarity.
+	latchOps := func(bl []*netlist.Node) []*netlist.Node {
+		ops := make([]*netlist.Node, len(bl))
+		for i, n := range bl {
+			_, qbar := b.Latch(phi1, n)
+			ops[i] = b.Inverter(qbar)
+		}
+		return ops
+	}
+	opA := latchOps(blA)
+	opB := latchOps(blB)
+
+	// ALU: ripple-carry adder.
+	cin := b.Input("cin")
+	sums, cout := b.RippleAdder(opA, opB, cin)
+	b.Output(cout)
+
+	// Control PLA: opcode inputs → one-hot shift controls.
+	opBits := 0
+	for 1<<opBits < cfg.ShiftAmounts {
+		opBits++
+	}
+	if opBits == 0 {
+		opBits = 1
+	}
+	opcode := make([]*netlist.Node, opBits)
+	for i := range opcode {
+		opcode[i] = b.Input(fmt.Sprintf("op%d", i))
+	}
+	andPlane := make([][]int, cfg.ShiftAmounts)
+	orPlane := make([][]int, cfg.ShiftAmounts)
+	for k := 0; k < cfg.ShiftAmounts; k++ {
+		row := make([]int, opBits)
+		for i := 0; i < opBits; i++ {
+			if k&(1<<i) != 0 {
+				row[i] = 1
+			} else {
+				row[i] = -1
+			}
+		}
+		andPlane[k] = row
+		orPlane[k] = []int{k}
+	}
+	shiftCtl := b.PLA(opcode, andPlane, orPlane)
+	// The PLA decodes the opcode one-hot by construction.
+	b.ExclusiveGroup(shiftCtl...)
+
+	// Barrel shifter on the ALU result.
+	shifted := b.BarrelShifter(sums, shiftCtl)
+
+	// Result bus: precharged during φ1, evaluated during φ2 from the
+	// shifted result, captured by φ2 latches into the outputs.
+	for i, s := range shifted {
+		dyn := b.PrechargedNode(phi1)
+		// A result bus runs the full datapath: substantial wiring
+		// capacitance, which is also what lets it tolerate charge
+		// sharing with its discharge stacks.
+		dyn.Cap += 0.05
+		b.DischargeBranch(dyn, phi2, s)
+		_, q := b.Latch(phi2, dyn)
+		out := b.Named(fmt.Sprintf("res%d", i))
+		// Drive the named output from the latch through a buffer so the
+		// output is a restored node.
+		b.pulldown(q, out)
+		b.pullup(out)
+		b.Output(out)
+	}
+
+	return b.Finish()
+}
+
+// registerFileWith is RegisterFile with caller-provided word lines.
+func (b *B) registerFileWith(wordLines []*netlist.Node, bits int, prechargePhi *netlist.Node) (bitLines, words []*netlist.Node) {
+	bitLines = make([]*netlist.Node, bits)
+	for j := range bitLines {
+		bl := b.PrechargedNode(prechargePhi)
+		bl.Cap += 0.005 * float64(len(wordLines))
+		bitLines[j] = bl
+	}
+	for i := range wordLines {
+		for j := 0; j < bits; j++ {
+			cell := b.Fresh("cell")
+			cell.Flags |= netlist.FlagStorage
+			b.pass(wordLines[i], bitLines[j], cell)
+			b.DischargeBranch(bitLines[j], wordLines[i], cell)
+		}
+	}
+	return bitLines, wordLines
+}

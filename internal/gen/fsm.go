@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+
+	"nmostv/internal/netlist"
+)
+
+// FSMConfig parameterizes the PLA-based controller.
+type FSMConfig struct {
+	// StateBits is the register width (2^StateBits states).
+	StateBits int
+	// Inputs is the number of external condition inputs.
+	Inputs int
+	// Outputs is the number of decoded control outputs.
+	Outputs int
+}
+
+// FSM builds the canonical nMOS control engine: a PLA computes next-state
+// and control outputs from the current state and condition inputs; the
+// state crosses a φ1 latch, the PLA evaluates between the phases, and the
+// next state is captured by a φ2 latch whose output feeds back — the
+// structure of every 1983 microcoded control unit, and the circuit that
+// exercises the analyzer's cross-phase cycle cutting: the feedback loop
+// passes through both latch phases, so case analysis must terminate and
+// the cycle constraint lands on the PLA's input-to-output delay.
+//
+// The personality implements next = state+1 with a synchronous clear
+// (in0 high forces state 0): a counter, so simulation can verify the
+// sequencing. Control outputs decode the state one-hot (truncated to
+// cfg.Outputs).
+func FSM(b *B, cfg FSMConfig) (stateOuts, controls []*netlist.Node) {
+	if cfg.StateBits <= 0 || cfg.StateBits > 6 {
+		panic("gen: FSM StateBits must be in 1..6")
+	}
+	phi1 := b.Clock("phi1", 1)
+	phi2 := b.Clock("phi2", 2)
+	clear := b.Input("in0")
+	for i := 1; i < cfg.Inputs; i++ {
+		b.Input(fmt.Sprintf("in%d", i)) // extra conditions load the PLA
+	}
+
+	n := cfg.StateBits
+	states := 1 << n
+
+	// Feedback: the φ2 latch output (previous next-state) enters the φ1
+	// master latch. Create the φ2 outputs first as named nodes so the
+	// loop can be wired before the PLA exists.
+	slaveOut := make([]*netlist.Node, n)
+	for i := range slaveOut {
+		slaveOut[i] = b.Named(fmt.Sprintf("state%d", i))
+	}
+
+	// φ1 master latches: current state, restored both polarities.
+	cur := make([]*netlist.Node, n)
+	curBar := make([]*netlist.Node, n)
+	for i := range cur {
+		_, qbar := b.Latch(phi1, slaveOut[i])
+		curBar[i] = qbar
+		cur[i] = b.Inverter(qbar)
+	}
+
+	// PLA personality: one product per (state, clear=0): asserts the
+	// bits of state+1; plus products decoding the state for controls.
+	// PLA input order: clear, state bits.
+	plaIns := append([]*netlist.Node{clear}, cur...)
+	var andPlane [][]int
+	var orRows [][]int
+	nextRows := make([][]int, n) // products feeding next-state bit i
+	ctlRows := make([][]int, cfg.Outputs)
+	for st := 0; st < states; st++ {
+		row := make([]int, 1+n)
+		row[0] = -1 // clear must be low to advance
+		for i := 0; i < n; i++ {
+			if st&(1<<i) != 0 {
+				row[1+i] = 1
+			} else {
+				row[1+i] = -1
+			}
+		}
+		pi := len(andPlane)
+		andPlane = append(andPlane, row)
+		next := (st + 1) % states
+		for i := 0; i < n; i++ {
+			if next&(1<<i) != 0 {
+				nextRows[i] = append(nextRows[i], pi)
+			}
+		}
+		if st < cfg.Outputs {
+			ctlRows[st] = append(ctlRows[st], pi)
+		}
+	}
+	orRows = append(orRows, nextRows...)
+	orRows = append(orRows, ctlRows...)
+	plaOuts := b.PLA(plaIns, andPlane, orRows)
+	nextState := plaOuts[:n]
+	controls = plaOuts[n : n+cfg.Outputs]
+	for _, c := range controls {
+		b.Output(c)
+	}
+
+	// φ2 slave latches close the loop onto the named feedback nodes.
+	for i := 0; i < n; i++ {
+		store, qbar := b.Latch(phi2, nextState[i])
+		_ = store
+		// Drive the named feedback node from the restored output.
+		b.pulldown(qbar, slaveOut[i])
+		b.pullup(slaveOut[i])
+		b.Output(slaveOut[i])
+	}
+	_ = curBar
+	return slaveOut, controls
+}

@@ -1,0 +1,383 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/sim"
+	"nmostv/internal/tech"
+)
+
+func TestInverterStructure(t *testing.T) {
+	p := tech.Default()
+	b := New("t", p)
+	in := b.Input("in")
+	out := b.Inverter(in)
+	nl := b.Finish()
+	if len(nl.Trans) != 2 {
+		t.Fatalf("inverter has %d devices, want 2", len(nl.Trans))
+	}
+	if netlist.HasErrors(nl.Validate()) {
+		t.Fatalf("inverter invalid: %v", nl.Validate())
+	}
+	var dep, enh *netlist.Transistor
+	for _, tr := range nl.Trans {
+		if tr.Kind == netlist.Dep {
+			dep = tr
+		} else {
+			enh = tr
+		}
+	}
+	if dep.Role != netlist.RolePullup || dep.Gate != out {
+		t.Error("load must be a pullup with gate tied to the output")
+	}
+	if enh.Role != netlist.RolePulldown || enh.Gate != in {
+		t.Error("pulldown must be gated by the input")
+	}
+}
+
+func TestGateDeviceCounts(t *testing.T) {
+	p := tech.Default()
+	b := New("t", p)
+	a, c, d := b.Input("a"), b.Input("b"), b.Input("c")
+	b.Nand(a, c, d)                                  // 1 load + 3 stack
+	b.Nor(a, c, d)                                   // 1 load + 3 parallel
+	b.AOI([]*netlist.Node{a, c}, []*netlist.Node{d}) // 1 load + 2 + 1
+	nl := b.Finish()
+	if got, want := len(nl.Trans), 4+4+4; got != want {
+		t.Fatalf("device count %d, want %d", got, want)
+	}
+	if netlist.HasErrors(nl.Validate()) {
+		t.Fatalf("invalid: %v", nl.Validate())
+	}
+}
+
+func TestLatchAnnotations(t *testing.T) {
+	p := tech.Default()
+	b := New("t", p)
+	phi := b.Clock("phi2", 2)
+	store, qbar := b.Latch(phi, b.Input("d"))
+	b.Finish()
+	if !store.Flags.Has(netlist.FlagStorage) || store.Phase != 2 {
+		t.Error("latch storage node must carry storage flag and phase")
+	}
+	if qbar == store {
+		t.Error("restored output must differ from the storage node")
+	}
+}
+
+func TestPrechargedNodeAnnotations(t *testing.T) {
+	p := tech.Default()
+	b := New("t", p)
+	phi1 := b.Clock("phi1", 1)
+	dyn := b.PrechargedNode(phi1)
+	b.Finish()
+	if !dyn.Flags.Has(netlist.FlagPrecharged) || dyn.Phase != 1 {
+		t.Error("precharged node must carry flag and phase")
+	}
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	p := tech.Default()
+	b := New("fa", p)
+	a, c, cin := b.Input("a"), b.Input("b"), b.Input("cin")
+	sum, carry := b.FullAdder(a, c, cin)
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+
+	toV := func(x int) sim.Value {
+		if x != 0 {
+			return sim.V1
+		}
+		return sim.V0
+	}
+	for v := 0; v < 8; v++ {
+		av, bv, cv := v&1, (v>>1)&1, (v>>2)&1
+		s.Set(nl.Lookup("a"), toV(av))
+		s.Set(nl.Lookup("b"), toV(bv))
+		s.Set(nl.Lookup("cin"), toV(cv))
+		s.Quiesce()
+		total := av + bv + cv
+		if got, want := s.Value(sum), toV(total&1); got != want {
+			t.Errorf("a=%d b=%d cin=%d: sum = %v, want %v", av, bv, cv, got, want)
+		}
+		if got, want := s.Value(carry), toV(total>>1); got != want {
+			t.Errorf("a=%d b=%d cin=%d: carry = %v, want %v", av, bv, cv, got, want)
+		}
+	}
+}
+
+func TestRippleAdderAddsNumbers(t *testing.T) {
+	const bits = 4
+	p := tech.Default()
+	b := New("adder", p)
+	var a, c []*netlist.Node
+	for i := 0; i < bits; i++ {
+		a = append(a, b.Input(fmt.Sprintf("a%d", i)))
+		c = append(c, b.Input(fmt.Sprintf("b%d", i)))
+	}
+	cin := b.Input("cin")
+	sums, cout := b.RippleAdder(a, c, cin)
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+
+	setNum := func(nodes []*netlist.Node, v int) {
+		for i, n := range nodes {
+			if v&(1<<i) != 0 {
+				s.Set(n, sim.V1)
+			} else {
+				s.Set(n, sim.V0)
+			}
+		}
+	}
+	for _, tc := range [][3]int{{3, 5, 0}, {15, 1, 0}, {7, 8, 1}, {0, 0, 0}, {15, 15, 1}} {
+		setNum(a, tc[0])
+		setNum(c, tc[1])
+		if tc[2] != 0 {
+			s.Set(nl.Lookup("cin"), sim.V1)
+		} else {
+			s.Set(nl.Lookup("cin"), sim.V0)
+		}
+		s.Quiesce()
+		want := tc[0] + tc[1] + tc[2]
+		got := 0
+		for i, n := range sums {
+			switch s.Value(n) {
+			case sim.V1:
+				got |= 1 << i
+			case sim.VX:
+				t.Fatalf("%d+%d+%d: sum bit %d is X", tc[0], tc[1], tc[2], i)
+			}
+		}
+		if s.Value(cout) == sim.V1 {
+			got |= 1 << bits
+		}
+		if got != want {
+			t.Errorf("%d+%d+%d = %d, want %d", tc[0], tc[1], tc[2], got, want)
+		}
+	}
+}
+
+func TestRippleAdderWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch must panic")
+		}
+	}()
+	p := tech.Default()
+	b := New("t", p)
+	b.RippleAdder([]*netlist.Node{b.Input("a")}, nil, b.Input("cin"))
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	p := tech.Default()
+	b := New("dec", p)
+	addr := []*netlist.Node{b.Input("a0"), b.Input("a1")}
+	outs := b.Decoder(addr)
+	nl := b.Finish()
+	if len(outs) != 4 {
+		t.Fatalf("2-bit decoder has %d outputs, want 4", len(outs))
+	}
+	s := sim.New(nl, nil, p)
+	for v := 0; v < 4; v++ {
+		for i, a := range addr {
+			if v&(1<<i) != 0 {
+				s.Set(a, sim.V1)
+			} else {
+				s.Set(a, sim.V0)
+			}
+		}
+		s.Quiesce()
+		for w, o := range outs {
+			want := sim.V0
+			if w == v {
+				want = sim.V1
+			}
+			if got := s.Value(o); got != want {
+				t.Errorf("addr=%d: out[%d] = %v, want %v", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterRotates(t *testing.T) {
+	const width = 4
+	p := tech.Default()
+	b := New("bs", p)
+	in := make([]*netlist.Node, width)
+	for i := range in {
+		in[i] = b.Input(fmt.Sprintf("in%d", i))
+	}
+	ctl := b.ShiftControls(width)
+	outs := b.BarrelShifter(in, ctl)
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+
+	pattern := []sim.Value{sim.V1, sim.V0, sim.V0, sim.V1}
+	for i, n := range in {
+		s.Set(n, pattern[i])
+	}
+	for k := 0; k < width; k++ {
+		for i, c := range ctl {
+			if i == k {
+				s.Set(c, sim.V1)
+			} else {
+				s.Set(c, sim.V0)
+			}
+		}
+		s.Quiesce()
+		for i, o := range outs {
+			if got, want := s.Value(o), pattern[(i+k)%width]; got != want {
+				t.Errorf("shift %d: out[%d] = %v, want %v", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestXorPassTruth(t *testing.T) {
+	p := tech.Default()
+	b := New("xor", p)
+	a, c := b.Input("a"), b.Input("b")
+	ab, cb := b.Inverter(a), b.Inverter(c)
+	out := b.Output(b.Inverter(b.Inverter(b.XorPass(a, ab, c, cb))))
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+	for v := 0; v < 4; v++ {
+		av, cv := sim.Value(v&1), sim.Value((v>>1)&1)
+		s.Set(a, av)
+		s.Set(c, cv)
+		s.Quiesce()
+		want := sim.V0
+		if (v&1)^((v>>1)&1) != 0 {
+			want = sim.V1
+		}
+		if got := s.Value(out); got != want {
+			t.Errorf("xor(%v,%v) = %v, want %v", av, cv, got, want)
+		}
+	}
+}
+
+func TestMux2Selects(t *testing.T) {
+	p := tech.Default()
+	b := New("mux", p)
+	sel := b.Input("sel")
+	selB := b.Inverter(sel)
+	a, c := b.Input("a"), b.Input("b")
+	out := b.Mux2(sel, selB, a, c)
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+
+	s.Set(a, sim.V1)
+	s.Set(c, sim.V0)
+	s.Set(sel, sim.V1)
+	s.Quiesce()
+	if got := s.Value(out); got != sim.V1 {
+		t.Errorf("sel=1 picks a: got %v", got)
+	}
+	s.Set(sel, sim.V0)
+	s.Quiesce()
+	if got := s.Value(out); got != sim.V0 {
+		t.Errorf("sel=0 picks b: got %v", got)
+	}
+}
+
+func TestSuperbufferInverts(t *testing.T) {
+	p := tech.Default()
+	b := New("sb", p)
+	in := b.Input("in")
+	out := b.Superbuffer(in)
+	nl := b.Finish()
+	s := sim.New(nl, nil, p)
+	s.Set(in, sim.V0)
+	s.Quiesce()
+	if s.Value(out) != sim.V1 {
+		t.Error("superbuffer(0) must be 1")
+	}
+	s.Set(in, sim.V1)
+	s.Quiesce()
+	if s.Value(out) != sim.V0 {
+		t.Error("superbuffer(1) must be 0")
+	}
+}
+
+func TestMIPSDatapathScalesAndValidates(t *testing.T) {
+	p := tech.Default()
+	small := MIPSDatapath(p, DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
+	big := MIPSDatapath(p, DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+	ss, bs := small.ComputeStats(), big.ComputeStats()
+	if !(bs.Transistors > 2*ss.Transistors) {
+		t.Errorf("doubling the config must more than double devices: %d vs %d",
+			ss.Transistors, bs.Transistors)
+	}
+	for _, nl := range []*netlist.Netlist{small, big} {
+		if netlist.HasErrors(nl.Validate()) {
+			t.Errorf("%s invalid: %v", nl.Name, nl.Validate())
+		}
+	}
+	if bs.Outputs != 8+1 { // res bits + carry out
+		t.Errorf("big datapath outputs = %d, want 9", bs.Outputs)
+	}
+	if bs.Clocks != 2 || bs.Precharged == 0 {
+		t.Error("datapath must be two-phase with precharged nodes")
+	}
+}
+
+func TestMIPSDatapathConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive config must panic")
+		}
+	}()
+	MIPSDatapath(tech.Default(), DatapathConfig{})
+}
+
+func TestFreshNamesUnique(t *testing.T) {
+	b := New("t", tech.Default())
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		n := b.Fresh("x")
+		if seen[n.Name] {
+			t.Fatalf("Fresh produced duplicate %s", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Cap != b.WireCap {
+			t.Fatal("Fresh must attach the wire capacitance")
+		}
+	}
+}
+
+func TestNamedReuses(t *testing.T) {
+	b := New("t", tech.Default())
+	a := b.Named("a")
+	if b.Named("a") != a {
+		t.Error("Named must return the existing node")
+	}
+	if a.Cap != b.WireCap {
+		t.Error("first Named must attach wire cap once")
+	}
+	b.Named("a")
+	if a.Cap != b.WireCap {
+		t.Error("repeat Named must not add more cap")
+	}
+}
+
+func TestExclusiveGroups(t *testing.T) {
+	p := tech.Default()
+	b := New("t", p)
+	ctl := b.ShiftControls(4)
+	g1 := ctl[0].Exclusive
+	if g1 == 0 {
+		t.Fatal("shift controls must be marked exclusive")
+	}
+	for _, n := range ctl {
+		if n.Exclusive != g1 {
+			t.Error("all shift controls share one group")
+		}
+	}
+	outs := b.Decoder([]*netlist.Node{b.Input("x0"), b.Input("x1")})
+	g2 := outs[0].Exclusive
+	if g2 == 0 || g2 == g1 {
+		t.Error("decoder outputs need their own fresh group")
+	}
+}

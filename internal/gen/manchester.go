@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"nmostv/internal/netlist"
+)
+
+// ManchesterOptions parameterizes the carry chain.
+type ManchesterOptions struct {
+	// BufferEvery inserts a restoring buffer on the carry chain after
+	// every n bits (0 = never) — the standard remedy for the quadratic
+	// growth of long propagate runs.
+	BufferEvery int
+}
+
+// ManchesterCarry builds a precharged Manchester carry chain — the
+// pass-transistor adder structure MIPS-era datapaths used instead of a
+// gate-level ripple:
+//
+//   - per bit, propagate p = a⊕b (pass XOR, restored) and generate
+//     g = a·b (NAND+inverter) are computed from the operands; p and g are
+//     mutually exclusive and annotated so;
+//   - the carry rail carries carry̅: each node is precharged high during
+//     prePhi, discharged during evalPhi where g asserts, and chained to
+//     its neighbor through a pass transistor gated by p — a run of k
+//     propagates is a k-long pass chain, which is exactly why the chain
+//     is re-buffered every few bits;
+//   - sum_i = inverter(p_i ⊕ carry̅_{i-1}).
+//
+// It returns the sums and the carry̅ rail (carries[i] is carry̅ out of
+// bit i; the final element inverted gives carry-out).
+func (b *B) ManchesterCarry(a, c []*netlist.Node, cin, prePhi, evalPhi *netlist.Node,
+	opt ManchesterOptions) (sums, carries []*netlist.Node) {
+	if len(a) != len(c) {
+		panic("gen: ManchesterCarry operand width mismatch")
+	}
+	sums = make([]*netlist.Node, len(a))
+	carries = make([]*netlist.Node, len(a))
+
+	// carry̅ into bit 0.
+	prev := b.Inverter(cin)
+	for i := range a {
+		aBar := b.Inverter(a[i])
+		bBar := b.Inverter(c[i])
+		pRaw := b.XorPass(a[i], aBar, c[i], bBar)
+		pBar := b.Inverter(pRaw)
+		p := b.Inverter(pBar)
+		g := b.Inverter(b.Nand(a[i], c[i]))
+		b.ExclusiveGroup(p, g)
+
+		// The carry̅ node: precharged, generate discharges it during
+		// evaluation, propagate chains it to the previous bit. Both
+		// chain endpoints are restored (precharged), so the flow
+		// heuristic would tie; annotate the known LSB→MSB direction.
+		cbar := b.PrechargedNode(prePhi)
+		b.DischargeBranch(cbar, evalPhi, g)
+		chain := b.pass(p, prev, cbar)
+		chain.ForceFlow = netlist.FlowAB
+		carries[i] = cbar
+
+		// sum = NOT(p ⊕ carry̅_{i-1}) = p ⊕ carry_{i-1} ⊕ 1 ⊕ 1.
+		prevBar := b.Inverter(prev)
+		sumRaw := b.XorPass(p, pBar, prev, prevBar)
+		sums[i] = b.Inverter(sumRaw)
+
+		prev = cbar
+		if opt.BufferEvery > 0 && (i+1)%opt.BufferEvery == 0 && i+1 < len(a) {
+			prev = b.Buffer(prev)
+		}
+	}
+	return sums, carries
+}

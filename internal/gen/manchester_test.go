@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/sim"
+	"nmostv/internal/tech"
+)
+
+// manchesterHarness builds a chain with manually drivable phase inputs so
+// the simulator can clock it.
+func manchesterHarness(t *testing.T, bits, bufferEvery int) (nl *netlist.Netlist, s *sim.Sim,
+	a, c, sums, carries []*netlist.Node) {
+	t.Helper()
+	p := tech.Default()
+	b := New("mc", p)
+	pre := b.Input("pre")
+	eval := b.Input("eval")
+	cin := b.Input("cin")
+	for i := 0; i < bits; i++ {
+		a = append(a, b.Input(fmt.Sprintf("a%d", i)))
+		c = append(c, b.Input(fmt.Sprintf("b%d", i)))
+	}
+	sums, carries = b.ManchesterCarry(a, c, cin, pre, eval, ManchesterOptions{BufferEvery: bufferEvery})
+	nl = b.Finish()
+	return nl, sim.New(nl, nil, p), a, c, sums, carries
+}
+
+func manchesterAdd(t *testing.T, s *sim.Sim, nl *netlist.Netlist,
+	a, c []*netlist.Node, sums, carries []*netlist.Node, x, y, cin int) int {
+	t.Helper()
+	set := func(n *netlist.Node, bit int) {
+		if bit != 0 {
+			s.Set(n, sim.V1)
+		} else {
+			s.Set(n, sim.V0)
+		}
+	}
+	// Drive operands, precharge with evaluation off, then evaluate.
+	s.Set(nl.Lookup("eval"), sim.V0)
+	for i := range a {
+		set(a[i], x>>i&1)
+		set(c[i], y>>i&1)
+	}
+	set(nl.Lookup("cin"), cin)
+	s.Set(nl.Lookup("pre"), sim.V1)
+	s.Quiesce()
+	s.Set(nl.Lookup("pre"), sim.V0)
+	s.Quiesce()
+	s.Set(nl.Lookup("eval"), sim.V1)
+	s.Quiesce()
+
+	got := 0
+	for i, n := range sums {
+		switch s.Value(n) {
+		case sim.V1:
+			got |= 1 << i
+		case sim.VX:
+			t.Fatalf("%d+%d+%d: sum bit %d is X", x, y, cin, i)
+		}
+	}
+	// carry out = NOT carry̅ of the last bit.
+	switch s.Value(carries[len(carries)-1]) {
+	case sim.V0:
+		got |= 1 << len(sums)
+	case sim.VX:
+		t.Fatalf("%d+%d+%d: carry out is X", x, y, cin)
+	}
+	return got
+}
+
+func TestManchesterAddsCorrectly(t *testing.T) {
+	const bits = 4
+	nl, s, a, c, sums, carries := manchesterHarness(t, bits, 0)
+	for _, tc := range [][3]int{
+		{0, 0, 0}, {1, 0, 0}, {3, 5, 0}, {15, 1, 0}, {7, 8, 1},
+		{15, 15, 1}, {9, 6, 1}, {12, 10, 0},
+	} {
+		want := tc[0] + tc[1] + tc[2]
+		got := manchesterAdd(t, s, nl, a, c, sums, carries, tc[0], tc[1], tc[2])
+		if got != want {
+			t.Errorf("%d+%d+%d = %d, want %d", tc[0], tc[1], tc[2], got, want)
+		}
+	}
+}
+
+func TestManchesterBufferedStillAdds(t *testing.T) {
+	const bits = 8
+	nl, s, a, c, sums, carries := manchesterHarness(t, bits, 4)
+	for _, tc := range [][3]int{
+		{255, 1, 0}, // full propagate run: worst case for the chain
+		{170, 85, 1},
+		{200, 55, 0},
+	} {
+		want := tc[0] + tc[1] + tc[2]
+		got := manchesterAdd(t, s, nl, a, c, sums, carries, tc[0], tc[1], tc[2])
+		if got != want {
+			t.Errorf("%d+%d+%d = %d, want %d", tc[0], tc[1], tc[2], got, want)
+		}
+	}
+}
+
+func TestManchesterExclusivePG(t *testing.T) {
+	p := tech.Default()
+	b := New("mc", p)
+	a := []*netlist.Node{b.Input("a0")}
+	c := []*netlist.Node{b.Input("b0")}
+	b.ManchesterCarry(a, c, b.Input("cin"), b.Input("pre"), b.Input("eval"), ManchesterOptions{})
+	nl := b.Finish()
+	groups := map[int]int{}
+	for _, n := range nl.Nodes {
+		if n.Exclusive != 0 {
+			groups[n.Exclusive]++
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("p/g exclusivity groups missing")
+	}
+	for g, count := range groups {
+		if count != 2 {
+			t.Errorf("group %d has %d members, want 2 (p and g)", g, count)
+		}
+	}
+}
+
+func TestManchesterWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch must panic")
+		}
+	}()
+	p := tech.Default()
+	b := New("mc", p)
+	b.ManchesterCarry([]*netlist.Node{b.Input("a")}, nil,
+		b.Input("cin"), b.Input("pre"), b.Input("eval"), ManchesterOptions{})
+}

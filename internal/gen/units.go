@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"fmt"
+
+	"nmostv/internal/netlist"
+)
+
+// ShiftRegister builds an n-stage two-phase dynamic shift register: each
+// stage is a φ1 pass latch feeding an inverter feeding a φ2 pass latch
+// feeding an inverter — the canonical nMOS pipeline element. Returns the
+// final output node.
+func (b *B) ShiftRegister(in, phi1, phi2 *netlist.Node, stages int) *netlist.Node {
+	cur := in
+	for i := 0; i < stages; i++ {
+		_, q1 := b.Latch(phi1, cur)
+		_, q2 := b.Latch(phi2, q1)
+		cur = q2
+	}
+	return cur
+}
+
+// BarrelShifter builds a width-bit pass-transistor barrel shifter with
+// log-decoded shift amounts: for each shift amount k (one control line
+// per k), out[i] is connected to in[(i+k) mod width] through one pass
+// device. Exactly one control line is meant to be high. Returns the
+// output nodes; controls[k] is the (input) control line for shift k.
+func (b *B) BarrelShifter(in []*netlist.Node, controls []*netlist.Node) []*netlist.Node {
+	width := len(in)
+	out := make([]*netlist.Node, width)
+	for i := range out {
+		out[i] = b.Fresh("bsh")
+	}
+	for k, ctrl := range controls {
+		for i := 0; i < width; i++ {
+			b.pass(ctrl, in[(i+k)%width], out[i])
+		}
+	}
+	return out
+}
+
+// ShiftControls creates one input control line per shift amount, marked
+// mutually exclusive (exactly one shift amount is selected at a time).
+func (b *B) ShiftControls(n int) []*netlist.Node {
+	out := make([]*netlist.Node, n)
+	for i := range out {
+		out[i] = b.Input(fmt.Sprintf("sh%d", i))
+	}
+	b.ExclusiveGroup(out...)
+	return out
+}
+
+// PLA builds a static NOR-NOR PLA. inputs are the input nodes; andPlane
+// has one row per product term, with entries +1 (true literal), -1
+// (complemented literal), 0 (don't care); orPlane has one row per output,
+// listing which products feed it (by index). Both planes are built as
+// ratioed NOR gates with input inverters providing the complements, and
+// each output is re-inverted to restore polarity — the standard two-level
+// structure of nMOS control logic. Returns the output nodes.
+func (b *B) PLA(inputs []*netlist.Node, andPlane [][]int, orPlane [][]int) []*netlist.Node {
+	inv := make([]*netlist.Node, len(inputs))
+	for i, in := range inputs {
+		inv[i] = b.Inverter(in)
+	}
+	// AND plane: product = NOR of the complements of its literals.
+	products := make([]*netlist.Node, len(andPlane))
+	for pi, row := range andPlane {
+		var terms []*netlist.Node
+		for ii, lit := range row {
+			switch {
+			case lit > 0:
+				terms = append(terms, inv[ii]) // needs input high → NOR of its complement
+			case lit < 0:
+				terms = append(terms, inputs[ii])
+			}
+		}
+		if len(terms) == 0 {
+			// Degenerate always-true product: tie through an inverter
+			// from GND-gated NOR (output of NOR with no pulldowns is 1).
+			products[pi] = b.Nor() // bare load: constant high
+			continue
+		}
+		products[pi] = b.Nor(terms...)
+	}
+	// OR plane: output = NOT(NOR of products) = OR.
+	outs := make([]*netlist.Node, len(orPlane))
+	for oi, row := range orPlane {
+		var terms []*netlist.Node
+		for _, pi := range row {
+			terms = append(terms, products[pi])
+		}
+		if len(terms) == 0 {
+			outs[oi] = b.Inverter(b.Nor()) // constant low
+			continue
+		}
+		outs[oi] = b.Inverter(b.Nor(terms...))
+	}
+	return outs
+}
+
+// RegisterFile builds a words×bits dynamic register file: one pass
+// transistor per cell gating the cell's storage node onto its bit line,
+// one word line per word. Bit lines are precharged on prechargePhi and
+// read during the opposite phase; writes drive the bit lines externally.
+// Word lines are inputs (in a real datapath they come from a decoder).
+// Returns the bit-line nodes and the word-line nodes.
+func (b *B) RegisterFile(words, bits int, prechargePhi *netlist.Node) (bitLines, wordLines []*netlist.Node) {
+	wordLines = make([]*netlist.Node, words)
+	for i := range wordLines {
+		wordLines[i] = b.Input(fmt.Sprintf("word%d", i))
+	}
+	b.ExclusiveGroup(wordLines...)
+	bitLines, _ = b.registerFileWith(wordLines, bits, prechargePhi)
+	return bitLines, wordLines
+}
+
+// Decoder builds a words-output one-hot decoder from address inputs and
+// their complements using NOR gates (the standard nMOS row decoder).
+// len(addr) address bits produce 2^len(addr) outputs.
+func (b *B) Decoder(addr []*netlist.Node) []*netlist.Node {
+	n := len(addr)
+	inv := make([]*netlist.Node, n)
+	for i, a := range addr {
+		inv[i] = b.Inverter(a)
+	}
+	outs := make([]*netlist.Node, 1<<n)
+	for w := range outs {
+		terms := make([]*netlist.Node, n)
+		for i := 0; i < n; i++ {
+			if w&(1<<i) != 0 {
+				terms[i] = inv[i] // want addr[i]=1 → NOR of complement
+			} else {
+				terms[i] = addr[i]
+			}
+		}
+		outs[w] = b.Nor(terms...)
+	}
+	b.ExclusiveGroup(outs...)
+	return outs
+}

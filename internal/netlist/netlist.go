@@ -1,0 +1,392 @@
+// Package netlist defines the transistor-level circuit representation that
+// every other component of the analyzer operates on: nodes (electrical
+// nets) and transistors (enhancement or depletion devices), plus the
+// designer annotations (inputs, outputs, clocks, precharged nodes) that a
+// 1983-era timing verifier consumed alongside the extracted layout.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes the two nMOS device types.
+type Kind uint8
+
+const (
+	// Enh is an enhancement-mode device: off at Vgs=0, used for
+	// pulldowns and pass transistors.
+	Enh Kind = iota
+	// Dep is a depletion-mode device: conducting at Vgs=0, used as a
+	// pullup load in ratioed logic.
+	Dep
+)
+
+// String returns the single-letter .sim mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Enh:
+		return "e"
+	case Dep:
+		return "d"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Flag is a bit set of node annotations.
+type Flag uint16
+
+const (
+	// FlagInput marks a primary input: externally driven, assumed stable
+	// at the start of each evaluation phase.
+	FlagInput Flag = 1 << iota
+	// FlagOutput marks a primary output whose settle time is reported.
+	FlagOutput
+	// FlagClock marks a clock node; Node.Phase says which phase.
+	FlagClock
+	// FlagPrecharged marks a node precharged high during the opposite
+	// phase; during its evaluate phase it starts high and can only fall.
+	FlagPrecharged
+	// FlagSupply marks VDD or GND.
+	FlagSupply
+	// FlagStorage marks a dynamic storage node (the retained side of a
+	// clocked pass-transistor latch).
+	FlagStorage
+	// FlagFlowIn forces flow analysis to treat the node as a signal
+	// source for adjacent pass transistors (designer annotation).
+	FlagFlowIn
+	// FlagFlowOut forces flow analysis to treat the node as a signal
+	// sink for adjacent pass transistors (designer annotation).
+	FlagFlowOut
+)
+
+var flagNames = []struct {
+	f    Flag
+	name string
+}{
+	{FlagInput, "input"},
+	{FlagOutput, "output"},
+	{FlagClock, "clock"},
+	{FlagPrecharged, "precharged"},
+	{FlagSupply, "supply"},
+	{FlagStorage, "storage"},
+	{FlagFlowIn, "flow-in"},
+	{FlagFlowOut, "flow-out"},
+}
+
+// String lists the set flags, comma separated.
+func (f Flag) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Has reports whether all bits in want are set.
+func (f Flag) Has(want Flag) bool { return f&want == want }
+
+// Node is an electrical net.
+type Node struct {
+	// Name is the net name from extraction; unique within a netlist.
+	Name string
+	// Index is the position of the node in Netlist.Nodes.
+	Index int
+	// Cap is the extracted lumped capacitance to ground in pF
+	// (interconnect only; gate and diffusion loading is derived from the
+	// attached devices by the delay model).
+	Cap float64
+	// Flags holds the designer annotations.
+	Flags Flag
+	// Phase is the clock phase (1 or 2) for clock nodes, else 0. For
+	// precharged and storage nodes it records the phase during which the
+	// node evaluates / is written, if known.
+	Phase int
+	// Exclusive is a designer assertion: nodes sharing the same nonzero
+	// group id are mutually exclusive (one-hot) — at most one is high
+	// at any time. Decoder outputs, word lines, and shifter controls
+	// carry this; analyses use it to reject impossible worst cases.
+	Exclusive int
+
+	// Gates lists transistors whose gate terminal is this node.
+	Gates []*Transistor
+	// Terms lists transistors with a source or drain terminal on this
+	// node.
+	Terms []*Transistor
+}
+
+// IsSupply reports whether the node is VDD or GND.
+func (n *Node) IsSupply() bool { return n.Flags.Has(FlagSupply) }
+
+// IsClock reports whether the node is a clock.
+func (n *Node) IsClock() bool { return n.Flags.Has(FlagClock) }
+
+// String returns the node name.
+func (n *Node) String() string { return n.Name }
+
+// FlowDir is the inferred direction of signal flow through a pass
+// transistor's channel.
+type FlowDir uint8
+
+const (
+	// FlowBoth means direction is unknown or genuinely bidirectional;
+	// timing must treat the device pessimistically.
+	FlowBoth FlowDir = iota
+	// FlowAB means signal flows from terminal A to terminal B.
+	FlowAB
+	// FlowBA means signal flows from terminal B to terminal A.
+	FlowBA
+)
+
+// String names the direction.
+func (d FlowDir) String() string {
+	switch d {
+	case FlowBoth:
+		return "both"
+	case FlowAB:
+		return "a->b"
+	case FlowBA:
+		return "b->a"
+	}
+	return fmt.Sprintf("FlowDir(%d)", uint8(d))
+}
+
+// Role classifies how a device is used, derived from its terminal
+// connections during netlist finalization.
+type Role uint8
+
+const (
+	// RoleUnknown means roles have not been computed yet.
+	RoleUnknown Role = iota
+	// RolePullup is a device with a terminal on VDD (normally the
+	// depletion load of a ratioed gate).
+	RolePullup
+	// RolePulldown is an enhancement device with a terminal on GND.
+	RolePulldown
+	// RolePass is a device with neither terminal on a supply: a pass
+	// transistor (or a member of a series pulldown stack; stage analysis
+	// distinguishes those by conduction paths, not by role).
+	RolePass
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleUnknown:
+		return "unknown"
+	case RolePullup:
+		return "pullup"
+	case RolePulldown:
+		return "pulldown"
+	case RolePass:
+		return "pass"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// Transistor is a single nMOS device. Terminals A and B are the channel
+// terminals (source/drain are interchangeable until flow analysis orients
+// the device).
+type Transistor struct {
+	// Index is the position in Netlist.Trans.
+	Index int
+	// Kind is enhancement or depletion.
+	Kind Kind
+	// Gate, A, B are the terminal nodes.
+	Gate, A, B *Node
+	// W, L are the drawn channel width and length in µm.
+	W, L float64
+	// Flow is the signal-flow direction assigned by flow analysis.
+	Flow FlowDir
+	// ForceFlow is a designer annotation overriding flow analysis for
+	// this device (FlowBoth = unforced). Chained pass structures whose
+	// endpoints are all restored — a Manchester carry rail — need it:
+	// the drive-distance heuristic ties, but the designer knows carries
+	// move LSB→MSB.
+	ForceFlow FlowDir
+	// Role is the structural role assigned at finalization.
+	Role Role
+}
+
+// Other returns the channel terminal opposite n, or nil if n is not a
+// channel terminal of the device.
+func (t *Transistor) Other(n *Node) *Node {
+	switch n {
+	case t.A:
+		return t.B
+	case t.B:
+		return t.A
+	}
+	return nil
+}
+
+// ConductsToward reports whether, under the assigned flow direction, signal
+// may propagate through the channel toward node dst (which must be a
+// channel terminal).
+func (t *Transistor) ConductsToward(dst *Node) bool {
+	switch t.Flow {
+	case FlowAB:
+		return dst == t.B
+	case FlowBA:
+		return dst == t.A
+	default:
+		return dst == t.A || dst == t.B
+	}
+}
+
+// String returns a compact description of the device.
+func (t *Transistor) String() string {
+	return fmt.Sprintf("%s g=%s a=%s b=%s w=%g l=%g", t.Kind, t.Gate, t.A, t.B, t.W, t.L)
+}
+
+// Netlist is a complete transistor-level circuit.
+type Netlist struct {
+	// Name identifies the circuit in reports.
+	Name string
+	// Nodes holds every node; Nodes[i].Index == i.
+	Nodes []*Node
+	// Trans holds every transistor; Trans[i].Index == i.
+	Trans []*Transistor
+
+	// VDD and GND are the supply nodes (always present; created on
+	// demand by the builder and the parser).
+	VDD, GND *Node
+
+	byName map[string]*Node
+}
+
+// New returns an empty netlist containing only the two supply nodes, named
+// "vdd" and "gnd".
+func New(name string) *Netlist {
+	nl := &Netlist{Name: name, byName: make(map[string]*Node)}
+	nl.VDD = nl.Node("vdd")
+	nl.VDD.Flags |= FlagSupply
+	nl.GND = nl.Node("gnd")
+	nl.GND.Flags |= FlagSupply
+	return nl
+}
+
+// Node returns the node with the given name, creating it if necessary.
+// Names are case-sensitive except that "vdd", "vss" and "gnd" in any case
+// alias the supply nodes.
+func (nl *Netlist) Node(name string) *Node {
+	if n, ok := nl.byName[name]; ok {
+		return n
+	}
+	switch strings.ToLower(name) {
+	case "vdd":
+		if nl.VDD != nil {
+			nl.byName[name] = nl.VDD
+			return nl.VDD
+		}
+	case "gnd", "vss":
+		if nl.GND != nil {
+			nl.byName[name] = nl.GND
+			return nl.GND
+		}
+	}
+	n := &Node{Name: name, Index: len(nl.Nodes)}
+	nl.Nodes = append(nl.Nodes, n)
+	nl.byName[name] = n
+	return n
+}
+
+// Lookup returns the node with the given name, or nil.
+func (nl *Netlist) Lookup(name string) *Node {
+	return nl.byName[name]
+}
+
+// AddTransistor appends a device with the given terminals and size and
+// returns it. Role assignment happens in Finalize.
+func (nl *Netlist) AddTransistor(k Kind, gate, a, b *Node, w, l float64) *Transistor {
+	t := &Transistor{
+		Index: len(nl.Trans),
+		Kind:  k,
+		Gate:  gate,
+		A:     a,
+		B:     b,
+		W:     w,
+		L:     l,
+	}
+	nl.Trans = append(nl.Trans, t)
+	return t
+}
+
+// Finalize computes derived structure: per-node device lists and per-device
+// roles. It must be called after construction and before stage extraction,
+// flow analysis, or timing. It is idempotent.
+func (nl *Netlist) Finalize() {
+	for _, n := range nl.Nodes {
+		n.Gates = n.Gates[:0]
+		n.Terms = n.Terms[:0]
+	}
+	for _, t := range nl.Trans {
+		t.Gate.Gates = append(t.Gate.Gates, t)
+		t.A.Terms = append(t.A.Terms, t)
+		if t.B != t.A {
+			t.B.Terms = append(t.B.Terms, t)
+		}
+		switch {
+		case t.A == nl.VDD || t.B == nl.VDD:
+			t.Role = RolePullup
+		case t.A == nl.GND || t.B == nl.GND:
+			t.Role = RolePulldown
+		default:
+			t.Role = RolePass
+		}
+	}
+}
+
+// Clocks returns the clock nodes in index order.
+func (nl *Netlist) Clocks() []*Node {
+	var out []*Node
+	for _, n := range nl.Nodes {
+		if n.IsClock() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Inputs returns the primary input nodes in index order.
+func (nl *Netlist) Inputs() []*Node {
+	var out []*Node
+	for _, n := range nl.Nodes {
+		if n.Flags.Has(FlagInput) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Outputs returns the primary output nodes in index order.
+func (nl *Netlist) Outputs() []*Node {
+	var out []*Node
+	for _, n := range nl.Nodes {
+		if n.Flags.Has(FlagOutput) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodeNames returns all node names sorted, for deterministic reporting.
+func (nl *Netlist) NodeNames() []string {
+	names := make([]string, len(nl.Nodes))
+	for i, n := range nl.Nodes {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String summarizes the netlist.
+func (nl *Netlist) String() string {
+	return fmt.Sprintf("%s: %d nodes, %d transistors", nl.Name, len(nl.Nodes), len(nl.Trans))
+}

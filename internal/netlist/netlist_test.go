@@ -1,0 +1,261 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSupplyAliasing(t *testing.T) {
+	nl := New("t")
+	for _, name := range []string{"vdd", "Vdd", "VDD"} {
+		if nl.Node(name) != nl.VDD {
+			t.Errorf("Node(%q) must alias VDD", name)
+		}
+	}
+	for _, name := range []string{"gnd", "GND", "vss", "VSS", "Vss"} {
+		if nl.Node(name) != nl.GND {
+			t.Errorf("Node(%q) must alias GND", name)
+		}
+	}
+	if !nl.VDD.IsSupply() || !nl.GND.IsSupply() {
+		t.Error("supplies must carry FlagSupply")
+	}
+}
+
+func TestNodeIdentityAndLookup(t *testing.T) {
+	nl := New("t")
+	a := nl.Node("a")
+	if nl.Node("a") != a {
+		t.Error("Node must return the same node for the same name")
+	}
+	if nl.Lookup("a") != a {
+		t.Error("Lookup must find created nodes")
+	}
+	if nl.Lookup("missing") != nil {
+		t.Error("Lookup of unknown name must return nil")
+	}
+	if a.Index < 0 || nl.Nodes[a.Index] != a {
+		t.Error("Index must locate the node in Nodes")
+	}
+}
+
+func TestFinalizeRoles(t *testing.T) {
+	nl := New("t")
+	in, out, mid := nl.Node("in"), nl.Node("out"), nl.Node("mid")
+	pu := nl.AddTransistor(Dep, out, nl.VDD, out, 4, 8)
+	pd := nl.AddTransistor(Enh, in, out, nl.GND, 8, 4)
+	pass := nl.AddTransistor(Enh, in, out, mid, 4, 4)
+	nl.Finalize()
+
+	if pu.Role != RolePullup {
+		t.Errorf("depletion to VDD: role %v, want pullup", pu.Role)
+	}
+	if pd.Role != RolePulldown {
+		t.Errorf("enh to GND: role %v, want pulldown", pd.Role)
+	}
+	if pass.Role != RolePass {
+		t.Errorf("enh between signals: role %v, want pass", pass.Role)
+	}
+	if len(in.Gates) != 2 {
+		t.Errorf("in gates %d devices, want 2", len(in.Gates))
+	}
+	if len(out.Terms) != 3 {
+		t.Errorf("out has %d channel connections, want 3", len(out.Terms))
+	}
+
+	// Finalize must be idempotent.
+	nl.Finalize()
+	if len(in.Gates) != 2 || len(out.Terms) != 3 {
+		t.Error("Finalize is not idempotent")
+	}
+}
+
+func TestSameNodeBothTerminals(t *testing.T) {
+	nl := New("t")
+	a := nl.Node("a")
+	tr := nl.AddTransistor(Enh, nl.Node("g"), a, a, 4, 4)
+	nl.Finalize()
+	if len(a.Terms) != 1 {
+		t.Errorf("degenerate device listed %d times on node, want 1", len(a.Terms))
+	}
+	issues := nl.Validate()
+	if !containsIssue(issues, "warning", "same node") {
+		t.Errorf("expected same-node warning, got %v", issues)
+	}
+	_ = tr
+}
+
+func TestConductsTowardAndOther(t *testing.T) {
+	nl := New("t")
+	a, b, g := nl.Node("a"), nl.Node("b"), nl.Node("g")
+	tr := nl.AddTransistor(Enh, g, a, b, 4, 4)
+
+	if tr.Other(a) != b || tr.Other(b) != a {
+		t.Error("Other must return the opposite channel terminal")
+	}
+	if tr.Other(g) != nil {
+		t.Error("Other(gate) must be nil")
+	}
+
+	tr.Flow = FlowBoth
+	if !tr.ConductsToward(a) || !tr.ConductsToward(b) {
+		t.Error("FlowBoth conducts toward both terminals")
+	}
+	tr.Flow = FlowAB
+	if tr.ConductsToward(a) || !tr.ConductsToward(b) {
+		t.Error("FlowAB conducts toward B only")
+	}
+	tr.Flow = FlowBA
+	if !tr.ConductsToward(a) || tr.ConductsToward(b) {
+		t.Error("FlowBA conducts toward A only")
+	}
+	if tr.ConductsToward(g) {
+		t.Error("never conducts toward the gate")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("shorted supplies", func(t *testing.T) {
+		nl := New("t")
+		nl.AddTransistor(Enh, nl.Node("g"), nl.VDD, nl.GND, 4, 4)
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "error", "shorts the supplies") {
+			t.Error("missing shorted-supplies error")
+		}
+	})
+	t.Run("non-positive size", func(t *testing.T) {
+		nl := New("t")
+		nl.AddTransistor(Enh, nl.Node("g"), nl.Node("a"), nl.GND, 0, 4)
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "error", "non-positive size") {
+			t.Error("missing size error")
+		}
+	})
+	t.Run("negative cap", func(t *testing.T) {
+		nl := New("t")
+		nl.Node("a").Cap = -1
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "error", "negative capacitance") {
+			t.Error("missing negative-cap error")
+		}
+	})
+	t.Run("bad clock phase", func(t *testing.T) {
+		nl := New("t")
+		c := nl.Node("clk")
+		c.Flags |= FlagClock
+		c.Phase = 3
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "error", "phase") {
+			t.Error("missing clock-phase error")
+		}
+	})
+	t.Run("undriven driver", func(t *testing.T) {
+		nl := New("t")
+		ghost := nl.Node("ghost")
+		nl.AddTransistor(Enh, ghost, nl.Node("x"), nl.GND, 4, 4)
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "error", "never driven") {
+			t.Error("missing undriven-driver error")
+		}
+	})
+	t.Run("gnd-gated enhancement", func(t *testing.T) {
+		nl := New("t")
+		nl.AddTransistor(Enh, nl.GND, nl.Node("a"), nl.GND, 4, 4)
+		nl.Finalize()
+		if !containsIssue(nl.Validate(), "warning", "never conduct") {
+			t.Error("missing gnd-gated warning")
+		}
+	})
+	t.Run("clean inverter has no errors", func(t *testing.T) {
+		nl := New("t")
+		in, out := nl.Node("in"), nl.Node("out")
+		in.Flags |= FlagInput
+		out.Flags |= FlagOutput
+		nl.AddTransistor(Dep, out, nl.VDD, out, 4, 8)
+		nl.AddTransistor(Enh, in, out, nl.GND, 8, 4)
+		nl.Finalize()
+		if HasErrors(nl.Validate()) {
+			t.Errorf("clean inverter reported errors: %v", nl.Validate())
+		}
+	})
+}
+
+func TestStatsAndListings(t *testing.T) {
+	nl := New("t")
+	in := nl.Node("in")
+	in.Flags |= FlagInput
+	out := nl.Node("out")
+	out.Flags |= FlagOutput
+	clk := nl.Node("phi1")
+	clk.Flags |= FlagClock
+	clk.Phase = 1
+	dyn := nl.Node("dyn")
+	dyn.Flags |= FlagPrecharged
+	dyn.Cap = 0.5
+	nl.AddTransistor(Dep, out, nl.VDD, out, 4, 8)
+	nl.AddTransistor(Enh, in, out, nl.GND, 8, 4)
+	nl.AddTransistor(Enh, clk, out, dyn, 4, 4)
+	nl.Finalize()
+
+	s := nl.ComputeStats()
+	if s.Transistors != 3 || s.Enh != 2 || s.Dep != 1 {
+		t.Errorf("device counts wrong: %+v", s)
+	}
+	if s.Pullups != 1 || s.Pulldowns != 1 || s.Passes != 1 {
+		t.Errorf("role counts wrong: %+v", s)
+	}
+	if s.Clocks != 1 || s.Inputs != 1 || s.Outputs != 1 || s.Precharged != 1 {
+		t.Errorf("annotation counts wrong: %+v", s)
+	}
+	if s.TotalCap != 0.5 {
+		t.Errorf("TotalCap = %g, want 0.5", s.TotalCap)
+	}
+
+	if got := nl.Clocks(); len(got) != 1 || got[0] != clk {
+		t.Error("Clocks() wrong")
+	}
+	if got := nl.Inputs(); len(got) != 1 || got[0] != in {
+		t.Error("Inputs() wrong")
+	}
+	if got := nl.Outputs(); len(got) != 1 || got[0] != out {
+		t.Error("Outputs() wrong")
+	}
+	names := nl.NodeNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Error("NodeNames must be sorted")
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Enh.String() != "e" || Dep.String() != "d" {
+		t.Error("Kind mnemonics wrong")
+	}
+	f := FlagInput | FlagClock
+	if s := f.String(); !strings.Contains(s, "input") || !strings.Contains(s, "clock") {
+		t.Errorf("Flag.String() = %q", s)
+	}
+	if Flag(0).String() != "none" {
+		t.Error("zero flags must print none")
+	}
+	for _, d := range []FlowDir{FlowBoth, FlowAB, FlowBA} {
+		if d.String() == "" {
+			t.Error("FlowDir must stringify")
+		}
+	}
+	for _, r := range []Role{RoleUnknown, RolePullup, RolePulldown, RolePass} {
+		if r.String() == "" {
+			t.Error("Role must stringify")
+		}
+	}
+}
+
+func containsIssue(issues []Issue, severity, substr string) bool {
+	for _, is := range issues {
+		if is.Severity == severity && strings.Contains(is.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Issue is one validation finding.
+type Issue struct {
+	// Severity is "error" or "warning".
+	Severity string
+	// Msg describes the problem.
+	Msg string
+}
+
+func (i Issue) String() string { return i.Severity + ": " + i.Msg }
+
+// Validate checks structural well-formedness of the netlist and returns the
+// findings, errors first. Finalize must have been called. A netlist with
+// only warnings is analyzable; errors indicate the circuit cannot be timed
+// meaningfully.
+func (nl *Netlist) Validate() []Issue {
+	var errs, warns []Issue
+	errorf := func(format string, args ...any) {
+		errs = append(errs, Issue{"error", fmt.Sprintf(format, args...)})
+	}
+	warnf := func(format string, args ...any) {
+		warns = append(warns, Issue{"warning", fmt.Sprintf(format, args...)})
+	}
+
+	for _, t := range nl.Trans {
+		if t.W <= 0 || t.L <= 0 {
+			errorf("transistor %d (%s) has non-positive size w=%g l=%g", t.Index, t, t.W, t.L)
+		}
+		if t.A == t.B {
+			warnf("transistor %d (%s) has both channel terminals on the same node", t.Index, t)
+		}
+		if t.A.IsSupply() && t.B.IsSupply() {
+			errorf("transistor %d (%s) shorts the supplies", t.Index, t)
+		}
+		if t.Gate == nl.GND && t.Kind == Enh {
+			warnf("enhancement transistor %d (%s) is gated by GND and can never conduct", t.Index, t)
+		}
+		if t.Kind == Dep && t.Role == RolePulldown {
+			warnf("depletion transistor %d (%s) pulls toward GND; loads normally pull up", t.Index, t)
+		}
+	}
+
+	for _, n := range nl.Nodes {
+		if n.Cap < 0 {
+			errorf("node %s has negative capacitance %g", n.Name, n.Cap)
+		}
+		if n.Flags.Has(FlagClock) && (n.Phase < 1 || n.Phase > 2) {
+			errorf("clock node %s has phase %d; expected 1 or 2", n.Name, n.Phase)
+		}
+		if n.Flags.Has(FlagInput) && n.Flags.Has(FlagSupply) {
+			warnf("supply node %s is also marked input", n.Name)
+		}
+		if n.IsSupply() {
+			continue
+		}
+		driven := n.Flags.Has(FlagInput) || n.IsClock()
+		if !driven && len(n.Terms) == 0 && len(n.Gates) > 0 {
+			errorf("node %s drives %d gate(s) but is never driven", n.Name, len(n.Gates))
+		}
+		if len(n.Terms) == 0 && len(n.Gates) == 0 && !driven && !n.Flags.Has(FlagOutput) {
+			warnf("node %s is dangling (no connections)", n.Name)
+		}
+	}
+
+	if len(nl.Trans) == 0 {
+		warnf("netlist has no transistors")
+	}
+
+	sort.SliceStable(errs, func(i, j int) bool { return errs[i].Msg < errs[j].Msg })
+	sort.SliceStable(warns, func(i, j int) bool { return warns[i].Msg < warns[j].Msg })
+	return append(errs, warns...)
+}
+
+// HasErrors reports whether any issue in the slice is an error.
+func HasErrors(issues []Issue) bool {
+	for _, is := range issues {
+		if is.Severity == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes a netlist for reporting.
+type Stats struct {
+	Nodes       int
+	Transistors int
+	Enh, Dep    int
+	Pullups     int
+	Pulldowns   int
+	Passes      int
+	Clocks      int
+	Inputs      int
+	Outputs     int
+	Precharged  int
+	TotalCap    float64 // pF of extracted interconnect capacitance
+}
+
+// ComputeStats tallies the netlist. Finalize must have been called for the
+// role counts to be meaningful.
+func (nl *Netlist) ComputeStats() Stats {
+	var s Stats
+	s.Nodes = len(nl.Nodes)
+	s.Transistors = len(nl.Trans)
+	for _, t := range nl.Trans {
+		switch t.Kind {
+		case Enh:
+			s.Enh++
+		case Dep:
+			s.Dep++
+		}
+		switch t.Role {
+		case RolePullup:
+			s.Pullups++
+		case RolePulldown:
+			s.Pulldowns++
+		case RolePass:
+			s.Passes++
+		}
+	}
+	for _, n := range nl.Nodes {
+		if n.IsClock() {
+			s.Clocks++
+		}
+		if n.Flags.Has(FlagInput) {
+			s.Inputs++
+		}
+		if n.Flags.Has(FlagOutput) {
+			s.Outputs++
+		}
+		if n.Flags.Has(FlagPrecharged) {
+			s.Precharged++
+		}
+		s.TotalCap += n.Cap
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+// Package rc models RC trees and computes the delay metrics a 1983-era
+// timing analyzer is built on: Elmore delays and the Penfield–Rubinstein
+// (Rubinstein, Penfield, Horowitz, "Signal Delay in RC Tree Networks",
+// 1983) bounds on step-response delay. Pass-transistor chains, ratioed
+// gate pulldown stacks, and polysilicon wires all reduce to trees of
+// resistive segments with grounded capacitors.
+//
+// Units follow the repository convention: kΩ, pF, ns.
+package rc
+
+import (
+	"errors"
+	"math"
+)
+
+// Tree is a rooted RC tree. Node 0 is the root (the driving point: a
+// voltage source, e.g. the supply through a conducting device chain starts
+// at node 0 with the device resistances as segments). Every other node
+// hangs off its parent through a resistance and carries a capacitance to
+// ground.
+type Tree struct {
+	parent []int     // parent[0] == -1
+	r      []float64 // r[i]: resistance of segment parent[i]->i; r[0] unused
+	c      []float64 // c[i]: capacitance at node i
+	child  [][]int
+}
+
+// New returns a tree whose root carries capacitance rootCap.
+func New(rootCap float64) *Tree {
+	return &Tree{
+		parent: []int{-1},
+		r:      []float64{0},
+		c:      []float64{rootCap},
+		child:  [][]int{nil},
+	}
+}
+
+// Add attaches a new node to parent through resistance r (kΩ) with node
+// capacitance c (pF) and returns its index.
+func (t *Tree) Add(parent int, r, c float64) int {
+	if parent < 0 || parent >= len(t.parent) {
+		panic("rc: Add with invalid parent index")
+	}
+	idx := len(t.parent)
+	t.parent = append(t.parent, parent)
+	t.r = append(t.r, r)
+	t.c = append(t.c, c)
+	t.child = append(t.child, nil)
+	t.child[parent] = append(t.child[parent], idx)
+	return idx
+}
+
+// Len returns the number of nodes including the root.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// AddCap adds extra capacitance at an existing node.
+func (t *Tree) AddCap(node int, c float64) { t.c[node] += c }
+
+// downstreamCap returns, for every node, the total capacitance at and below
+// it. Children always have larger indices than parents, so one reverse
+// sweep suffices.
+func (t *Tree) downstreamCap() []float64 {
+	down := make([]float64, len(t.c))
+	copy(down, t.c)
+	for i := len(t.parent) - 1; i >= 1; i-- {
+		down[t.parent[i]] += down[i]
+	}
+	return down
+}
+
+// ElmoreAll returns the Elmore delay T_D(e) = Σ_k R_ke·C_k for every node
+// e, where R_ke is the resistance shared by the root→k and root→e paths.
+// It runs in O(n) via the segment formulation T_D(e) = Σ_{j∈path(e)} r_j ·
+// Cdown(j).
+func (t *Tree) ElmoreAll() []float64 {
+	down := t.downstreamCap()
+	td := make([]float64, len(t.parent))
+	for i := 1; i < len(t.parent); i++ {
+		td[i] = td[t.parent[i]] + t.r[i]*down[i]
+	}
+	return td
+}
+
+// Elmore returns the Elmore delay at node e.
+func (t *Tree) Elmore(e int) float64 {
+	down := t.downstreamCap()
+	var td float64
+	for i := e; i > 0; i = t.parent[i] {
+		td += t.r[i] * down[i]
+	}
+	return td
+}
+
+// pathRes returns the resistance from the root to each node.
+func (t *Tree) pathRes() []float64 {
+	pr := make([]float64, len(t.parent))
+	for i := 1; i < len(t.parent); i++ {
+		pr[i] = pr[t.parent[i]] + t.r[i]
+	}
+	return pr
+}
+
+// sharedRes reports R_ke: the resistance of the portion of the path root→e
+// that is shared with the path root→k, given anc mapping each node on
+// path(e) to its root-path resistance.
+func (t *Tree) sharedRes(anc map[int]float64, k int) float64 {
+	// Walk up from k until we hit a node on the root→e path.
+	for i := k; i >= 0; i = t.parent[i] {
+		if r, ok := anc[i]; ok {
+			return r
+		}
+	}
+	return 0
+}
+
+// TimeConstants returns the three Penfield–Rubinstein time constants for
+// node e:
+//
+//	TD = Σ_k R_ke·C_k    (the Elmore delay at e)
+//	TP = Σ_k R_ke²·C_k / R_ee
+//	TR = Σ_k R_kk·C_k    (independent of e)
+//
+// They satisfy TP ≤ TD ≤ TR.
+func (t *Tree) TimeConstants(e int) (td, tp, tr float64) {
+	pr := t.pathRes()
+	// Map from node-on-path(e) to cumulative resistance root→that node.
+	anc := make(map[int]float64)
+	for i := e; i >= 0; i = t.parent[i] {
+		anc[i] = pr[i]
+	}
+	ree := pr[e]
+	for k := 0; k < len(t.parent); k++ {
+		rke := t.sharedRes(anc, k)
+		td += rke * t.c[k]
+		if ree > 0 {
+			tp += rke * rke * t.c[k] / ree
+		}
+		tr += pr[k] * t.c[k]
+	}
+	return td, tp, tr
+}
+
+// ErrBadThreshold is returned by Bounds for v outside (0,1).
+var ErrBadThreshold = errors.New("rc: threshold fraction must be in (0,1)")
+
+// Bounds returns the Penfield–Rubinstein lower and upper bounds, in ns, on
+// the time for node e's step response to traverse fraction v of its final
+// swing:
+//
+//	t_low(v) = max(0, TD − TP + TP·ln(1/(1−v)))
+//	t_up(v)  =        TD − TP + TR·ln(1/(1−v))
+//
+// At v = 1−1/e the lower bound equals the Elmore delay TD.
+func (t *Tree) Bounds(e int, v float64) (lo, hi float64, err error) {
+	if !(v > 0 && v < 1) {
+		return 0, 0, ErrBadThreshold
+	}
+	td, tp, tr := t.TimeConstants(e)
+	q := math.Log(1 / (1 - v))
+	lo = td - tp + tp*q
+	if lo < 0 {
+		lo = 0
+	}
+	hi = td - tp + tr*q
+	return lo, hi, nil
+}
+
+// Chain builds the common special case: a uniform chain of n segments of
+// resistance r and capacitance c each, hung from a driver of resistance
+// rDrv, and returns the tree and the index of the far end. The far-end
+// Elmore delay of such a chain grows quadratically in n — the fact that
+// motivates buffer insertion in pass-transistor logic.
+func Chain(rDrv float64, n int, r, c float64) (*Tree, int) {
+	t := New(0)
+	last := 0
+	if rDrv > 0 {
+		last = t.Add(0, rDrv, 0)
+	}
+	for i := 0; i < n; i++ {
+		last = t.Add(last, r, c)
+	}
+	return t, last
+}

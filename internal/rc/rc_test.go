@@ -1,0 +1,202 @@
+package rc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleLump(t *testing.T) {
+	// Driver R=10 into a single C=0.5 lump: Elmore = 5 ns.
+	tr := New(0)
+	e := tr.Add(0, 10, 0.5)
+	if got := tr.Elmore(e); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Elmore = %g, want 5", got)
+	}
+	td, tp, trr := tr.TimeConstants(e)
+	// Single lump: all three constants coincide.
+	if math.Abs(td-5) > 1e-12 || math.Abs(tp-5) > 1e-12 || math.Abs(trr-5) > 1e-12 {
+		t.Fatalf("constants %g %g %g, want all 5", td, tp, trr)
+	}
+	// At v = 1−1/e the lower bound equals TD; for a single lump the
+	// upper bound does too.
+	v := 1 - 1/math.E
+	lo, hi, err := tr.Bounds(e, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-5) > 1e-9 || math.Abs(hi-5) > 1e-9 {
+		t.Fatalf("single-lump bounds at 1-1/e: %g %g, want 5 5", lo, hi)
+	}
+}
+
+func TestChainElmoreQuadratic(t *testing.T) {
+	// Uniform chain: far-end Elmore = r·c·k(k+1)/2.
+	r, c := 2.0, 0.25
+	for _, k := range []int{1, 2, 5, 10, 20} {
+		tr, end := Chain(0, k, r, c)
+		want := r * c * float64(k*(k+1)) / 2
+		if got := tr.Elmore(end); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: Elmore = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestChainWithDriver(t *testing.T) {
+	// Driver resistance adds rDrv × (total downstream C) to every node.
+	rDrv, r, c := 7.0, 2.0, 0.25
+	k := 6
+	tr, end := Chain(rDrv, k, r, c)
+	bare, bareEnd := Chain(0, k, r, c)
+	want := bare.Elmore(bareEnd) + rDrv*c*float64(k)
+	if got := tr.Elmore(end); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("driver chain Elmore = %g, want %g", got, want)
+	}
+}
+
+func TestElmoreAllMatchesElmore(t *testing.T) {
+	tr := randomTree(rand.New(rand.NewSource(7)), 40)
+	all := tr.ElmoreAll()
+	for e := 0; e < tr.Len(); e++ {
+		if math.Abs(all[e]-tr.Elmore(e)) > 1e-9 {
+			t.Fatalf("node %d: ElmoreAll %g != Elmore %g", e, all[e], tr.Elmore(e))
+		}
+	}
+}
+
+func TestBranchingTreeByHand(t *testing.T) {
+	//        r1=1
+	//  root ------ a (c=1)
+	//               \ r2=2   b (c=3)
+	//               \ r3=4   d (c=5)
+	tr := New(0)
+	a := tr.Add(0, 1, 1)
+	b := tr.Add(a, 2, 3)
+	d := tr.Add(a, 4, 5)
+	// Elmore(b) = r1·(Ca+Cb+Cd) + r2·Cb = 1·9 + 2·3 = 15.
+	if got := tr.Elmore(b); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Elmore(b) = %g, want 15", got)
+	}
+	// Elmore(d) = 1·9 + 4·5 = 29.
+	if got := tr.Elmore(d); math.Abs(got-29) > 1e-12 {
+		t.Errorf("Elmore(d) = %g, want 29", got)
+	}
+}
+
+func TestAddCap(t *testing.T) {
+	tr := New(0)
+	e := tr.Add(0, 10, 0.5)
+	before := tr.Elmore(e)
+	tr.AddCap(e, 0.5)
+	after := tr.Elmore(e)
+	if math.Abs(after-2*before) > 1e-12 {
+		t.Fatalf("doubling the cap must double the single-lump Elmore: %g -> %g", before, after)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	tr, end := Chain(0, 3, 1, 1)
+	for _, v := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := tr.Bounds(end, v); err == nil {
+			t.Errorf("Bounds(v=%g) must fail", v)
+		}
+	}
+}
+
+func TestAddPanicsOnBadParent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with invalid parent must panic")
+		}
+	}()
+	New(0).Add(5, 1, 1)
+}
+
+// TestConstantsOrderingProperty: TP ≤ TD ≤ TR on random trees — the
+// Penfield–Rubinstein inequality chain.
+func TestConstantsOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(40))
+		e := rng.Intn(tr.Len())
+		td, tp, trr := tr.TimeConstants(e)
+		const eps = 1e-9
+		return tp <= td+eps && td <= trr+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundsOrderingProperty: lo ≤ hi always; both monotone in v; the
+// Elmore delay lies between the bounds at v = 1−1/e.
+func TestBoundsOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(30))
+		e := 1 + rng.Intn(tr.Len()-1)
+		prevLo, prevHi := -1.0, -1.0
+		for _, v := range []float64{0.1, 0.3, 0.5, 1 - 1/math.E, 0.8, 0.95} {
+			lo, hi, err := tr.Bounds(e, v)
+			if err != nil || lo > hi+1e-9 {
+				return false
+			}
+			if lo < prevLo-1e-9 || hi < prevHi-1e-9 {
+				return false // bounds must not decrease as v grows
+			}
+			prevLo, prevHi = lo, hi
+		}
+		lo, hi, _ := tr.Bounds(e, 1-1/math.E)
+		td := tr.Elmore(e)
+		return lo <= td+1e-9 && td <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElmoreMonotonicityProperty: increasing any resistance or capacitance
+// never decreases any node's Elmore delay.
+func TestElmoreMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		tr := randomTree(rng, n)
+		base := tr.ElmoreAll()
+
+		// Bump one capacitance.
+		c := rng.Intn(tr.Len())
+		tr.AddCap(c, 1.0)
+		bumped := tr.ElmoreAll()
+		for i := range base {
+			if bumped[i] < base[i]-1e-9 {
+				return false
+			}
+		}
+		// Bump one resistance (rebuild with the segment increased).
+		tr2 := randomTree(rand.New(rand.NewSource(seed)), n)
+		seg := 1 + rng.Intn(tr2.Len()-1)
+		tr2.r[seg] += 2.0
+		bumped2 := tr2.ElmoreAll()
+		base2 := randomTree(rand.New(rand.NewSource(seed)), n).ElmoreAll()
+		for i := range base2 {
+			if bumped2[i] < base2[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomTree(rng *rand.Rand, n int) *Tree {
+	tr := New(rng.Float64() * 0.2)
+	for i := 0; i < n; i++ {
+		parent := rng.Intn(tr.Len())
+		tr.Add(parent, 0.1+rng.Float64()*5, 0.01+rng.Float64()*0.5)
+	}
+	return tr
+}

@@ -1,0 +1,235 @@
+// Package report renders the analyzer's outputs — tables, settle-time
+// histograms, series plots — as aligned plain text, the medium of a 1983
+// timing report.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells are formatted with %v, floats with %.4g.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for i, w := range width {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Histogram renders values as an ASCII histogram with the given number of
+// bins over [min, max] of the data.
+func Histogram(title string, values []float64, bins int) string {
+	if bins <= 0 {
+		bins = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(values) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		i := int(float64(bins) * (v - lo) / (hi - lo))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const barWidth = 50
+	for i, c := range counts {
+		left := lo + (hi-lo)*float64(i)/float64(bins)
+		right := lo + (hi-lo)*float64(i+1)/float64(bins)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		fmt.Fprintf(&b, "[%9.3f,%9.3f) %6d %s\n", left, right, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as an aligned numeric listing plus a crude ASCII
+// scatter, x ascending. Good enough to eyeball the scaling shape.
+func Plot(title string, series ...Series) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	tab := NewTable("", "x")
+	for _, s := range series {
+		tab.Headers = append(tab.Headers, s.Name)
+	}
+	// Collect the union of x values (assume aligned series for the
+	// common case; missing points render blank).
+	type key = float64
+	seen := map[key]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		row := []any{x}
+		for _, s := range series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = fmt.Sprintf("%.4g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		tab.Add(row...)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// LinearFit returns slope, intercept and R² of a least-squares line fit —
+// used to verify the analyzer's linear scaling claim.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
+	n := float64(len(x))
+	if n == 0 || len(x) != len(y) {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range x {
+		d := y[i] - (slope*x[i] + intercept)
+		ssRes += d * d
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return slope, intercept, r2
+}

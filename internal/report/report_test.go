@@ -1,0 +1,141 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("title", "name", "value")
+	tab.Add("short", 1)
+	tab.Add("a-much-longer-name", 2.5)
+	out := tab.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("title must lead the output")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// The "value" column starts at the same offset in the header and
+	// both data rows.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1") || !strings.HasPrefix(lines[4][idx:], "2.5") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.Add(3.14159265)
+	tab.Add(float32(2.5))
+	tab.Add("str")
+	tab.Add(42)
+	out := tab.String()
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float64 must use %%.4g: %q", out)
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "str") || !strings.Contains(out, "42") {
+		t.Errorf("mixed cells mangled: %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.Add("x", "extra", "more")
+	out := tab.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Error("rows wider than the header must still render")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	values := []float64{0, 0.1, 0.2, 9.8, 9.9, 10}
+	out := Histogram("h", values, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title + 2 bins
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "3") || !strings.Contains(lines[2], "3") {
+		t.Errorf("each bin must hold 3 values:\n%s", out)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if !strings.Contains(Histogram("", nil, 5), "no data") {
+		t.Error("empty data must say so")
+	}
+	// All-equal values must not divide by zero.
+	out := Histogram("", []float64{2, 2, 2}, 4)
+	if !strings.Contains(out, "3") {
+		t.Errorf("constant data histogram wrong:\n%s", out)
+	}
+	// Non-positive bin count falls back to a default.
+	if Histogram("", []float64{1, 2}, 0) == "" {
+		t.Error("zero bins must still render")
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*x[i] + 7
+	}
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-3) > 1e-9 || math.Abs(intercept-7) > 1e-9 {
+		t.Errorf("fit = %g·x + %g, want 3·x + 7", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² = %g, want 1", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, _, _ := LinearFit(nil, nil); s != 0 {
+		t.Error("empty fit must be zero")
+	}
+	// Vertical data (all same x) must not blow up.
+	s, i, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if s != 0 || math.Abs(i-2) > 1e-9 {
+		t.Errorf("constant-x fit = %g·x + %g, want 0·x + mean", s, i)
+	}
+}
+
+func TestLinearFitR2Property(t *testing.T) {
+	f := func(seed int64) bool {
+		x := []float64{1, 2, 3, 4, 5, 6}
+		y := make([]float64, len(x))
+		for i := range y {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			noise := float64(seed%1000) / 1000
+			y[i] = 2*x[i] + noise
+		}
+		_, _, r2 := LinearFit(x, y)
+		return r2 >= -1e-9 && r2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlotUnionOfX(t *testing.T) {
+	out := Plot("p",
+		Series{Name: "a", X: []float64{1, 3}, Y: []float64{10, 30}},
+		Series{Name: "b", X: []float64{2, 3}, Y: []float64{20, 31}},
+	)
+	for _, want := range []string{"a", "b", "10", "20", "30", "31"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// x values render sorted.
+	i1 := strings.Index(out, "\n1")
+	i2 := strings.Index(out, "\n2")
+	i3 := strings.Index(out, "\n3")
+	if !(i1 < i2 && i2 < i3) {
+		t.Errorf("x values not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+)
+
+// devState is a device's conduction state under current node values.
+type devState uint8
+
+const (
+	off devState = iota
+	on
+	maybe
+)
+
+func (s *Sim) deviceState(t *netlist.Transistor) devState {
+	if t.Kind == netlist.Dep {
+		return on
+	}
+	switch s.val[t.Gate.Index] {
+	case V1:
+		return on
+	case V0:
+		return off
+	default:
+		return maybe
+	}
+}
+
+// evalStage recomputes the target value of every channel node in the stage
+// and schedules the resulting transitions. Ternary semantics come from
+// evaluating twice — once with maybe-conducting devices treated as off
+// (optimistic) and once as on (pessimistic) — and reporting X when the two
+// disagree (classic ternary switch-level simulation).
+func (s *Sim) evalStage(st *stage.Stage) {
+	for _, n := range st.Nodes {
+		idx := n.Index
+		if s.fixed[idx] {
+			continue
+		}
+		vOpt := s.resolve(n, false)
+		vPess := s.resolve(n, true)
+		target := vOpt
+		if vOpt != vPess {
+			target = VX
+		}
+		if target == s.val[idx] {
+			s.cancel(idx)
+			continue
+		}
+		s.schedule(idx, target, s.transitionDelay(n, target))
+	}
+}
+
+// resolve computes the steady-state value of node n with maybe-devices
+// treated as conducting (maybeOn) or not. Ratioed logic: any conducting
+// path to GND through an enhancement device dominates pullups; otherwise a
+// path to VDD drives high; otherwise the undriven cluster retains charge
+// (common stored value, or X when the merged nodes disagree).
+func (s *Sim) resolve(n *netlist.Node, maybeOn bool) Value {
+	conducts := func(t *netlist.Transistor) bool {
+		switch s.deviceState(t) {
+		case on:
+			return true
+		case maybe:
+			return maybeOn
+		}
+		return false
+	}
+
+	seen := map[*netlist.Node]bool{n: true}
+	cluster := []*netlist.Node{n}
+	gnd, vdd := false, false
+	for i := 0; i < len(cluster); i++ {
+		cur := cluster[i]
+		for _, t := range cur.Terms {
+			if !conducts(t) {
+				continue
+			}
+			o := t.Other(cur)
+			if o == nil {
+				continue
+			}
+			switch o {
+			case s.nl.GND:
+				if t.Kind == netlist.Enh {
+					gnd = true
+				}
+				continue
+			case s.nl.VDD:
+				vdd = true
+				continue
+			}
+			if o.IsSupply() {
+				continue
+			}
+			if s.fixed[o.Index] {
+				// An externally driven node inside the conducting
+				// cluster acts as a supply of its own value.
+				switch s.val[o.Index] {
+				case V0:
+					gnd = true
+				case V1:
+					vdd = true
+				default:
+					gnd, vdd = true, true // X input: both possible
+				}
+				continue
+			}
+			if !seen[o] {
+				seen[o] = true
+				cluster = append(cluster, o)
+			}
+		}
+	}
+
+	switch {
+	case gnd && vdd:
+		// Ratioed resolution: a definite enhancement path to ground
+		// overpowers pullups — unless the "vdd" came from an X input,
+		// in which case both flags being set means unknown. The X-input
+		// case sets both flags, so distinguishing it from a genuine
+		// ratioed fight is not possible here; ratioed fights are by far
+		// the common case in nMOS (every conducting gate is one), so
+		// resolve low. X inputs should be driven before timing runs.
+		return V0
+	case gnd:
+		return V0
+	case vdd:
+		return V1
+	}
+	// Undriven: charge retention over the merged cluster, weighted by
+	// capacitance (RSIM-style). The merged level in units of VDD lies in
+	// [c1/ctot, (c1+cx)/ctot]; it reads as a definite logic value only
+	// when the whole interval is on one side of the inverter threshold.
+	var c1, c0, cx float64
+	for _, c := range cluster {
+		cap := s.cap[c.Index]
+		switch s.val[c.Index] {
+		case V1:
+			c1 += cap
+		case V0:
+			c0 += cap
+		default:
+			cx += cap
+		}
+	}
+	ctot := c1 + c0 + cx
+	if ctot <= 0 {
+		return VX
+	}
+	threshold := s.p.VInv / s.p.VDD
+	switch {
+	case c1/ctot > threshold:
+		return V1
+	case (c1+cx)/ctot < threshold:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// transitionDelay computes the RC delay in ns for node n to reach target,
+// as the Elmore sum along the minimum-resistance definitely-conducting
+// path to the appropriate source (GND for 0, VDD for 1; externally driven
+// nodes also act as sources of their value). Unknown targets and
+// charge-sharing resolutions get the epsilon delay.
+func (s *Sim) transitionDelay(n *netlist.Node, target Value) float64 {
+	if target == VX {
+		return epsilon
+	}
+	path, ok := s.minResPath(n, target)
+	if !ok {
+		return epsilon // retention/charge-share change
+	}
+	// Elmore: walk from n toward the source; each traversed node's
+	// capacitance is charged through the remaining resistance to the
+	// source.
+	total := 0.0
+	for _, t := range path {
+		total += delay.DeviceR(t, s.p)
+	}
+	d := total * s.cap[n.Index]
+	cur := n
+	remaining := total
+	for i := 0; i < len(path)-1; i++ {
+		remaining -= delay.DeviceR(path[i], s.p)
+		cur = path[i].Other(cur)
+		if cur == nil || cur.IsSupply() || s.fixed[cur.Index] {
+			break
+		}
+		d += remaining * s.cap[cur.Index]
+	}
+	return d
+}
+
+// minResPath finds the minimum series-resistance path from n to a source
+// of the target value through definitely-on devices, returned as the
+// device sequence ordered from n outward. ok=false when no such path
+// exists. A source is GND (for 0, reached through an enhancement device),
+// VDD (for 1), or an externally driven node holding the target value.
+func (s *Sim) minResPath(n *netlist.Node, target Value) ([]*netlist.Transistor, bool) {
+	isSource := func(o *netlist.Node, t *netlist.Transistor) bool {
+		switch target {
+		case V0:
+			if o == s.nl.GND {
+				return t.Kind == netlist.Enh
+			}
+			return !o.IsSupply() && s.fixed[o.Index] && s.val[o.Index] == V0
+		case V1:
+			if o == s.nl.VDD {
+				return true
+			}
+			return !o.IsSupply() && s.fixed[o.Index] && s.val[o.Index] == V1
+		}
+		return false
+	}
+
+	dist := map[*netlist.Node]float64{n: 0}
+	via := map[*netlist.Node]*netlist.Transistor{}
+	prev := map[*netlist.Node]*netlist.Node{}
+	done := map[*netlist.Node]bool{}
+
+	// Dijkstra with linear-scan extraction: the conducting subgraph is
+	// stage-sized.
+	for {
+		var u *netlist.Node
+		best := math.Inf(1)
+		for nd, dv := range dist {
+			if !done[nd] && dv < best {
+				best, u = dv, nd
+			}
+		}
+		if u == nil {
+			return nil, false // frontier exhausted, no source reachable
+		}
+		done[u] = true
+		if u != n && (u.IsSupply() || s.fixed[u.Index]) {
+			// Popped a source with final shortest distance: rebuild the
+			// device path from n outward.
+			var rev []*netlist.Transistor
+			for cur := u; cur != n; cur = prev[cur] {
+				rev = append(rev, via[cur])
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		}
+		for _, t := range u.Terms {
+			if s.deviceState(t) != on {
+				continue
+			}
+			o := t.Other(u)
+			if o == nil {
+				continue
+			}
+			src := isSource(o, t)
+			if (o.IsSupply() || s.fixed[o.Index]) && !src {
+				continue // a supply/driven node of the wrong value blocks
+			}
+			nd := best + delay.DeviceR(t, s.p)
+			if cur, ok := dist[o]; !ok || nd < cur {
+				dist[o] = nd
+				via[o] = t
+				prev[o] = u
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package sim is an event-driven switch-level RC simulator for nMOS
+// transistor netlists — the RSIM-class referee this repository uses in
+// place of SPICE. It computes actual (vector-dependent) circuit behaviour:
+// three-valued node states (0, 1, X), ratioed conflict resolution
+// (a conducting enhancement pulldown overpowers a depletion load), dynamic
+// charge retention on undriven nodes, and transition delays taken from the
+// Elmore sum along the *actual* conducting path — in contrast to the
+// static analyzer's worst-case path. The static analyzer must therefore
+// never report a smaller delay than this simulator measures on the same
+// transition; that conservatism is the accuracy experiment's invariant.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+// Value is a three-state logic level.
+type Value uint8
+
+const (
+	// V0 is logic low.
+	V0 Value = iota
+	// V1 is logic high.
+	V1
+	// VX is unknown/uninitialized.
+	VX
+)
+
+// String returns "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	}
+	return "X"
+}
+
+// epsilon is the delay assigned to transitions with no resistive path
+// model (charge sharing, X resolution).
+const epsilon = 1e-3
+
+// Event is one recorded node transition.
+type Event struct {
+	Time float64
+	Node *netlist.Node
+	Val  Value
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%.4f %s=%s", e.Time, e.Node, e.Val)
+}
+
+type pending struct {
+	time    float64
+	val     Value
+	version uint64
+}
+
+type heapItem struct {
+	time    float64
+	node    int
+	version uint64
+}
+
+type eventHeap []heapItem
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Sim is one simulation instance over a netlist.
+type Sim struct {
+	nl  *netlist.Netlist
+	st  *stage.Result
+	p   tech.Params
+	cap []float64 // node loading in pF
+
+	val     []Value
+	fixed   []bool // externally driven (supplies, inputs, clocks)
+	last    []float64
+	pend    []pending
+	queue   eventHeap
+	now     float64
+	version uint64
+
+	traced map[int]bool
+	trace  []Event
+	// Steps counts processed events, as a runaway guard and a cost metric.
+	Steps int
+	// MaxSteps aborts runs that exceed it (oscillation guard). Default 50M.
+	MaxSteps int
+}
+
+// New builds a simulator. The netlist must be finalized and staged (pass
+// st from stage.Extract; nil lets New extract it itself). All nodes start
+// at X except the supplies.
+func New(nl *netlist.Netlist, st *stage.Result, p tech.Params) *Sim {
+	if st == nil {
+		st = stage.Extract(nl)
+	}
+	n := len(nl.Nodes)
+	s := &Sim{
+		nl:       nl,
+		st:       st,
+		p:        p,
+		cap:      make([]float64, n),
+		val:      make([]Value, n),
+		fixed:    make([]bool, n),
+		last:     make([]float64, n),
+		pend:     make([]pending, n),
+		traced:   make(map[int]bool),
+		MaxSteps: 50_000_000,
+	}
+	for _, nd := range nl.Nodes {
+		s.cap[nd.Index] = delay.NodeCap(nd, p)
+		s.val[nd.Index] = VX
+	}
+	s.val[nl.VDD.Index] = V1
+	s.val[nl.GND.Index] = V0
+	s.fixed[nl.VDD.Index] = true
+	s.fixed[nl.GND.Index] = true
+	return s
+}
+
+// Now returns the current simulation time in ns.
+func (s *Sim) Now() float64 { return s.now }
+
+// At advances the simulation clock to time t (ns), first processing every
+// event scheduled before it. Use it to script stimulus at absolute times —
+// clock edges at their scheduled instants. Moving backward is a no-op.
+func (s *Sim) At(t float64) {
+	s.Run(t)
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Value returns the current value of a node.
+func (s *Sim) Value(n *netlist.Node) Value { return s.val[n.Index] }
+
+// LastChange returns the time of the node's most recent transition.
+func (s *Sim) LastChange(n *netlist.Node) float64 { return s.last[n.Index] }
+
+// Trace starts recording every transition of the node.
+func (s *Sim) Trace(n *netlist.Node) { s.traced[n.Index] = true }
+
+// Events returns the recorded transitions of traced nodes, in time order.
+func (s *Sim) Events() []Event { return s.trace }
+
+// ClearEvents discards the recorded trace.
+func (s *Sim) ClearEvents() { s.trace = s.trace[:0] }
+
+// InitAll forces every non-driven signal node to the given value — the
+// RSIM-style power-up initialization that breaks the all-X fixpoints of
+// storage structures (a register file's cells hold *something* after
+// power-up; which value is immaterial to timing). Every stage is then
+// re-evaluated; call Quiesce afterwards to settle the consequences.
+func (s *Sim) InitAll(v Value) {
+	for _, n := range s.nl.Nodes {
+		if n.IsSupply() || s.fixed[n.Index] {
+			continue
+		}
+		s.val[n.Index] = v
+	}
+	for _, st := range s.st.Stages {
+		s.evalStage(st)
+	}
+}
+
+// Set drives a node to a value at the current time, marking it externally
+// driven. Use it for primary inputs and clocks.
+func (s *Sim) Set(n *netlist.Node, v Value) {
+	s.fixed[n.Index] = true
+	if s.val[n.Index] == v {
+		return
+	}
+	s.applyChange(n.Index, v)
+}
+
+// Release returns an externally driven node to circuit control.
+func (s *Sim) Release(n *netlist.Node) {
+	s.fixed[n.Index] = false
+	s.wakeNode(n.Index)
+}
+
+// applyChange commits a value change and wakes dependents.
+func (s *Sim) applyChange(idx int, v Value) {
+	s.val[idx] = v
+	s.last[idx] = s.now
+	if s.traced[idx] {
+		s.trace = append(s.trace, Event{Time: s.now, Node: s.nl.Nodes[idx], Val: v})
+	}
+	s.wakeNode(idx)
+}
+
+// wakeNode re-evaluates every stage influenced by the node: stages whose
+// devices it gates, and its own stage.
+func (s *Sim) wakeNode(idx int) {
+	n := s.nl.Nodes[idx]
+	seen := map[*stage.Stage]bool{}
+	for _, t := range n.Gates {
+		if st := s.st.ByTrans[t]; st != nil && !seen[st] {
+			seen[st] = true
+			s.evalStage(st)
+		}
+	}
+	if st := s.st.ByNode[n]; st != nil && !seen[st] {
+		s.evalStage(st)
+	}
+}
+
+// Run processes events until quiescence or until time limit (ns).
+// It returns the time of the last processed event.
+func (s *Sim) Run(until float64) float64 {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(heapItem)
+		p := &s.pend[it.node]
+		if it.version != p.version {
+			continue // superseded
+		}
+		if it.time > until {
+			// Past the horizon: put it back and stop.
+			heap.Push(&s.queue, it)
+			return s.now
+		}
+		s.Steps++
+		if s.Steps > s.MaxSteps {
+			panic("sim: event budget exceeded (oscillation?)")
+		}
+		s.now = it.time
+		p.version = 0 // consumed
+		if s.fixed[it.node] || s.val[it.node] == p.val {
+			continue
+		}
+		s.applyChange(it.node, p.val)
+	}
+	return s.now
+}
+
+// Quiesce runs until the queue drains, with a generous horizon.
+func (s *Sim) Quiesce() float64 { return s.Run(math.Inf(1)) }
+
+// schedule books a future change for a node, superseding any pending one.
+func (s *Sim) schedule(idx int, v Value, d float64) {
+	if d < epsilon {
+		d = epsilon
+	}
+	t := s.now + d
+	p := &s.pend[idx]
+	if p.version != 0 && p.val == v && p.time <= t {
+		return // an equal-or-earlier identical change is already booked
+	}
+	s.version++
+	p.version = s.version
+	p.val = v
+	p.time = t
+	heap.Push(&s.queue, heapItem{time: t, node: idx, version: s.version})
+}
+
+// cancel removes a pending change.
+func (s *Sim) cancel(idx int) { s.pend[idx].version = 0 }

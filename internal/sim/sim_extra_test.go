@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"testing"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+func TestXPropagation(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	a, c := b.Input("a"), b.Input("b")
+	nand := b.Nand(a, c)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	// One input low forces the NAND high regardless of the X input.
+	s.Set(nl.Lookup("a"), V0)
+	s.Set(nl.Lookup("b"), VX)
+	s.Quiesce()
+	if got := s.Value(nand); got != V1 {
+		t.Errorf("nand(0,X) = %v, want 1 (controlling value)", got)
+	}
+	// Both inputs needed: 1,X → X.
+	s.Set(nl.Lookup("a"), V1)
+	s.Quiesce()
+	if got := s.Value(nand); got != VX {
+		t.Errorf("nand(1,X) = %v, want X", got)
+	}
+}
+
+func TestChargeSharingWeightedResolution(t *testing.T) {
+	// Two isolated storage nodes holding opposite values merge through
+	// a pass transistor; the outcome follows the capacitance weights
+	// (RSIM-style): the bigger plate wins.
+	build := func(capA, capB float64) (*netlist.Netlist, *Sim,
+		*netlist.Node, *netlist.Node) {
+		p := tech.Default()
+		nl := netlist.New("t")
+		a, c, g := nl.Node("a"), nl.Node("b"), nl.Node("g")
+		da, dc := nl.Node("da"), nl.Node("db")
+		wa, wb := nl.Node("wa"), nl.Node("wb")
+		for _, n := range []*netlist.Node{g, da, dc, wa, wb} {
+			n.Flags |= netlist.FlagInput
+		}
+		a.Cap = capA
+		c.Cap = capB
+		nl.AddTransistor(netlist.Enh, wa, da, a, 4, 4) // write ports
+		nl.AddTransistor(netlist.Enh, wb, dc, c, 4, 4)
+		nl.AddTransistor(netlist.Enh, g, a, c, 4, 4)
+		nl.Finalize()
+		return nl, New(nl, nil, p), a, c
+	}
+	run := func(capA, capB float64) (Value, Value) {
+		nl, s, a, c := build(capA, capB)
+		s.Set(nl.Lookup("g"), V0)
+		s.Set(nl.Lookup("da"), V1)
+		s.Set(nl.Lookup("db"), V0)
+		s.Set(nl.Lookup("wa"), V1)
+		s.Set(nl.Lookup("wb"), V1)
+		s.Quiesce()
+		s.Set(nl.Lookup("wa"), V0)
+		s.Set(nl.Lookup("wb"), V0)
+		s.Quiesce()
+		if s.Value(a) != V1 || s.Value(c) != V0 {
+			t.Fatalf("setup failed: a=%v b=%v", s.Value(a), s.Value(c))
+		}
+		s.Set(nl.Lookup("g"), V1)
+		s.Quiesce()
+		return s.Value(a), s.Value(c)
+	}
+	// Big 1-plate dominates: both nodes read high.
+	if va, vb := run(1.0, 0.01); va != V1 || vb != V1 {
+		t.Errorf("dominant high plate: got %v %v, want 1 1", va, vb)
+	}
+	// Big 0-plate dominates: the stored 1 is destroyed.
+	if va, vb := run(0.01, 1.0); va != V0 || vb != V0 {
+		t.Errorf("dominant low plate: got %v %v, want 0 0", va, vb)
+	}
+}
+
+func TestChargeSharingWithUnknownGivesX(t *testing.T) {
+	// Merging a small stored 1 with a large never-initialized plate:
+	// the level interval straddles the threshold → X.
+	p := tech.Default()
+	nl := netlist.New("t")
+	a, x, g, da, wa := nl.Node("a"), nl.Node("x"), nl.Node("g"),
+		nl.Node("da"), nl.Node("wa")
+	for _, n := range []*netlist.Node{g, da, wa} {
+		n.Flags |= netlist.FlagInput
+	}
+	a.Cap = 0.01
+	x.Cap = 1.0
+	nl.AddTransistor(netlist.Enh, wa, da, a, 4, 4)
+	nl.AddTransistor(netlist.Enh, g, a, x, 4, 4)
+	nl.Finalize()
+	s := New(nl, nil, p)
+	s.Set(nl.Lookup("g"), V0)
+	s.Set(nl.Lookup("da"), V1)
+	s.Set(nl.Lookup("wa"), V1)
+	s.Quiesce()
+	s.Set(nl.Lookup("wa"), V0)
+	s.Quiesce()
+	s.Set(nl.Lookup("g"), V1)
+	s.Quiesce()
+	if got := s.Value(a); got != VX {
+		t.Errorf("merge with dominant unknown plate: got %v, want X", got)
+	}
+}
+
+func TestChargeSharingAgreementKeepsValue(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	g := b.Input("g")
+	d := b.Input("d")
+	w := b.Input("w")
+	n1 := b.Fresh("n1")
+	n2 := b.Fresh("n2")
+	b.NL.AddTransistor(netlist.Enh, w, d, n1, 4, 4)
+	b.NL.AddTransistor(netlist.Enh, g, n1, n2, 4, 4)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	s.Set(nl.Lookup("g"), V1)
+	s.Set(nl.Lookup("d"), V1)
+	s.Set(nl.Lookup("w"), V1)
+	s.Quiesce()
+	s.Set(nl.Lookup("w"), V0)
+	s.Quiesce()
+	if s.Value(n1) != V1 || s.Value(n2) != V1 {
+		t.Errorf("agreeing isolated cluster must retain: n1=%v n2=%v", s.Value(n1), s.Value(n2))
+	}
+}
+
+func TestEventsTraceMonotone(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	out := b.Output(b.InvChain(in, 5))
+	nl := b.Finish()
+	s := New(nl, nil, p)
+	s.Trace(out)
+	for _, n := range nl.Nodes {
+		if !n.IsSupply() && len(n.Terms) > 0 || n.Flags.Has(netlist.FlagInput) {
+			s.Trace(n)
+		}
+	}
+	s.Set(nl.Lookup("in"), V0)
+	s.Quiesce()
+	s.Set(nl.Lookup("in"), V1)
+	s.Quiesce()
+	ev := s.Events()
+	if len(ev) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Time < ev[i-1].Time {
+			t.Fatal("event trace must be time-ordered")
+		}
+	}
+	s.ClearEvents()
+	if len(s.Events()) != 0 {
+		t.Error("ClearEvents must discard the trace")
+	}
+}
+
+func TestReleaseReturnsNodeToCircuit(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	out := b.Inverter(in)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	s.Set(nl.Lookup("in"), V1)
+	s.Quiesce()
+	// Force the output high against the circuit, then release it.
+	s.Set(out, V1)
+	s.Quiesce()
+	if s.Value(out) != V1 {
+		t.Fatal("forced value must stick while driven")
+	}
+	s.Release(out)
+	s.Quiesce()
+	if s.Value(out) != V0 {
+		t.Errorf("released node must return to circuit value 0, got %v", s.Value(out))
+	}
+}
+
+func TestRingOscillatorHitsEventBudget(t *testing.T) {
+	// An odd ring of inverters oscillates forever; the event budget
+	// must stop it with a panic rather than hang. The ring is kicked
+	// out of the stable all-X state by forcing and releasing one node.
+	p := tech.Default()
+	b := gen.New("t", p)
+	a := b.Fresh("a")
+	out := b.InvChain(a, 2)
+	// Close the ring with a third inversion back onto a.
+	b.NL.AddTransistor(netlist.Dep, a, b.NL.VDD, a, 4, 8)
+	b.NL.AddTransistor(netlist.Enh, out, a, b.NL.GND, 8, 4)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+	s.MaxSteps = 10_000
+	defer func() {
+		if recover() == nil {
+			t.Error("oscillator must exhaust the event budget")
+		}
+	}()
+	s.Set(a, V0)
+	s.Quiesce()
+	s.Release(a)
+	s.Quiesce()
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	out := b.Output(b.InvChain(in, 10))
+	nl := b.Finish()
+	s := New(nl, nil, p)
+	s.Set(nl.Lookup("in"), V0)
+	s.Quiesce()
+	settled := s.Value(out)
+	s.Set(nl.Lookup("in"), V1)
+	s.Run(s.Now() + 1e-6) // far too short for 10 stages
+	if s.Value(out) != settled {
+		t.Error("output flipped before the horizon allowed")
+	}
+	s.Quiesce()
+	if s.Value(out) == settled {
+		t.Error("output must flip after running to quiescence")
+	}
+}
+
+func TestAOITruth(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	a, c, d := b.Input("a"), b.Input("b"), b.Input("c")
+	// out = NOT(a·b + c)
+	out := b.AOI([]*netlist.Node{a, c}, []*netlist.Node{d})
+	nl := b.Finish()
+	s := New(nl, nil, p)
+	for v := 0; v < 8; v++ {
+		av, bv, cv := v&1 != 0, v&2 != 0, v&4 != 0
+		set := func(n *netlist.Node, x bool) {
+			if x {
+				s.Set(n, V1)
+			} else {
+				s.Set(n, V0)
+			}
+		}
+		set(a, av)
+		set(c, bv)
+		set(d, cv)
+		s.Quiesce()
+		want := V1
+		if (av && bv) || cv {
+			want = V0
+		}
+		if got := s.Value(out); got != want {
+			t.Errorf("AOI(%v,%v,%v) = %v, want %v", av, bv, cv, got, want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	p := tech.Default()
+	run := func() []Event {
+		b := gen.New("t", p)
+		in := b.Input("in")
+		out := b.Output(b.InvChain(in, 6))
+		nl := b.Finish()
+		s := New(nl, nil, p)
+		s.Trace(out)
+		s.Set(nl.Lookup("in"), V0)
+		s.Quiesce()
+		s.Set(nl.Lookup("in"), V1)
+		s.Quiesce()
+		return s.Events()
+	}
+	a, c := run(), run()
+	if len(a) != len(c) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i].Time != c[i].Time || a[i].Val != c[i].Val {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+func build(t *testing.T, f func(b *gen.B) *netlist.Node) (*netlist.Netlist, *netlist.Node, *Sim) {
+	t.Helper()
+	p := tech.Default()
+	b := gen.New("t", p)
+	out := f(b)
+	nl := b.Finish()
+	return nl, out, New(nl, nil, p)
+}
+
+func TestInverterTruth(t *testing.T) {
+	nl, out, s := build(t, func(b *gen.B) *netlist.Node {
+		return b.Inverter(b.Input("in"))
+	})
+	in := nl.Lookup("in")
+
+	s.Set(in, V0)
+	s.Quiesce()
+	if got := s.Value(out); got != V1 {
+		t.Fatalf("inv(0) = %v, want 1", got)
+	}
+	s.Set(in, V1)
+	s.Quiesce()
+	if got := s.Value(out); got != V0 {
+		t.Fatalf("inv(1) = %v, want 0", got)
+	}
+}
+
+func TestInverterRiseSlowerThanFall(t *testing.T) {
+	nl, out, s := build(t, func(b *gen.B) *netlist.Node {
+		return b.Inverter(b.Input("in"))
+	})
+	in := nl.Lookup("in")
+	s.Trace(out)
+
+	s.Set(in, V1)
+	s.Quiesce()
+	t0 := s.Now()
+	s.Set(in, V0) // output rises through the depletion load
+	s.Quiesce()
+	rise := s.LastChange(out) - t0
+
+	t0 = s.Now()
+	s.Set(in, V1) // output falls through the pulldown
+	s.Quiesce()
+	fall := s.LastChange(out) - t0
+
+	if !(rise > fall) {
+		t.Fatalf("ratioed inverter: rise %v should exceed fall %v", rise, fall)
+	}
+}
+
+func TestNandTruth(t *testing.T) {
+	nl, out, s := build(t, func(b *gen.B) *netlist.Node {
+		return b.Nand(b.Input("a"), b.Input("b"))
+	})
+	a, bn := nl.Lookup("a"), nl.Lookup("b")
+	cases := []struct {
+		va, vb Value
+		want   Value
+	}{
+		{V0, V0, V1}, {V0, V1, V1}, {V1, V0, V1}, {V1, V1, V0},
+	}
+	for _, c := range cases {
+		s.Set(a, c.va)
+		s.Set(bn, c.vb)
+		s.Quiesce()
+		if got := s.Value(out); got != c.want {
+			t.Errorf("nand(%v,%v) = %v, want %v", c.va, c.vb, got, c.want)
+		}
+	}
+}
+
+func TestNorTruth(t *testing.T) {
+	nl, out, s := build(t, func(b *gen.B) *netlist.Node {
+		return b.Nor(b.Input("a"), b.Input("b"))
+	})
+	a, bn := nl.Lookup("a"), nl.Lookup("b")
+	cases := []struct {
+		va, vb Value
+		want   Value
+	}{
+		{V0, V0, V1}, {V0, V1, V0}, {V1, V0, V0}, {V1, V1, V0},
+	}
+	for _, c := range cases {
+		s.Set(a, c.va)
+		s.Set(bn, c.vb)
+		s.Quiesce()
+		if got := s.Value(out); got != c.want {
+			t.Errorf("nor(%v,%v) = %v, want %v", c.va, c.vb, got, c.want)
+		}
+	}
+}
+
+func TestPassLatchRetention(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("latch", p)
+	phi := b.Input("phi") // drive the clock manually in simulation
+	d := b.Input("d")
+	store, qbar := b.Latch(phi, d)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	s.Set(nl.Lookup("d"), V1)
+	s.Set(nl.Lookup("phi"), V1)
+	s.Quiesce()
+	if got := s.Value(store); got != V1 {
+		t.Fatalf("latch open, store = %v, want 1", got)
+	}
+	if got := s.Value(qbar); got != V0 {
+		t.Fatalf("latch open, qbar = %v, want 0", got)
+	}
+
+	// Close the latch, flip the input: the stored value must persist.
+	s.Set(nl.Lookup("phi"), V0)
+	s.Quiesce()
+	s.Set(nl.Lookup("d"), V0)
+	s.Quiesce()
+	if got := s.Value(store); got != V1 {
+		t.Fatalf("latch closed, store = %v, want retained 1", got)
+	}
+	if got := s.Value(qbar); got != V0 {
+		t.Fatalf("latch closed, qbar = %v, want 0", got)
+	}
+
+	// Reopen: the new value flows through.
+	s.Set(nl.Lookup("phi"), V1)
+	s.Quiesce()
+	if got := s.Value(store); got != V0 {
+		t.Fatalf("latch reopened, store = %v, want 0", got)
+	}
+	if got := s.Value(qbar); got != V1 {
+		t.Fatalf("latch reopened, qbar = %v, want 1", got)
+	}
+	_ = phi
+}
+
+func TestPassChainDelayGrowsSuperlinearly(t *testing.T) {
+	p := tech.Default()
+	delayOf := func(n int) float64 {
+		b := gen.New("chain", p)
+		in := b.Input("in")
+		ctrl := b.Input("ctrl")
+		out := b.Output(b.PassChain(in, ctrl, n))
+		nl := b.Finish()
+		s := New(nl, nil, p)
+		s.Set(nl.Lookup("ctrl"), V1)
+		s.Set(nl.Lookup("in"), V0)
+		s.Quiesce()
+		t0 := s.Now()
+		s.Set(nl.Lookup("in"), V1)
+		s.Quiesce()
+		return s.LastChange(out) - t0
+	}
+	d2, d4, d8 := delayOf(2), delayOf(4), delayOf(8)
+	if !(d4 > 2*d2) {
+		t.Errorf("pass chain delay not superlinear: d2=%v d4=%v", d2, d4)
+	}
+	if !(d8 > 2*d4) {
+		t.Errorf("pass chain delay not superlinear: d4=%v d8=%v", d4, d8)
+	}
+}
+
+func TestPrechargedBusEvaluate(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("dyn", p)
+	pre := b.Input("pre") // manual precharge control
+	sig := b.Input("sig")
+	en := b.Input("en")
+	dyn := b.PrechargedNode(pre)
+	b.DischargeBranch(dyn, en, sig)
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	// Precharge.
+	s.Set(nl.Lookup("sig"), V0)
+	s.Set(nl.Lookup("en"), V0)
+	s.Set(nl.Lookup("pre"), V1)
+	s.Quiesce()
+	if got := s.Value(dyn); got != V1 {
+		t.Fatalf("after precharge, dyn = %v, want 1", got)
+	}
+	// Release precharge: the dynamic node retains its charge.
+	s.Set(nl.Lookup("pre"), V0)
+	s.Quiesce()
+	if got := s.Value(dyn); got != V1 {
+		t.Fatalf("after release, dyn = %v, want retained 1", got)
+	}
+	// Evaluate: conducting stack discharges the node.
+	s.Set(nl.Lookup("sig"), V1)
+	s.Set(nl.Lookup("en"), V1)
+	s.Quiesce()
+	if got := s.Value(dyn); got != V0 {
+		t.Fatalf("after evaluate, dyn = %v, want 0", got)
+	}
+}
+
+func TestXWhenUninitialized(t *testing.T) {
+	nl, out, s := build(t, func(b *gen.B) *netlist.Node {
+		return b.Inverter(b.Input("in"))
+	})
+	_ = nl
+	s.wakeNode(nl.Lookup("in").Index)
+	s.Quiesce()
+	if got := s.Value(out); got != VX {
+		t.Fatalf("inv(X) = %v, want X", got)
+	}
+}
+
+func TestShiftRegisterTwoPhase(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("sr", p)
+	phi1 := b.Input("phi1")
+	phi2 := b.Input("phi2")
+	in := b.Input("in")
+	out := b.Output(b.ShiftRegister(in, phi1, phi2, 2))
+	nl := b.Finish()
+	s := New(nl, nil, p)
+
+	clk1, clk2, din := nl.Lookup("phi1"), nl.Lookup("phi2"), nl.Lookup("in")
+	s.Set(clk1, V0)
+	s.Set(clk2, V0)
+
+	cycle := func(v Value) {
+		s.Set(din, v)
+		s.Set(clk1, V1)
+		s.Quiesce()
+		s.Set(clk1, V0)
+		s.Quiesce()
+		s.Set(clk2, V1)
+		s.Quiesce()
+		s.Set(clk2, V0)
+		s.Quiesce()
+	}
+	// Each stage is latch(φ1)→inv→latch(φ2)→inv: non-inverting per
+	// stage. Two stages delay the input by two cycles.
+	cycle(V1) // cycle 1: stage1 holds 1
+	cycle(V0) // cycle 2: stage2 holds 1, stage1 holds 0
+	if got := s.Value(out); got != V1 {
+		t.Fatalf("after 2 cycles, out = %v, want 1 (first datum)", got)
+	}
+	cycle(V0) // cycle 3: stage2 holds 0
+	if got := s.Value(out); got != V0 {
+		t.Fatalf("after 3 cycles, out = %v, want 0", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package simfile reads and writes transistor netlists in the Berkeley
+// ".sim" interchange dialect produced by 1980s layout extractors (MEXTRA)
+// and consumed by esim/RSIM-class tools.
+//
+// The dialect accepted here:
+//
+//	| units: N ...       comment; a "units:" token declares that N file
+//	                     units equal one micron (MEXTRA wrote centimicrons
+//	                     as "units: 100") — device l/w are scaled by 1/N
+//	| text...            any other comment is ignored
+//	e gate a b l w [dir] enhancement transistor, l/w in µm; the optional
+//	                     dir token ">" or "<" forces signal flow a→b or
+//	                     b→a (designer annotation for pass chains the
+//	                     flow heuristic cannot orient)
+//	d gate a b l w [dir] depletion transistor, l/w in µm
+//	C n1 n2 cap          capacitance in fF between two nodes; when one
+//	                     side is a supply the full value lumps onto the
+//	                     other node, otherwise half lumps onto each
+//	N node cap           capacitance in fF from node to ground
+//	= canonical alias    node aliasing (extractor merge records)
+//	A node attrs...      annotation record (this repository's extension,
+//	                     replacing the side files designers used):
+//	                     input output clock=1|2 precharged[=phase]
+//	                     storage[=phase] flowin flowout
+//
+// Node names "vdd", "Vdd", "VDD", "gnd", "GND", "vss" denote the supplies.
+package simfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nmostv/internal/netlist"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("simfile: line %d: %s", e.Line, e.Msg) }
+
+// Read parses a .sim stream into a netlist named name. The returned netlist
+// is finalized.
+func Read(r io.Reader, name string) (*netlist.Netlist, error) {
+	nl := netlist.New(name)
+	alias := make(map[string]string) // alias -> canonical
+
+	resolve := func(n string) string {
+		seen := 0
+		for {
+			c, ok := alias[n]
+			if !ok {
+				return n
+			}
+			n = c
+			if seen++; seen > len(alias)+1 {
+				return n // defensive: alias cycle
+			}
+		}
+	}
+	node := func(n string) *netlist.Node { return nl.Node(resolve(n)) }
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return &ParseError{Line: lineNo, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	unitsPerMicron := 1.0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "|") {
+			if u, ok := parseUnits(line); ok {
+				if u <= 0 {
+					return nil, fail("units must be positive, got %g", u)
+				}
+				unitsPerMicron = u
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "e", "d":
+			if len(f) < 6 || len(f) > 7 {
+				return nil, fail("transistor record needs 5 fields, got %d", len(f)-1)
+			}
+			l, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return nil, fail("bad length %q: %v", f[4], err)
+			}
+			w, err := strconv.ParseFloat(f[5], 64)
+			if err != nil {
+				return nil, fail("bad width %q: %v", f[5], err)
+			}
+			k := netlist.Enh
+			if f[0] == "d" {
+				k = netlist.Dep
+			}
+			tr := nl.AddTransistor(k, node(f[1]), node(f[2]), node(f[3]),
+				w/unitsPerMicron, l/unitsPerMicron)
+			if len(f) == 7 {
+				switch f[6] {
+				case ">":
+					tr.ForceFlow = netlist.FlowAB
+				case "<":
+					tr.ForceFlow = netlist.FlowBA
+				default:
+					return nil, fail("bad direction token %q (want > or <)", f[6])
+				}
+			}
+		case "C":
+			if len(f) != 4 {
+				return nil, fail("C record needs 3 fields, got %d", len(f)-1)
+			}
+			fF, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return nil, fail("bad capacitance %q: %v", f[3], err)
+			}
+			pF := fF / 1000
+			n1, n2 := node(f[1]), node(f[2])
+			switch {
+			case n1.IsSupply() && n2.IsSupply():
+				// Cap between supplies is irrelevant to timing.
+			case n1.IsSupply():
+				n2.Cap += pF
+			case n2.IsSupply():
+				n1.Cap += pF
+			default:
+				n1.Cap += pF / 2
+				n2.Cap += pF / 2
+			}
+		case "N":
+			if len(f) != 3 {
+				return nil, fail("N record needs 2 fields, got %d", len(f)-1)
+			}
+			fF, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fail("bad capacitance %q: %v", f[2], err)
+			}
+			node(f[1]).Cap += fF / 1000
+		case "=":
+			if len(f) != 3 {
+				return nil, fail("= record needs 2 fields, got %d", len(f)-1)
+			}
+			canon, al := resolve(f[1]), f[2]
+			if canon == resolve(al) {
+				break // already merged
+			}
+			if old := nl.Lookup(al); old != nil {
+				return nil, fail("alias %q appears after the node was already used", al)
+			}
+			alias[al] = canon
+		case "A":
+			if len(f) < 3 {
+				return nil, fail("A record needs a node and at least one attribute")
+			}
+			n := node(f[1])
+			for _, attr := range f[2:] {
+				if err := applyAttr(n, attr); err != nil {
+					return nil, fail("%v", err)
+				}
+			}
+		default:
+			return nil, fail("unknown record type %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("simfile: %w", err)
+	}
+	nl.Finalize()
+	return nl, nil
+}
+
+// parseUnits extracts the "units:" declaration from a comment line.
+func parseUnits(line string) (float64, bool) {
+	fields := strings.Fields(strings.TrimPrefix(line, "|"))
+	for i, f := range fields {
+		if f == "units:" && i+1 < len(fields) {
+			u, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return 0, false
+			}
+			return u, true
+		}
+		if v, ok := strings.CutPrefix(f, "units:"); ok && v != "" {
+			u, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, false
+			}
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+func applyAttr(n *netlist.Node, attr string) error {
+	key, val, hasVal := strings.Cut(attr, "=")
+	phase := 0
+	if hasVal {
+		p, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("attribute %q: bad phase %q", key, val)
+		}
+		phase = p
+	}
+	switch key {
+	case "input":
+		n.Flags |= netlist.FlagInput
+	case "output":
+		n.Flags |= netlist.FlagOutput
+	case "clock":
+		if !hasVal {
+			return fmt.Errorf("attribute clock requires a phase, e.g. clock=1")
+		}
+		n.Flags |= netlist.FlagClock
+		n.Phase = phase
+	case "precharged":
+		n.Flags |= netlist.FlagPrecharged
+		if hasVal {
+			n.Phase = phase
+		}
+	case "storage":
+		n.Flags |= netlist.FlagStorage
+		if hasVal {
+			n.Phase = phase
+		}
+	case "flowin":
+		n.Flags |= netlist.FlagFlowIn
+	case "flowout":
+		n.Flags |= netlist.FlagFlowOut
+	case "exclusive":
+		if !hasVal {
+			return fmt.Errorf("attribute exclusive requires a group id, e.g. exclusive=3")
+		}
+		n.Exclusive = phase
+	default:
+		return fmt.Errorf("unknown attribute %q", key)
+	}
+	return nil
+}
+
+// Write emits the netlist in the dialect accepted by Read. Records are
+// ordered deterministically: a comment header, transistors in index order,
+// node capacitances in name order, then annotations in name order.
+func Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "| nmostv .sim dialect; circuit %s; l/w in microns, C in fF\n", nl.Name)
+	for _, t := range nl.Trans {
+		dir := ""
+		switch t.ForceFlow {
+		case netlist.FlowAB:
+			dir = " >"
+		case netlist.FlowBA:
+			dir = " <"
+		}
+		fmt.Fprintf(bw, "%s %s %s %s %s %s%s\n",
+			t.Kind, t.Gate.Name, t.A.Name, t.B.Name,
+			formatFloat(t.L), formatFloat(t.W), dir)
+	}
+
+	nodes := make([]*netlist.Node, len(nl.Nodes))
+	copy(nodes, nl.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	for _, n := range nodes {
+		if n.Cap > 0 {
+			fmt.Fprintf(bw, "N %s %s\n", n.Name, formatFloat(n.Cap*1000))
+		}
+	}
+	for _, n := range nodes {
+		attrs := attrList(n)
+		if len(attrs) > 0 {
+			fmt.Fprintf(bw, "A %s %s\n", n.Name, strings.Join(attrs, " "))
+		}
+	}
+	return bw.Flush()
+}
+
+func attrList(n *netlist.Node) []string {
+	var attrs []string
+	if n.Flags.Has(netlist.FlagInput) {
+		attrs = append(attrs, "input")
+	}
+	if n.Flags.Has(netlist.FlagOutput) {
+		attrs = append(attrs, "output")
+	}
+	if n.Flags.Has(netlist.FlagClock) {
+		attrs = append(attrs, fmt.Sprintf("clock=%d", n.Phase))
+	}
+	if n.Flags.Has(netlist.FlagPrecharged) {
+		if n.Phase != 0 && !n.Flags.Has(netlist.FlagClock) {
+			attrs = append(attrs, fmt.Sprintf("precharged=%d", n.Phase))
+		} else {
+			attrs = append(attrs, "precharged")
+		}
+	}
+	if n.Flags.Has(netlist.FlagStorage) {
+		if n.Phase != 0 && !n.Flags.Has(netlist.FlagClock) && !n.Flags.Has(netlist.FlagPrecharged) {
+			attrs = append(attrs, fmt.Sprintf("storage=%d", n.Phase))
+		} else {
+			attrs = append(attrs, "storage")
+		}
+	}
+	if n.Flags.Has(netlist.FlagFlowIn) {
+		attrs = append(attrs, "flowin")
+	}
+	if n.Flags.Has(netlist.FlagFlowOut) {
+		attrs = append(attrs, "flowout")
+	}
+	if n.Exclusive != 0 {
+		attrs = append(attrs, fmt.Sprintf("exclusive=%d", n.Exclusive))
+	}
+	return attrs
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

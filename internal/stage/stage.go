@@ -1,0 +1,159 @@
+// Package stage partitions a transistor netlist into stages: the
+// channel-connected components that 1980s switch-level tools used as the
+// unit of electrical analysis. Two transistors belong to the same stage
+// when their channels share a non-supply node; the supplies (VDD, GND) act
+// as cut points. A ratioed NAND gate is one stage; a pass-transistor chain
+// between two gates is one stage; an entire precharged bus with all its
+// drivers is one stage.
+package stage
+
+import (
+	"fmt"
+	"sort"
+
+	"nmostv/internal/netlist"
+)
+
+// Stage is one channel-connected component.
+type Stage struct {
+	// Index is the stage number (dense, deterministic: ordered by the
+	// smallest transistor index in the stage).
+	Index int
+	// Trans is the stage's devices in netlist index order.
+	Trans []*netlist.Transistor
+	// Nodes is the stage's channel nodes (non-supply), in index order.
+	Nodes []*netlist.Node
+	// GateInputs is the distinct non-supply nodes gating the stage's
+	// devices, in index order. These are the signal inputs of restoring
+	// logic and the control inputs of pass devices.
+	GateInputs []*netlist.Node
+	// HasPullup reports whether any device connects the stage to VDD.
+	HasPullup bool
+	// HasPulldown reports whether any device connects the stage to GND.
+	HasPulldown bool
+}
+
+// IsRestoring reports whether the stage can actively drive a node to a
+// logic level (it touches at least one supply).
+func (s *Stage) IsRestoring() bool { return s.HasPullup || s.HasPulldown }
+
+// String summarizes the stage.
+func (s *Stage) String() string {
+	return fmt.Sprintf("stage %d: %d devices, %d nodes, %d gate inputs",
+		s.Index, len(s.Trans), len(s.Nodes), len(s.GateInputs))
+}
+
+// Result is the full partition of a netlist.
+type Result struct {
+	// Stages lists every stage.
+	Stages []*Stage
+	// ByNode maps each non-supply channel node to its (unique) stage.
+	// Nodes that touch no transistor channel are absent.
+	ByNode map[*netlist.Node]*Stage
+	// ByTrans maps each transistor to its stage.
+	ByTrans map[*netlist.Transistor]*Stage
+}
+
+// Extract partitions the netlist. Finalize must have been called.
+func Extract(nl *netlist.Netlist) *Result {
+	n := len(nl.Trans)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // keep the smallest index as root for determinism
+		}
+	}
+
+	for _, node := range nl.Nodes {
+		if node.IsSupply() || len(node.Terms) < 2 {
+			continue
+		}
+		first := node.Terms[0].Index
+		for _, t := range node.Terms[1:] {
+			union(first, t.Index)
+		}
+	}
+
+	// Path-compress fully so roots are final before grouping.
+	groups := make(map[int][]*netlist.Transistor)
+	var roots []int
+	for _, t := range nl.Trans {
+		r := find(t.Index)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], t)
+	}
+	sort.Ints(roots)
+
+	res := &Result{
+		ByNode:  make(map[*netlist.Node]*Stage),
+		ByTrans: make(map[*netlist.Transistor]*Stage),
+	}
+	for _, r := range roots {
+		s := &Stage{Index: len(res.Stages), Trans: groups[r]}
+		nodeSet := make(map[*netlist.Node]bool)
+		gateSet := make(map[*netlist.Node]bool)
+		for _, t := range s.Trans {
+			res.ByTrans[t] = s
+			for _, term := range []*netlist.Node{t.A, t.B} {
+				if term.IsSupply() {
+					if term.Name == "vdd" {
+						s.HasPullup = true
+					} else {
+						s.HasPulldown = true
+					}
+					continue
+				}
+				if !nodeSet[term] {
+					nodeSet[term] = true
+					s.Nodes = append(s.Nodes, term)
+					res.ByNode[term] = s
+				}
+			}
+			if !t.Gate.IsSupply() && !gateSet[t.Gate] {
+				gateSet[t.Gate] = true
+				s.GateInputs = append(s.GateInputs, t.Gate)
+			}
+		}
+		sortNodes(s.Nodes)
+		sortNodes(s.GateInputs)
+		res.Stages = append(res.Stages, s)
+	}
+	return res
+}
+
+func sortNodes(nodes []*netlist.Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
+}
+
+// FanoutStages returns the stages that node n feeds as a gate input, in
+// stage index order without duplicates.
+func (r *Result) FanoutStages(n *netlist.Node) []*Stage {
+	seen := make(map[*Stage]bool)
+	var out []*Stage
+	for _, t := range n.Gates {
+		s := r.ByTrans[t]
+		if s != nil && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

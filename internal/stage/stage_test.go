@@ -1,0 +1,209 @@
+package stage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+func TestInverterIsOneStage(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	out := b.Inverter(b.Input("in"))
+	nl := b.Finish()
+	r := Extract(nl)
+	if len(r.Stages) != 1 {
+		t.Fatalf("inverter extracted as %d stages, want 1", len(r.Stages))
+	}
+	s := r.Stages[0]
+	if len(s.Trans) != 2 || !s.HasPullup || !s.HasPulldown {
+		t.Errorf("inverter stage malformed: %v", s)
+	}
+	if !s.IsRestoring() {
+		t.Error("inverter stage must be restoring")
+	}
+	if r.ByNode[out] != s {
+		t.Error("output node must map to the stage")
+	}
+	if len(s.GateInputs) != 2 { // "in" gates the pulldown, "out" gates its own load
+		t.Errorf("gate inputs %v, want [in out]", s.GateInputs)
+	}
+}
+
+func TestChainOfInvertersSeparateStages(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	b.Output(b.InvChain(b.Input("in"), 5))
+	nl := b.Finish()
+	r := Extract(nl)
+	if len(r.Stages) != 5 {
+		t.Fatalf("5-inverter chain extracted as %d stages, want 5", len(r.Stages))
+	}
+}
+
+func TestNandSingleStageWithInternalNode(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	b.Nand(b.Input("a"), b.Input("b"), b.Input("c"))
+	nl := b.Finish()
+	r := Extract(nl)
+	if len(r.Stages) != 1 {
+		t.Fatalf("nand3 extracted as %d stages, want 1", len(r.Stages))
+	}
+	s := r.Stages[0]
+	// 1 load + 3 stack devices; nodes: out + 2 internal stack nodes.
+	if len(s.Trans) != 4 || len(s.Nodes) != 3 {
+		t.Errorf("nand3 stage has %d devices, %d nodes; want 4, 3", len(s.Trans), len(s.Nodes))
+	}
+}
+
+func TestPassChainIsOneStageWithDriver(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	driver := b.Inverter(in)
+	b.Output(b.PassChain(driver, b.Input("ctrl"), 4))
+	nl := b.Finish()
+	r := Extract(nl)
+	// The pass chain shares node "driver" with the inverter: all one
+	// channel-connected stage.
+	if len(r.Stages) != 1 {
+		t.Fatalf("driver+pass chain extracted as %d stages, want 1", len(r.Stages))
+	}
+	if got := len(r.Stages[0].Trans); got != 6 {
+		t.Errorf("stage has %d devices, want 6 (2 inverter + 4 pass)", got)
+	}
+}
+
+func TestSuppliesAreCutPoints(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	// Two independent inverters share only VDD/GND.
+	b.Inverter(b.Input("a"))
+	b.Inverter(b.Input("b"))
+	nl := b.Finish()
+	r := Extract(nl)
+	if len(r.Stages) != 2 {
+		t.Fatalf("two inverters extracted as %d stages, want 2", len(r.Stages))
+	}
+}
+
+func TestFanoutStages(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("t", p)
+	in := b.Input("in")
+	mid := b.Inverter(in)
+	b.Inverter(mid)
+	b.Nand(mid, b.Input("x"))
+	nl := b.Finish()
+	r := Extract(nl)
+	fan := r.FanoutStages(mid)
+	if len(fan) != 3 {
+		// mid gates its own depletion load (same stage), the second
+		// inverter, and the nand.
+		t.Fatalf("fanout of mid: %d stages, want 3", len(fan))
+	}
+	for i := 1; i < len(fan); i++ {
+		if fan[i-1].Index >= fan[i].Index {
+			t.Error("FanoutStages must be sorted by index")
+		}
+	}
+}
+
+// TestPartitionProperty checks the defining invariant on random circuits:
+// every transistor is in exactly one stage, every non-supply channel node
+// maps to exactly one stage, and stage indices are dense.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := randomCircuit(rand.New(rand.NewSource(seed)))
+		r := Extract(nl)
+		seenTrans := make(map[*netlist.Transistor]int)
+		for si, s := range r.Stages {
+			if s.Index != si {
+				return false
+			}
+			for _, tr := range s.Trans {
+				if _, dup := seenTrans[tr]; dup {
+					return false
+				}
+				seenTrans[tr] = si
+			}
+			for _, n := range s.Nodes {
+				if n.IsSupply() || r.ByNode[n] != s {
+					return false
+				}
+			}
+		}
+		if len(seenTrans) != len(nl.Trans) {
+			return false
+		}
+		for _, tr := range nl.Trans {
+			if r.ByTrans[tr] == nil {
+				return false
+			}
+		}
+		// Channel-connectivity: two devices sharing a non-supply channel
+		// node must be in the same stage.
+		for _, n := range nl.Nodes {
+			if n.IsSupply() || len(n.Terms) < 2 {
+				continue
+			}
+			first := r.ByTrans[n.Terms[0]]
+			for _, tr := range n.Terms[1:] {
+				if r.ByTrans[tr] != first {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomCircuit builds a random mix of gates, passes, and latches.
+func randomCircuit(rng *rand.Rand) *netlist.Netlist {
+	p := tech.Default()
+	b := gen.New("rand", p)
+	pool := []*netlist.Node{b.Input("i0"), b.Input("i1"), b.Input("i2")}
+	pick := func() *netlist.Node { return pool[rng.Intn(len(pool))] }
+	n := 3 + rng.Intn(25)
+	for i := 0; i < n; i++ {
+		var out *netlist.Node
+		switch rng.Intn(5) {
+		case 0:
+			out = b.Inverter(pick())
+		case 1:
+			out = b.Nand(pick(), pick())
+		case 2:
+			out = b.Nor(pick(), pick())
+		case 3:
+			out = b.PassChain(pick(), pick(), 1+rng.Intn(3))
+		default:
+			_, out = b.Latch(pick(), pick())
+		}
+		pool = append(pool, out)
+	}
+	return b.Finish()
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
+	a := Extract(nl)
+	b := Extract(nl)
+	if len(a.Stages) != len(b.Stages) {
+		t.Fatal("stage counts differ between runs")
+	}
+	for i := range a.Stages {
+		if len(a.Stages[i].Trans) != len(b.Stages[i].Trans) ||
+			a.Stages[i].Trans[0] != b.Stages[i].Trans[0] {
+			t.Fatalf("stage %d differs between runs", i)
+		}
+	}
+}

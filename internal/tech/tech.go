@@ -1,0 +1,171 @@
+// Package tech holds the electrical technology parameters for an nMOS
+// process and the primitive resistance/capacitance calculations derived
+// from them.
+//
+// The unit system used throughout the repository is chosen so that delay
+// falls out of multiplication with no conversion factors:
+//
+//	resistance  kΩ
+//	capacitance pF
+//	time        ns  (kΩ × pF = ns)
+//	length      µm
+//
+// The default parameter set models a 1983-era 4µm (λ = 2µm) nMOS process
+// with Mead & Conway style numbers: ~10 kΩ/□ effective on-resistance for an
+// enhancement channel, a depletion load sized for ratioed logic, and gate
+// oxide capacitance of 0.4 fF/µm².
+package tech
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params is a complete electrical description of an nMOS process as used by
+// the delay models. The zero value is not usable; start from Default() and
+// override fields as needed.
+type Params struct {
+	// Lambda is the scalable design unit in µm. Minimum drawn transistor
+	// is 2λ × 2λ.
+	Lambda float64
+
+	// REnh is the effective on-resistance, in kΩ per square (L/W), of an
+	// enhancement-mode channel when used as a pulldown (gate driven to a
+	// full VDD level).
+	REnh float64
+
+	// RPass is the effective resistance, in kΩ per square, of an
+	// enhancement device used as a pass transistor. Pass transistors
+	// conduct with a degraded gate drive (the source rises toward
+	// VDD−Vth), so their effective resistance is higher than a grounded
+	// source pulldown's.
+	RPass float64
+
+	// RDep is the effective resistance, in kΩ per square (here squares of
+	// L/W of the load device), of a depletion-mode pullup load.
+	RDep float64
+
+	// CGate is gate capacitance in pF per µm² of gate area (W×L).
+	CGate float64
+
+	// CDiffArea is source/drain diffusion capacitance in pF per µm² of
+	// junction area. The junction area per transistor terminal is
+	// approximated as W × DiffExt.
+	CDiffArea float64
+
+	// DiffExt is the assumed diffusion extension beyond the gate, in µm,
+	// used to estimate junction area (W × DiffExt per terminal).
+	DiffExt float64
+
+	// VDD is the supply voltage in volts. It does not enter first-order
+	// RC delays but is recorded for reporting and for the simulator's
+	// threshold bookkeeping.
+	VDD float64
+
+	// VInv is the inverter logic threshold in volts (the input voltage at
+	// which a ratioed inverter's output crosses its own threshold).
+	VInv float64
+
+	// VTh is the enhancement threshold voltage in volts; used to reason
+	// about degraded pass-transistor levels.
+	VTh float64
+}
+
+// Default returns the canonical 4µm nMOS parameter set used by all
+// benchmarks in this repository.
+func Default() Params {
+	return Params{
+		Lambda:    2.0,
+		REnh:      10.0,   // kΩ/sq
+		RPass:     20.0,   // kΩ/sq — degraded gate drive through a pass device
+		RDep:      40.0,   // kΩ/sq — load device conducting with Vgs=0
+		CGate:     0.0004, // pF/µm² (0.4 fF/µm²)
+		CDiffArea: 0.0001, // pF/µm²
+		DiffExt:   5.0,    // µm
+		VDD:       5.0,
+		VInv:      2.2,
+		VTh:       1.0,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	type check struct {
+		name string
+		v    float64
+	}
+	for _, c := range []check{
+		{"Lambda", p.Lambda},
+		{"REnh", p.REnh},
+		{"RPass", p.RPass},
+		{"RDep", p.RDep},
+		{"CGate", p.CGate},
+		{"CDiffArea", p.CDiffArea},
+		{"DiffExt", p.DiffExt},
+		{"VDD", p.VDD},
+		{"VInv", p.VInv},
+		{"VTh", p.VTh},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("tech: parameter %s must be positive, got %g", c.name, c.v)
+		}
+	}
+	if p.VInv >= p.VDD {
+		return errors.New("tech: VInv must be below VDD")
+	}
+	if p.VTh >= p.VDD {
+		return errors.New("tech: VTh must be below VDD")
+	}
+	return nil
+}
+
+// RChannel returns the effective channel resistance in kΩ of a device with
+// the given drawn width and length in µm, for a channel with base
+// resistance rPerSquare kΩ per square. Resistance scales with the number of
+// squares L/W.
+func RChannel(rPerSquare, w, l float64) float64 {
+	if w <= 0 || l <= 0 {
+		return 0
+	}
+	return rPerSquare * l / w
+}
+
+// RPulldown returns the effective pulldown resistance in kΩ of an
+// enhancement device of drawn size w×l µm.
+func (p Params) RPulldown(w, l float64) float64 { return RChannel(p.REnh, w, l) }
+
+// RPassDevice returns the effective series resistance in kΩ of an
+// enhancement device of drawn size w×l µm used as a pass transistor.
+func (p Params) RPassDevice(w, l float64) float64 { return RChannel(p.RPass, w, l) }
+
+// RLoad returns the effective pullup resistance in kΩ of a depletion load of
+// drawn size w×l µm.
+func (p Params) RLoad(w, l float64) float64 { return RChannel(p.RDep, w, l) }
+
+// CGateOf returns the gate capacitance in pF presented by a device of drawn
+// size w×l µm.
+func (p Params) CGateOf(w, l float64) float64 { return p.CGate * w * l }
+
+// CDiffOf returns the source/drain junction capacitance in pF contributed by
+// one terminal of a device of drawn width w µm.
+func (p Params) CDiffOf(w float64) float64 { return p.CDiffArea * w * p.DiffExt }
+
+// MinW returns the minimum drawn transistor width (2λ) in µm.
+func (p Params) MinW() float64 { return 2 * p.Lambda }
+
+// MinL returns the minimum drawn transistor length (2λ) in µm.
+func (p Params) MinL() float64 { return 2 * p.Lambda }
+
+// Tau returns the characteristic time constant in ns of a minimum inverter:
+// the pulldown resistance of a minimum enhancement device discharging one
+// minimum gate load. This is the natural time unit of the process and a
+// convenient sanity scale for reports.
+func (p Params) Tau() float64 {
+	return p.RPulldown(p.MinW(), p.MinL()) * p.CGateOf(p.MinW(), p.MinL())
+}
+
+// String returns a one-line summary of the process.
+func (p Params) String() string {
+	return fmt.Sprintf("nMOS λ=%gµm REnh=%gkΩ/sq RDep=%gkΩ/sq τ=%.3gns",
+		p.Lambda, p.REnh, p.RDep, p.Tau())
+}

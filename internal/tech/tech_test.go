@@ -1,0 +1,104 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() must validate: %v", err)
+	}
+}
+
+func TestValidateCatchesNonPositive(t *testing.T) {
+	fields := []func(*Params) *float64{
+		func(p *Params) *float64 { return &p.Lambda },
+		func(p *Params) *float64 { return &p.REnh },
+		func(p *Params) *float64 { return &p.RPass },
+		func(p *Params) *float64 { return &p.RDep },
+		func(p *Params) *float64 { return &p.CGate },
+		func(p *Params) *float64 { return &p.CDiffArea },
+		func(p *Params) *float64 { return &p.DiffExt },
+		func(p *Params) *float64 { return &p.VDD },
+		func(p *Params) *float64 { return &p.VInv },
+		func(p *Params) *float64 { return &p.VTh },
+	}
+	for i, get := range fields {
+		for _, bad := range []float64{0, -1} {
+			p := Default()
+			*get(&p) = bad
+			if err := p.Validate(); err == nil {
+				t.Errorf("field %d = %g: Validate() = nil, want error", i, bad)
+			}
+		}
+	}
+}
+
+func TestValidateVoltageOrdering(t *testing.T) {
+	p := Default()
+	p.VInv = p.VDD
+	if err := p.Validate(); err == nil {
+		t.Error("VInv = VDD must fail validation")
+	}
+	p = Default()
+	p.VTh = p.VDD + 1
+	if err := p.Validate(); err == nil {
+		t.Error("VTh > VDD must fail validation")
+	}
+}
+
+func TestRChannelSquares(t *testing.T) {
+	// A channel of L = 2W is two squares: double the resistance.
+	r1 := RChannel(10, 4, 4)
+	r2 := RChannel(10, 4, 8)
+	if r1 != 10 {
+		t.Errorf("square device: got %g kΩ, want 10", r1)
+	}
+	if r2 != 20 {
+		t.Errorf("two-square device: got %g kΩ, want 20", r2)
+	}
+	if RChannel(10, 0, 4) != 0 || RChannel(10, 4, 0) != 0 {
+		t.Error("degenerate sizes must give zero resistance")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := Default()
+	if got, want := p.CGateOf(4, 4), p.CGate*16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CGateOf(4,4) = %g, want %g", got, want)
+	}
+	if got, want := p.CDiffOf(4), p.CDiffArea*4*p.DiffExt; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDiffOf(4) = %g, want %g", got, want)
+	}
+	if p.MinW() != 2*p.Lambda || p.MinL() != 2*p.Lambda {
+		t.Error("minimum drawn size must be 2λ")
+	}
+	if p.Tau() <= 0 {
+		t.Errorf("Tau() = %g, want positive", p.Tau())
+	}
+	// The default pullup is slower than the pulldown — ratioed logic.
+	if !(p.RLoad(p.MinW(), p.MinL()) > p.RPulldown(p.MinW(), p.MinL())) {
+		t.Error("depletion load must be more resistive than the pulldown")
+	}
+	if !strings.Contains(p.String(), "nMOS") {
+		t.Errorf("String() = %q, want nMOS summary", p.String())
+	}
+}
+
+func TestResistanceMonotonicityProperty(t *testing.T) {
+	p := Default()
+	f := func(wRaw, lRaw, dwRaw uint16) bool {
+		w := 1 + float64(wRaw%500)/10
+		l := 1 + float64(lRaw%500)/10
+		dw := 0.1 + float64(dwRaw%100)/10
+		// Wider device conducts better; longer device conducts worse.
+		return p.RPulldown(w+dw, l) < p.RPulldown(w, l) &&
+			p.RPulldown(w, l+dw) > p.RPulldown(w, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
