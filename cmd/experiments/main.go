@@ -6,12 +6,18 @@
 //
 //	experiments            # run everything
 //	experiments -t T3,F1   # run a subset
+//	experiments -j 1       # force the serial engine (0 = one worker per CPU)
+//
+// Experiments that produce machine-readable artifacts (T2 writes
+// BENCH_T2.json with ns/op, transistors/s, and parallel speedup per sweep
+// size) persist them into the current directory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,7 +26,9 @@ import (
 
 func main() {
 	only := flag.String("t", "", "comma-separated experiment IDs (default all)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+	bench.Workers = *jobs
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -37,6 +45,18 @@ func main() {
 		start := time.Now()
 		rep := e.Run()
 		fmt.Print(rep.String())
+		var names []string
+		for name := range rep.Artifacts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, rep.Artifacts[name], 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", name)
+		}
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		ran++
 	}

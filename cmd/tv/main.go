@@ -17,6 +17,8 @@
 //	-input name=t   input arrival override, repeatable
 //	-erc            run electrical rule checks (ratio rule)
 //	-charge         run charge-sharing analysis on dynamic nodes
+//	-j n            worker goroutines for model build and propagation
+//	                (0 = one per CPU, 1 = serial; results are identical)
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 	runCharge := flag.Bool("charge", false, "run charge-sharing analysis")
 	setHigh := flag.String("sethigh", "", "comma-separated nodes held high (case analysis)")
 	setLow := flag.String("setlow", "", "comma-separated nodes held low (case analysis)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
 	inputs := inputTimes{}
 	flag.Var(inputs, "input", "input arrival override name=ns (repeatable)")
 	flag.Parse()
@@ -79,8 +82,9 @@ func main() {
 		DisableFlow: *noFlow,
 		SetHigh:     splitList(*setHigh),
 		SetLow:      splitList(*setLow),
+		Workers:     *jobs,
 	}
-	if *noFlow || len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
+	if *noFlow || *jobs != 0 || len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
 		d = nmostv.Prepare(d.NL, p, prepOpt)
 	}
 	if len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
@@ -111,6 +115,7 @@ func main() {
 		InputTime: inputs,
 		SetHigh:   prepOpt.SetHigh,
 		SetLow:    prepOpt.SetLow,
+		Workers:   *jobs,
 	}
 	sched := nmostv.TwoPhase(*period, *active)
 	res, err := d.Analyze(sched, opt)

@@ -14,11 +14,20 @@ import (
 	"nmostv/internal/tech"
 )
 
+// Workers is the worker count every experiment passes to the delay
+// builder and the analyzer: 0 (the default) means one goroutine per CPU,
+// 1 forces the serial engine. cmd/experiments -j sets it. Results are
+// bit-identical at any value; only wall-clock changes.
+var Workers int
+
 // Report is the rendered output of one experiment.
 type Report struct {
 	ID       string
 	Title    string
 	Sections []string
+	// Artifacts maps file names to machine-readable payloads the runner
+	// should persist next to the printed report (e.g. BENCH_T2.json).
+	Artifacts map[string][]byte
 }
 
 // String concatenates the sections under a header.
@@ -76,9 +85,16 @@ type prepared struct {
 	flowSum flow.Summary
 	model   *delay.Model
 	prepDur time.Duration
+	workers int
 }
 
 func prepare(nl *netlist.Netlist, p tech.Params, useFlow bool) *prepared {
+	return prepareWorkers(nl, p, useFlow, Workers)
+}
+
+// prepareWorkers is prepare with an explicit worker count (T2 measures
+// the same sweep serial and parallel).
+func prepareWorkers(nl *netlist.Netlist, p tech.Params, useFlow bool, workers int) *prepared {
 	start := time.Now()
 	st := stage.Extract(nl)
 	var fs flow.Summary
@@ -87,7 +103,7 @@ func prepare(nl *netlist.Netlist, p tech.Params, useFlow bool) *prepared {
 	} else {
 		flow.Reset(nl)
 	}
-	m := delay.Build(nl, st, p, delay.Options{})
+	m := delay.Build(nl, st, p, delay.Options{Workers: workers})
 	return &prepared{
 		nl:      nl,
 		stats:   nl.ComputeStats(),
@@ -95,13 +111,14 @@ func prepare(nl *netlist.Netlist, p tech.Params, useFlow bool) *prepared {
 		flowSum: fs,
 		model:   m,
 		prepDur: time.Since(start),
+		workers: workers,
 	}
 }
 
 // analyze runs case analysis and returns the result with its duration.
 func (pr *prepared) analyze(sched clocks.Schedule) (*core.Result, time.Duration) {
 	start := time.Now()
-	res, err := core.Analyze(pr.nl, pr.model, sched, core.Options{})
+	res, err := core.Analyze(pr.nl, pr.model, sched, core.Options{Workers: pr.workers})
 	if err != nil {
 		panic(fmt.Sprintf("bench: analyze %s: %v", pr.nl.Name, err))
 	}

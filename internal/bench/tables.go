@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"time"
 
 	"nmostv/internal/core"
@@ -49,15 +51,31 @@ type ScalePoint struct {
 	Edges       int
 	Prep        time.Duration
 	Analyze     time.Duration
+	// Workers is the effective worker count the sample was measured at.
+	Workers int
 }
 
-// MeasureScaling runs the size sweep once and returns the samples.
+// Total is the wall-clock cost of the sample (prepare + analyze).
+func (s ScalePoint) Total() time.Duration { return s.Prep + s.Analyze }
+
+// MeasureScaling runs the size sweep once, at the package-default worker
+// count, and returns the samples.
 func MeasureScaling() []ScalePoint {
+	return MeasureScalingWorkers(Workers)
+}
+
+// MeasureScalingWorkers runs the size sweep at an explicit worker count
+// (0 = one per CPU).
+func MeasureScalingWorkers(workers int) []ScalePoint {
 	p := tech.Default()
+	eff := workers
+	if eff <= 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
 	var out []ScalePoint
 	for _, cfg := range ScalePoints() {
 		nl := gen.MIPSDatapath(p, cfg)
-		pr := prepare(nl, p, true)
+		pr := prepareWorkers(nl, p, true, workers)
 		_, dur := pr.analyze(genericSchedule())
 		out = append(out, ScalePoint{
 			Config:      cfg,
@@ -65,34 +83,94 @@ func MeasureScaling() []ScalePoint {
 			Edges:       len(pr.model.Edges),
 			Prep:        pr.prepDur,
 			Analyze:     dur,
+			Workers:     eff,
 		})
 	}
 	return out
 }
 
-// RunT2 reports analyzer cost against design size.
+// T2Sample is one machine-readable row of the T2 benchmark, persisted as
+// BENCH_T2.json so the perf trajectory stays visible across PRs.
+type T2Sample struct {
+	Config      string  `json:"config"`
+	Transistors int     `json:"transistors"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	TransPerSec float64 `json:"transistors_per_sec"`
+	// Speedup is serial wall-clock over this sample's wall-clock at the
+	// same size (1 for the serial rows themselves).
+	Speedup float64 `json:"speedup"`
+}
+
+// t2Samples flattens the serial and parallel sweeps into JSON rows. On a
+// single-CPU host the two sweeps are the same measurement; only the
+// serial rows are emitted then.
+func t2Samples(serial, parallel []ScalePoint) []T2Sample {
+	var out []T2Sample
+	add := func(s ScalePoint, speedup float64) {
+		out = append(out, T2Sample{
+			Config:      fmt.Sprintf("%db×%dw", s.Config.Bits, s.Config.Words),
+			Transistors: s.Transistors,
+			Workers:     s.Workers,
+			NsPerOp:     s.Total().Nanoseconds(),
+			TransPerSec: float64(s.Transistors) / s.Total().Seconds(),
+			Speedup:     speedup,
+		})
+	}
+	for i, s := range serial {
+		add(s, 1)
+		p := parallel[i]
+		if p.Workers == s.Workers {
+			continue
+		}
+		add(p, s.Total().Seconds()/p.Total().Seconds())
+	}
+	return out
+}
+
+// RunT2 reports analyzer cost against design size, measured with the
+// serial engine (workers = 1) and the parallel engine (one worker per
+// CPU), plus the parallel speedup per size.
 func RunT2() *Report {
-	samples := MeasureScaling()
+	nCPU := runtime.GOMAXPROCS(0)
+	serial := MeasureScalingWorkers(1)
+	parallel := serial
+	if nCPU > 1 {
+		parallel = MeasureScalingWorkers(nCPU)
+	}
 	tab := report.NewTable("Table T2 — analyzer cost vs design size (MIPS-like datapath sweep)",
-		"config", "transistors", "timing arcs", "prepare (ms)", "analyze (ms)", "total ktrans/s")
+		"config", "transistors", "timing arcs",
+		"j=1 prep (ms)", "j=1 analyze (ms)",
+		fmt.Sprintf("j=%d total (ms)", nCPU), "speedup", "total ktrans/s")
 	var xs, ys []float64
-	for _, s := range samples {
-		total := s.Prep + s.Analyze
-		rate := float64(s.Transistors) / total.Seconds() / 1000
+	for i, s := range serial {
+		par := parallel[i]
+		rate := float64(par.Transistors) / par.Total().Seconds() / 1000
 		tab.Add(fmt.Sprintf("%db×%dw", s.Config.Bits, s.Config.Words),
 			s.Transistors, s.Edges,
 			float64(s.Prep.Microseconds())/1000,
 			float64(s.Analyze.Microseconds())/1000,
+			float64(par.Total().Microseconds())/1000,
+			s.Total().Seconds()/par.Total().Seconds(),
 			rate)
 		xs = append(xs, float64(s.Transistors))
-		ys = append(ys, total.Seconds()*1000)
+		ys = append(ys, par.Total().Seconds()*1000)
 	}
 	slope, intercept, r2 := report.LinearFit(xs, ys)
+	last := len(serial) - 1
 	notes := fmt.Sprintf("linear fit: time(ms) = %.4g·transistors + %.4g, R² = %.4f\n"+
-		"claim under test: near-linear scaling (R² close to 1), whole-chip analysis in seconds.\n",
-		slope, intercept, r2)
+		"claim under test: near-linear scaling (R² close to 1), whole-chip analysis in seconds.\n"+
+		"parallel speedup at the largest size (%db×%dw, %d workers): %.2fx\n",
+		slope, intercept, r2,
+		serial[last].Config.Bits, serial[last].Config.Words, nCPU,
+		serial[last].Total().Seconds()/parallel[last].Total().Seconds())
+	blob, err := json.MarshalIndent(t2Samples(serial, parallel), "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("bench T2: marshal samples: %v", err))
+	}
 	return &Report{ID: "T2", Title: "Analyzer cost vs design size",
-		Sections: []string{tab.String(), notes}}
+		Sections:  []string{tab.String(), notes},
+		Artifacts: map[string][]byte{"BENCH_T2.json": append(blob, '\n')}}
 }
 
 // RunT4 produces the flagship verification report: the MIPS-like datapath

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"nmostv/internal/clocks"
 	"nmostv/internal/delay"
@@ -45,11 +46,19 @@ type Options struct {
 	// case analysis). They never transition; pass the same lists to the
 	// delay model so conducting paths through them are pruned too.
 	SetHigh, SetLow []string
+	// Workers sets how many goroutines relax arrivals concurrently
+	// during the wavefront walk. 0 (the default) uses one per CPU; 1
+	// forces serial propagation. Results are bit-identical at every
+	// worker count (see propagate).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.SCCIterBound <= 0 {
 		o.SCCIterBound = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -246,6 +255,7 @@ func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt
 	r.predFall = fillPred(n)
 
 	a := &analysis{Result: r, opt: opt}
+	a.wave = newWaveSchedule(n, model)
 	a.initSources()
 	a.classifyStorage()
 	a.propagate()
@@ -285,6 +295,9 @@ func fillPred(n int) []pred {
 type analysis struct {
 	*Result
 	opt Options
+	// wave is the level-scheduled propagation plan shared by the settle
+	// and earliest-arrival passes.
+	wave *waveSchedule
 	// fixedRise/fixedFall mark per-polarity source arrivals that must
 	// not be relaxed.
 	fixedRise, fixedFall []bool

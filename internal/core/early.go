@@ -31,25 +31,20 @@ func (a *analysis) propagateEarly() {
 		}
 	}
 
-	out := make([][]int32, n)
-	in := make([][]int32, n)
-	for i := range a.Model.Edges {
-		e := &a.Model.Edges[i]
-		out[e.From.Index] = append(out[e.From.Index], int32(i))
-		in[e.To.Index] = append(in[e.To.Index], int32(i))
-	}
-	sccs := tarjan(n, out, a.Model)
-	for i := len(sccs) - 1; i >= 0; i-- {
-		comp := sccs[i]
-		if len(comp) == 1 && !hasSelfArc(a.Model, out, comp[0]) {
-			a.relaxNodeEarly(int(comp[0]), in[comp[0]])
-			continue
+	// Same wavefront as the settle pass (min-relaxation is as
+	// order-independent within a level as max-relaxation).
+	ws := a.wave
+	a.forEachComp(func(ci int32) {
+		comp := ws.comps[ci]
+		if !ws.cyclic[ci] {
+			a.relaxNodeEarly(int(comp[0]), ws.in[comp[0]])
+			return
 		}
 		bound := a.opt.SCCIterBound*len(comp) + 8
 		for iter := 0; iter < bound; iter++ {
 			changed := false
 			for _, idx := range comp {
-				if a.relaxNodeEarly(int(idx), in[idx]) {
+				if a.relaxNodeEarly(int(idx), ws.in[idx]) {
 					changed = true
 				}
 			}
@@ -57,7 +52,7 @@ func (a *analysis) propagateEarly() {
 				break
 			}
 		}
-	}
+	})
 }
 
 // relaxNodeEarly recomputes both polarities' earliest arrivals from the

@@ -2,39 +2,167 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nmostv/internal/delay"
 	"nmostv/internal/netlist"
 )
 
-// propagate computes the longest-path fixpoint of arrival times. The arc
-// graph is decomposed into strongly connected components; the condensation
-// is processed in topological order. Acyclic regions (the vast majority of
-// a clocked design) settle in a single relaxation per node; cyclic regions
-// (cross-coupled structures, unresolved bidirectional pass networks)
-// iterate to a fixpoint with a bound, beyond which their nodes are flagged
-// as non-converging loops.
-func (a *analysis) propagate() {
-	n := len(a.NL.Nodes)
-	out := make([][]int32, n) // node -> outgoing edge indices
-	in := make([][]int32, n)  // node -> incoming edge indices
-	for i := range a.Model.Edges {
-		e := &a.Model.Edges[i]
+// waveSchedule is the propagation plan shared by the settle and
+// earliest-arrival passes: flat adjacency lists, the SCC condensation,
+// and a level assignment over the condensation DAG. Any arc between two
+// components forces them into different levels, so the components of one
+// level share no arcs at all — relaxing them in any order, or
+// concurrently, cannot change the fixpoint. That is the wavefront: levels
+// run in sequence, components within a level run in parallel.
+type waveSchedule struct {
+	out, in [][]int32 // node -> edge indices (slices of two flat arrays)
+	comps   [][]int32 // SCCs in reverse topological order (tarjan output)
+	cyclic  []bool    // per comp: >1 node or a self arc — needs iteration
+	levels  [][]int32 // level -> comp ids; level 0 holds the sources
+}
+
+// buildAdjacency builds the per-node out/in edge-index lists with a
+// count-first pass into two flat backing arrays: two allocations instead
+// of per-node append growth.
+func buildAdjacency(n int, m *delay.Model) (out, in [][]int32) {
+	outCnt := make([]int32, n)
+	inCnt := make([]int32, n)
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		outCnt[e.From.Index]++
+		inCnt[e.To.Index]++
+	}
+	out = make([][]int32, n)
+	in = make([][]int32, n)
+	outFlat := make([]int32, len(m.Edges))
+	inFlat := make([]int32, len(m.Edges))
+	var op, ip int32
+	for i := 0; i < n; i++ {
+		out[i] = outFlat[op : op : op+outCnt[i]]
+		op += outCnt[i]
+		in[i] = inFlat[ip : ip : ip+inCnt[i]]
+		ip += inCnt[i]
+	}
+	for i := range m.Edges {
+		e := &m.Edges[i]
 		out[e.From.Index] = append(out[e.From.Index], int32(i))
 		in[e.To.Index] = append(in[e.To.Index], int32(i))
 	}
+	return out, in
+}
 
-	sccs := tarjan(n, out, a.Model)
-	// tarjan emits components sinks-first; process in reverse for
-	// topological (sources-first) order.
-	for i := len(sccs) - 1; i >= 0; i-- {
-		comp := sccs[i]
-		if len(comp) == 1 && !hasSelfArc(a.Model, out, comp[0]) {
-			a.relaxNode(int(comp[0]), in[comp[0]])
+// newWaveSchedule computes the shared propagation plan for a model.
+func newWaveSchedule(n int, m *delay.Model) *waveSchedule {
+	ws := &waveSchedule{}
+	ws.out, ws.in = buildAdjacency(n, m)
+	ws.comps = tarjan(n, ws.out, m)
+	nc := len(ws.comps)
+	compOf := make([]int32, n)
+	for ci, comp := range ws.comps {
+		for _, v := range comp {
+			compOf[v] = int32(ci)
+		}
+	}
+	// tarjan emits components sinks-first; walking them in reverse is
+	// topological order, so pushing levels forward along cross-component
+	// arcs visits every predecessor before its successors (longest-path
+	// levelization).
+	ws.cyclic = make([]bool, nc)
+	level := make([]int32, nc)
+	var maxLevel int32
+	for i := nc - 1; i >= 0; i-- {
+		comp := ws.comps[i]
+		ws.cyclic[i] = len(comp) > 1 || hasSelfArc(m, ws.out, comp[0])
+		for _, v := range comp {
+			for _, ei := range ws.out[v] {
+				wc := compOf[m.Edges[ei].To.Index]
+				if int(wc) != i && level[i]+1 > level[wc] {
+					level[wc] = level[i] + 1
+					if level[wc] > maxLevel {
+						maxLevel = level[wc]
+					}
+				}
+			}
+		}
+	}
+	ws.levels = make([][]int32, maxLevel+1)
+	for i := nc - 1; i >= 0; i-- {
+		ws.levels[level[i]] = append(ws.levels[level[i]], int32(i))
+	}
+	return ws
+}
+
+// minParallelLevel is the narrowest level worth fanning out: below this,
+// goroutine handoff costs more than the relaxations themselves.
+const minParallelLevel = 8
+
+// forEachComp runs fn over every component, wavefront order: level by
+// level, and concurrently within a level when the analysis has more than
+// one worker. Each level is a barrier — by the time fn sees a component,
+// every arrival it can read through an incoming arc is final, except
+// those inside its own (cyclic) component.
+func (a *analysis) forEachComp(fn func(ci int32)) {
+	for _, lvl := range a.wave.levels {
+		workers := a.opt.Workers
+		if workers > len(lvl) {
+			workers = len(lvl)
+		}
+		if workers <= 1 || len(lvl) < minParallelLevel {
+			for _, ci := range lvl {
+				fn(ci)
+			}
 			continue
 		}
-		a.iterateSCC(comp, in)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(lvl) {
+						return
+					}
+					fn(lvl[k])
+				}
+			}()
+		}
+		wg.Wait()
 	}
+}
+
+// propagate computes the longest-path fixpoint of arrival times. The arc
+// graph is decomposed into strongly connected components; the condensation
+// is processed as a level-scheduled wavefront (see waveSchedule). Acyclic
+// regions (the vast majority of a clocked design) settle in a single
+// relaxation per node; cyclic regions (cross-coupled structures,
+// unresolved bidirectional pass networks) iterate to a fixpoint with a
+// bound, beyond which their nodes are flagged as non-converging loops.
+// A singleton component's relaxation is a pure function of already-settled
+// predecessor levels, and a cyclic component iterates entirely inside one
+// worker, so the result is bit-identical at any worker count.
+func (a *analysis) propagate() {
+	ws := a.wave
+	loops := make([][]*netlist.Node, len(ws.comps))
+	a.forEachComp(func(ci int32) {
+		comp := ws.comps[ci]
+		if !ws.cyclic[ci] {
+			a.relaxNode(int(comp[0]), ws.in[comp[0]])
+			return
+		}
+		loops[ci] = a.iterateSCC(comp, ws.in)
+	})
+	for _, l := range loops {
+		a.loopNodes = append(a.loopNodes, l...)
+	}
+	// One sort at the end of the walk — not per component — puts the
+	// report in node-index order whatever the discovery order was.
+	sort.Slice(a.loopNodes, func(i, j int) bool {
+		return a.loopNodes[i].Index < a.loopNodes[j].Index
+	})
 }
 
 // relaxNode recomputes both polarities of one node from its incoming arcs.
@@ -71,8 +199,9 @@ func (a *analysis) relaxNode(idx int, incoming []int32) bool {
 	return changed
 }
 
-// iterateSCC runs bounded fixpoint iteration over a cyclic component.
-func (a *analysis) iterateSCC(comp []int32, in [][]int32) {
+// iterateSCC runs bounded fixpoint iteration over a cyclic component and
+// returns its non-converging nodes (nil when the component settles).
+func (a *analysis) iterateSCC(comp []int32, in [][]int32) []*netlist.Node {
 	bound := a.opt.SCCIterBound*len(comp) + 8
 	for iter := 0; iter < bound; iter++ {
 		changed := false
@@ -82,18 +211,17 @@ func (a *analysis) iterateSCC(comp []int32, in [][]int32) {
 			}
 		}
 		if !changed {
-			return
+			return nil
 		}
 	}
 	// Did not converge: flag every non-fixed node in the component.
+	var loops []*netlist.Node
 	for _, idx := range comp {
 		if !a.fixedRise[idx] || !a.fixedFall[idx] {
-			a.loopNodes = append(a.loopNodes, a.NL.Nodes[idx])
+			loops = append(loops, a.NL.Nodes[idx])
 		}
 	}
-	sort.Slice(a.loopNodes, func(i, j int) bool {
-		return a.loopNodes[i].Index < a.loopNodes[j].Index
-	})
+	return loops
 }
 
 func hasSelfArc(m *delay.Model, out [][]int32, idx int32) bool {

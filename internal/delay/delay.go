@@ -29,7 +29,10 @@ package delay
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nmostv/internal/netlist"
 	"nmostv/internal/stage"
@@ -123,6 +126,13 @@ type Options struct {
 	// permanently but never launch transitions. Unknown names are
 	// ignored (the case may name nodes absent from a partial design).
 	SetHigh, SetLow []string
+	// Workers sets how many goroutines build stage edges concurrently.
+	// 0 (the default) uses one per CPU; 1 forces a serial build. The
+	// result is bit-identical at every worker count: stages are
+	// electrically independent (every arc lands on a node owned by
+	// exactly one stage), and the per-stage edge buffers are merged in
+	// stage-index order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = 20000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -166,7 +179,10 @@ func NodeCap(n *netlist.Node, p tech.Params) float64 {
 
 // Build computes the timing edges for the netlist. The netlist must be
 // finalized, staged, and flow-analyzed (or flow.Reset for the pessimistic
-// ablation).
+// ablation). With Options.Workers > 1 the per-stage edge computation (GND
+// path enumeration, Elmore sums) is sharded across a worker pool; the
+// per-stage buffers are merged in stage order, so the output is
+// bit-identical to a serial build.
 func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
 	opt = opt.withDefaults()
 	m := &Model{Caps: make([]float64, len(nl.Nodes))}
@@ -174,23 +190,71 @@ func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *M
 		m.Caps[n.Index] = NodeCap(n, p)
 	}
 
-	b := &builder{nl: nl, st: st, p: p, opt: opt, m: m,
-		merged:   make(map[edgeKey]int),
-		forced:   make(map[*netlist.Node]bool),
-		srcMemo:  make(map[*netlist.Node][2]float64),
-		visiting: make(map[*netlist.Node]bool)}
+	forced := make(map[*netlist.Node]bool)
 	for _, name := range opt.SetHigh {
 		if n := nl.Lookup(name); n != nil {
-			b.forced[n] = true
+			forced[n] = true
 		}
 	}
 	for _, name := range opt.SetLow {
 		if n := nl.Lookup(name); n != nil {
-			b.forced[n] = false
+			forced[n] = false
 		}
 	}
-	for _, s := range st.Stages {
-		b.stageEdges(s)
+
+	// shards[i] receives stage i's edges; no two stages write the same
+	// slot, and concatenation in stage order reproduces the serial
+	// append order exactly.
+	type shard struct {
+		edges     []Edge
+		truncated int
+	}
+	stages := st.Stages
+	shards := make([]shard, len(stages))
+	buildOne := func(b *builder, si int) {
+		b.edges = nil
+		b.truncated = 0
+		clear(b.merged)
+		b.stageEdges(stages[si])
+		shards[si] = shard{edges: b.edges, truncated: b.truncated}
+	}
+	workers := opt.Workers
+	if workers > len(stages) {
+		workers = len(stages)
+	}
+	if workers <= 1 {
+		b := newBuilder(nl, st, p, opt, m.Caps, forced)
+		for si := range stages {
+			buildOne(b, si)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := newBuilder(nl, st, p, opt, m.Caps, forced)
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= len(stages) {
+						return
+					}
+					buildOne(b, si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := 0
+	for i := range shards {
+		total += len(shards[i].edges)
+	}
+	m.Edges = make([]Edge, 0, total)
+	for i := range shards {
+		m.Edges = append(m.Edges, shards[i].edges...)
+		m.Truncated += shards[i].truncated
 	}
 	sort.SliceStable(m.Edges, func(i, j int) bool {
 		a, c := m.Edges[i], m.Edges[j]
@@ -211,20 +275,37 @@ type edgeKey struct {
 	maskRise, maskFall uint8
 }
 
+// builder computes edges one stage at a time. Each worker owns one
+// builder: the netlist, stage partition, caps, and forced map are shared
+// read-only; edges, merged, and truncated are reset per stage.
 type builder struct {
-	nl     *netlist.Netlist
-	st     *stage.Result
-	p      tech.Params
-	opt    Options
-	m      *Model
-	merged map[edgeKey]int // key -> index into m.Edges
+	nl   *netlist.Netlist
+	st   *stage.Result
+	p    tech.Params
+	opt  Options
+	caps []float64 // shared read-only node loading (Model.Caps)
+	// edges and truncated accumulate the current stage's output.
+	edges     []Edge
+	truncated int
+	merged    map[edgeKey]int // key -> index into edges, this stage only
 	// forced maps case-analysis constants: node -> held value.
 	forced map[*netlist.Node]bool
-	// srcMemo caches sourceDelays results: [rise, fall].
+	// srcMemo caches sourceDelays results: [rise, fall]. Sound across
+	// stages (pass recursion never leaves a channel-connected component)
+	// but owned per worker.
 	srcMemo map[*netlist.Node][2]float64
 	// visiting guards sourceDelays recursion against pass-network
 	// cycles.
 	visiting map[*netlist.Node]bool
+}
+
+func newBuilder(nl *netlist.Netlist, st *stage.Result, p tech.Params,
+	opt Options, caps []float64, forced map[*netlist.Node]bool) *builder {
+	return &builder{nl: nl, st: st, p: p, opt: opt, caps: caps,
+		forced:   forced,
+		merged:   make(map[edgeKey]int),
+		srcMemo:  make(map[*netlist.Node][2]float64),
+		visiting: make(map[*netlist.Node]bool)}
 }
 
 // sourceDelays returns the worst-case RC delay (rise, fall) in ns from
@@ -323,13 +404,13 @@ func (b *builder) addEdge(e Edge) {
 	}
 	k := edgeKey{e.From.Index, e.To.Index, e.Invert, e.GateArc, e.MaskRise, e.MaskFall}
 	if i, ok := b.merged[k]; ok {
-		old := &b.m.Edges[i]
+		old := &b.edges[i]
 		old.DRise = mergeDelay(old.DRise, e.DRise)
 		old.DFall = mergeDelay(old.DFall, e.DFall)
 		return
 	}
-	b.merged[k] = len(b.m.Edges)
-	b.m.Edges = append(b.m.Edges, e)
+	b.merged[k] = len(b.edges)
+	b.edges = append(b.edges, e)
 }
 
 // mergeDelay takes the worst case of two delays where Inf means the
@@ -377,7 +458,7 @@ func (b *builder) downstreamCap(v *netlist.Node, via *netlist.Transistor) float6
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		total += b.m.Caps[n.Index]
+		total += b.caps[n.Index]
 		for _, t := range n.Terms {
 			if t == via || t.Role != netlist.RolePass || b.deviceOff(t) {
 				continue
@@ -463,7 +544,7 @@ func (b *builder) stageEdges(s *stage.Stage) {
 			var truncated bool
 			paths, truncated = b.gndPaths(o)
 			if truncated {
-				b.m.Truncated++
+				b.truncated++
 			}
 		}
 		for _, path := range paths {
@@ -629,7 +710,7 @@ func (b *builder) pathFallDelay(o *netlist.Node, path []*netlist.Transistor) flo
 		if n == nil || n.IsSupply() {
 			break
 		}
-		d += remaining * b.m.Caps[n.Index]
+		d += remaining * b.caps[n.Index]
 	}
 	return d
 }

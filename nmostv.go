@@ -111,6 +111,11 @@ type PrepareOptions struct {
 	// analysis for false-path elimination. Pass the same lists in
 	// AnalyzeOptions so the analyzer treats them as static.
 	SetHigh, SetLow []string
+	// Workers bounds the goroutines used to build the delay model: 0
+	// (the default) uses one per CPU, 1 forces a serial build. The model
+	// is bit-identical at every worker count. Set AnalyzeOptions.Workers
+	// likewise to control the propagation passes.
+	Workers int
 }
 
 // Prepare runs the pre-analysis pipeline on a finalized netlist.
@@ -127,6 +132,7 @@ func Prepare(nl *Netlist, p Params, opt PrepareOptions) *Design {
 		MaxDepth: opt.MaxDepth,
 		SetHigh:  opt.SetHigh,
 		SetLow:   opt.SetLow,
+		Workers:  opt.Workers,
 	})
 	return d
 }
