@@ -1,6 +1,7 @@
 // Command experiments regenerates the reconstructed evaluation: every
-// table (T1–T5) and figure (F1–F4) documented in DESIGN.md, printed as
-// plain text. EXPERIMENTS.md is produced from this output.
+// table (T1–T6), figure (F1–F4), and ablation (A1–A2) documented in
+// DESIGN.md, printed as plain text. EXPERIMENTS.md is produced from this
+// output.
 //
 // Usage:
 //
@@ -8,9 +9,10 @@
 //	experiments -t T3,F1   # run a subset
 //	experiments -j 1       # force the serial engine (0 = one worker per CPU)
 //
-// Experiments that produce machine-readable artifacts (T2 writes
-// BENCH_T2.json with ns/op, transistors/s, and parallel speedup per sweep
-// size) persist them into the current directory.
+// Experiments that produce machine-readable artifacts persist them into
+// the current directory: T2 writes BENCH_T2.json (ns/op, transistors/s,
+// parallel speedup per sweep size), T6 writes BENCH_T3.json (incremental
+// vs full re-analysis per sampled resize).
 package main
 
 import (
@@ -61,7 +63,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 F1 F2 F3 F4")
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 A1 A2")
 		os.Exit(2)
 	}
 }

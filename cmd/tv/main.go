@@ -15,10 +15,13 @@
 //	-nodes          print per-node settle times
 //	-checks n       print the n worst checks (default 10)
 //	-input name=t   input arrival override, repeatable
+//	-sethigh a,b    nodes held high for case analysis
+//	-setlow a,b     nodes held low for case analysis
 //	-erc            run electrical rule checks (ratio rule)
 //	-charge         run charge-sharing analysis on dynamic nodes
 //	-j n            worker goroutines for model build and propagation
 //	                (0 = one per CPU, 1 = serial; results are identical)
+//	-version        print the version and exit
 package main
 
 import (
@@ -33,6 +36,11 @@ import (
 	"nmostv"
 	"nmostv/internal/report"
 )
+
+// version is stamped by the build:
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/tv
+var version = "dev"
 
 type inputTimes map[string]float64
 
@@ -63,10 +71,15 @@ func main() {
 	setHigh := flag.String("sethigh", "", "comma-separated nodes held high (case analysis)")
 	setLow := flag.String("setlow", "", "comma-separated nodes held low (case analysis)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	inputs := inputTimes{}
 	flag.Var(inputs, "input", "input arrival override name=ns (repeatable)")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("tv %s\n", version)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tv [flags] design.sim")
 		flag.Usage()

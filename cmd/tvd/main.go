@@ -1,0 +1,103 @@
+// Command tvd is the incremental timing daemon: it holds designs in
+// memory, accepts netlist deltas over HTTP/JSON, re-analyzes only the
+// affected cone, and serves timing queries. See internal/server for the
+// endpoint list and DESIGN.md §6 for the architecture.
+//
+// Usage:
+//
+//	tvd [flags]
+//
+//	-addr host:port  listen address (default :8077)
+//	-period ns       clock period (default 1000)
+//	-active frac     per-phase active fraction (default 0.8)
+//	-preload f.sim   load a design at startup, repeatable; the design
+//	                 name is the file basename without extension
+//	-j n             worker goroutines for model build and propagation
+//	                 (0 = one per CPU, 1 = serial; results are identical)
+//	-version         print the version and exit
+//
+// Quick start:
+//
+//	tvd -preload testdata/tutorial.sim &
+//	curl localhost:8077/node/dout
+//	curl -X POST localhost:8077/delta -d '[{"op":"resize","id":3,"w":8}]'
+//	curl localhost:8077/verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/server"
+	"nmostv/internal/tech"
+)
+
+// version is stamped by the build:
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/tvd
+var version = "dev"
+
+type preloads []string
+
+func (p *preloads) String() string { return strings.Join(*p, ",") }
+
+func (p *preloads) Set(s string) error {
+	*p = append(*p, s)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	period := flag.Float64("period", 1000, "clock period in ns")
+	active := flag.Float64("active", 0.8, "per-phase active fraction")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	var pre preloads
+	flag.Var(&pre, "preload", "load a .sim design at startup (repeatable)")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("tvd %s\n", version)
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tvd [flags]  (designs are loaded via -preload or POST /load)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "tvd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Params:  tech.Default(),
+		Sched:   clocks.TwoPhase(*period, *active),
+		Workers: *jobs,
+		Logf:    logger.Printf,
+	})
+
+	for _, path := range pre {
+		f, err := os.Open(path)
+		if err != nil {
+			logger.Fatalf("preload: %v", err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		sess, err := srv.Load(name, f)
+		f.Close()
+		if err != nil {
+			logger.Fatalf("preload %s: %v", path, err)
+		}
+		info := sess.Info()
+		logger.Printf("preloaded %q: %d devices, %d nodes, %d stages, %d arcs",
+			name, info.Devices, info.Nodes, info.Stages, info.Arcs)
+	}
+
+	logger.Printf("tvd %s listening on %s (period %g ns)", version, *addr, *period)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		logger.Fatal(err)
+	}
+}

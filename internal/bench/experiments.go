@@ -58,6 +58,7 @@ func All() []Experiment {
 		{"T3", "Accuracy vs switch-level simulation", RunT3},
 		{"T4", "Flagship datapath verification report", RunT4},
 		{"T5", "Signal-flow analysis ablation", RunT5},
+		{"T6", "Incremental vs full re-analysis", RunT6},
 		{"F1", "Settle-time distribution per phase", RunF1},
 		{"F2", "Runtime scaling curve", RunF2},
 		{"F3", "Pass-chain delay vs length", RunF3},

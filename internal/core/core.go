@@ -185,6 +185,13 @@ type Result struct {
 	Checks []Check
 
 	predRise, predFall []pred
+
+	// wave, clockedStorage, and loopNodes persist the propagation plan
+	// and derived classifications so AnalyzeIncremental can extend this
+	// result after a delta instead of starting over.
+	wave           *waveSchedule
+	clockedStorage []bool
+	loopNodes      []*netlist.Node
 }
 
 // Settle returns the overall settle time of a node: the latest of its rise
@@ -295,20 +302,14 @@ func fillPred(n int) []pred {
 type analysis struct {
 	*Result
 	opt Options
-	// wave is the level-scheduled propagation plan shared by the settle
-	// and earliest-arrival passes.
-	wave *waveSchedule
 	// fixedRise/fixedFall mark per-polarity source arrivals that must
-	// not be relaxed.
+	// not be relaxed. (Result.wave is the shared propagation plan;
+	// Result.clockedStorage marks storage nodes written through a
+	// clock-gated device — they launch from the clock arc and their data
+	// arcs become setup checks, while storage gated by ordinary signals
+	// propagates normally; Result.loopNodes collects nodes in
+	// non-converging cycles.)
 	fixedRise, fixedFall []bool
-	// clockedStorage marks storage nodes written through a clock-gated
-	// device: they launch from the clock arc and their data arcs become
-	// setup checks. Storage gated by ordinary signals (register-file
-	// cells behind word lines) is transparent whenever its gate is high
-	// and propagates normally.
-	clockedStorage []bool
-	// loopNodes collects nodes in non-converging cycles.
-	loopNodes []*netlist.Node
 }
 
 // initSources fixes the arrivals that anchor the analysis:

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"nmostv/internal/netlist"
@@ -117,6 +118,72 @@ func (r *Result) CriticalPath() []Step {
 		return r.Path(n, pol)
 	}
 	return r.CheckPath(*worst)
+}
+
+// RankedPath pairs a deadline check with its reconstructed path.
+type RankedPath struct {
+	Check Check
+	Steps []Step
+}
+
+// TopPaths returns the k most constrained endpoints, worst (smallest
+// slack) first: the minimum-slack latch or output check per endpoint node,
+// each with its path. When the design has no deadline checks at all, it
+// falls back to the k latest-settling nodes ranked against the cycle end,
+// reported as output-style checks. Returns fewer than k entries when the
+// design has fewer endpoints, nil when everything is static.
+func (r *Result) TopPaths(k int) []RankedPath {
+	if k <= 0 {
+		return nil
+	}
+	worst := make(map[int]Check)
+	for _, c := range r.Checks {
+		if c.Kind != CheckLatch && c.Kind != CheckOutput {
+			continue
+		}
+		if old, ok := worst[c.Node.Index]; !ok || c.Slack < old.Slack {
+			worst[c.Node.Index] = c
+		}
+	}
+	var picks []Check
+	for _, c := range worst {
+		picks = append(picks, c)
+	}
+	if len(picks) == 0 {
+		for _, n := range r.NL.Nodes {
+			if n.IsSupply() || n.IsClock() {
+				continue
+			}
+			s := r.Settle(n)
+			if math.IsInf(s, -1) {
+				continue
+			}
+			pol := Rise
+			if r.FallAt[n.Index] > r.RiseAt[n.Index] {
+				pol = Fall
+			}
+			picks = append(picks, Check{
+				Kind: CheckOutput, Node: n, Pol: pol,
+				Arrival: s, Deadline: r.Sched.Period,
+				Slack: r.Sched.Period - s, OK: r.Sched.Period-s >= 0,
+				edge: -1,
+			})
+		}
+	}
+	sort.Slice(picks, func(i, j int) bool {
+		if picks[i].Slack != picks[j].Slack {
+			return picks[i].Slack < picks[j].Slack
+		}
+		return picks[i].Node.Index < picks[j].Node.Index
+	})
+	if len(picks) > k {
+		picks = picks[:k]
+	}
+	out := make([]RankedPath, len(picks))
+	for i, c := range picks {
+		out[i] = RankedPath{Check: c, Steps: r.CheckPath(c)}
+	}
+	return out
 }
 
 // CheckPath reconstructs the worst-case path leading to a check: for

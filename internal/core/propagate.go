@@ -19,6 +19,7 @@ import (
 type waveSchedule struct {
 	out, in [][]int32 // node -> edge indices (slices of two flat arrays)
 	comps   [][]int32 // SCCs in reverse topological order (tarjan output)
+	compOf  []int32   // node -> component id
 	cyclic  []bool    // per comp: >1 node or a self arc — needs iteration
 	levels  [][]int32 // level -> comp ids; level 0 holds the sources
 }
@@ -65,6 +66,7 @@ func newWaveSchedule(n int, m *delay.Model) *waveSchedule {
 			compOf[v] = int32(ci)
 		}
 	}
+	ws.compOf = compOf
 	// tarjan emits components sinks-first; walking them in reverse is
 	// topological order, so pushing levels forward along cross-component
 	// arcs visits every predecessor before its successors (longest-path

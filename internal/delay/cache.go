@@ -1,0 +1,95 @@
+package delay
+
+import (
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+// Cache retains per-stage edge shards across netlist edits, keyed by the
+// stage content fingerprint (stage.Fingerprint). A shard stays valid as
+// long as nothing the edge builder reads from its stage changed: device
+// sizes and flow orientation, channel-node loading, node annotations, and
+// the case-analysis constants. The incremental session recomputes
+// fingerprints after every delta; stages whose fingerprint misses the
+// cache — and only those — are rebuilt.
+//
+// A Cache is single-owner state (one per incremental session); it is not
+// safe for concurrent use.
+type Cache struct {
+	entries map[uint64]cacheEntry
+}
+
+type cacheEntry struct {
+	// ids guards against fingerprint collisions: a hit must also match
+	// the stage's ordered device-ID list exactly.
+	ids []int64
+	sh  shard
+}
+
+// NewCache returns an empty shard cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[uint64]cacheEntry)}
+}
+
+func idsMatch(ids []int64, s *stage.Stage) bool {
+	if len(ids) != len(s.Trans) {
+		return false
+	}
+	for i, t := range s.Trans {
+		if ids[i] != t.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildStats reports how much of a cached build was recomputed.
+type BuildStats struct {
+	// Stages is the total stage count of the partition.
+	Stages int
+	// Rebuilt lists the stages whose shards were recomputed (cache
+	// misses), in stage-index order.
+	Rebuilt []*stage.Stage
+}
+
+// BuildWithCache is Build with per-stage shard reuse: stages whose
+// fingerprint (and device-ID list) match a cache entry keep their cached
+// edges; the rest are rebuilt on the option's worker pool. The merged,
+// sorted model is bit-identical to a from-scratch Build on the same
+// netlist state — the fingerprint covers every input of the per-stage
+// computation, and merge order and the global sort are unchanged. The
+// cache is refreshed wholesale to the current fingerprints, so entries for
+// stages that no longer exist are evicted.
+func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options, c *Cache) (*Model, BuildStats) {
+	opt = opt.withDefaults()
+	m := &Model{Caps: ComputeCaps(nl, p)}
+	forced := forcedMap(nl, opt)
+
+	stages := st.Stages
+	shards := make([]shard, len(stages))
+	fps := make([]uint64, len(stages))
+	var todo []int
+	for i, s := range stages {
+		fps[i] = s.Fingerprint(m.Caps, forced)
+		if e, ok := c.entries[fps[i]]; ok && idsMatch(e.ids, s) {
+			shards[i] = e.sh
+			continue
+		}
+		todo = append(todo, i)
+	}
+	buildShards(nl, st, p, opt, m.Caps, forced, shards, todo)
+
+	stats := BuildStats{Stages: len(stages)}
+	for _, i := range todo {
+		stats.Rebuilt = append(stats.Rebuilt, stages[i])
+	}
+	fresh := make(map[uint64]cacheEntry, len(stages))
+	for i, s := range stages {
+		fresh[fps[i]] = cacheEntry{ids: s.DeviceIDs(), sh: shards[i]}
+	}
+	c.entries = fresh
+
+	mergeShards(m, shards)
+	return m, stats
+}

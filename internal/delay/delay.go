@@ -177,19 +177,18 @@ func NodeCap(n *netlist.Node, p tech.Params) float64 {
 	return c
 }
 
-// Build computes the timing edges for the netlist. The netlist must be
-// finalized, staged, and flow-analyzed (or flow.Reset for the pessimistic
-// ablation). With Options.Workers > 1 the per-stage edge computation (GND
-// path enumeration, Elmore sums) is sharded across a worker pool; the
-// per-stage buffers are merged in stage order, so the output is
-// bit-identical to a serial build.
-func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
-	opt = opt.withDefaults()
-	m := &Model{Caps: make([]float64, len(nl.Nodes))}
+// ComputeCaps returns the per-node-index total loading (NodeCap) for
+// every node of the netlist — the Caps array of a Model built under p.
+func ComputeCaps(nl *netlist.Netlist, p tech.Params) []float64 {
+	caps := make([]float64, len(nl.Nodes))
 	for _, n := range nl.Nodes {
-		m.Caps[n.Index] = NodeCap(n, p)
+		caps[n.Index] = NodeCap(n, p)
 	}
+	return caps
+}
 
+// forcedMap resolves the case-analysis constant lists against the netlist.
+func forcedMap(nl *netlist.Netlist, opt Options) map[*netlist.Node]bool {
 	forced := make(map[*netlist.Node]bool)
 	for _, name := range opt.SetHigh {
 		if n := nl.Lookup(name); n != nil {
@@ -201,16 +200,21 @@ func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *M
 			forced[n] = false
 		}
 	}
+	return forced
+}
 
-	// shards[i] receives stage i's edges; no two stages write the same
-	// slot, and concatenation in stage order reproduces the serial
-	// append order exactly.
-	type shard struct {
-		edges     []Edge
-		truncated int
-	}
+// shard is one stage's edge buffer: shards merge in stage-index order, so
+// concatenation reproduces the serial append order exactly.
+type shard struct {
+	edges     []Edge
+	truncated int
+}
+
+// buildShards computes the shards for the stage indices listed in todo
+// using the option's worker pool. Slots not listed are left untouched.
+func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options,
+	caps []float64, forced map[*netlist.Node]bool, shards []shard, todo []int) {
 	stages := st.Stages
-	shards := make([]shard, len(stages))
 	buildOne := func(b *builder, si int) {
 		b.edges = nil
 		b.truncated = 0
@@ -219,53 +223,94 @@ func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *M
 		shards[si] = shard{edges: b.edges, truncated: b.truncated}
 	}
 	workers := opt.Workers
-	if workers > len(stages) {
-		workers = len(stages)
+	if workers > len(todo) {
+		workers = len(todo)
 	}
 	if workers <= 1 {
-		b := newBuilder(nl, st, p, opt, m.Caps, forced)
-		for si := range stages {
+		b := newBuilder(nl, st, p, opt, caps, forced)
+		for _, si := range todo {
 			buildOne(b, si)
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				b := newBuilder(nl, st, p, opt, m.Caps, forced)
-				for {
-					si := int(next.Add(1)) - 1
-					if si >= len(stages) {
-						return
-					}
-					buildOne(b, si)
-				}
-			}()
-		}
-		wg.Wait()
+		return
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := newBuilder(nl, st, p, opt, caps, forced)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(todo) {
+					return
+				}
+				buildOne(b, todo[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
 
+// mergeShards concatenates the shards in stage order into m.Edges and
+// applies the deterministic global sort.
+func mergeShards(m *Model, shards []shard) {
 	total := 0
 	for i := range shards {
 		total += len(shards[i].edges)
 	}
 	m.Edges = make([]Edge, 0, total)
+	m.Truncated = 0
 	for i := range shards {
 		m.Edges = append(m.Edges, shards[i].edges...)
 		m.Truncated += shards[i].truncated
 	}
-	sort.SliceStable(m.Edges, func(i, j int) bool {
-		a, c := m.Edges[i], m.Edges[j]
+	// Sort an index permutation instead of the Edge structs themselves:
+	// swapping 4-byte indices avoids moving pointer-bearing structs (and
+	// their write barriers) O(n log n) times, then one pass places each
+	// edge. The index tiebreak keeps the order stable, i.e. identical to
+	// the sort.SliceStable this replaces.
+	idx := make([]int32, len(m.Edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, c := &m.Edges[idx[i]], &m.Edges[idx[j]]
 		if a.From.Index != c.From.Index {
 			return a.From.Index < c.From.Index
 		}
 		if a.To.Index != c.To.Index {
 			return a.To.Index < c.To.Index
 		}
-		return !a.Invert && c.Invert
+		if a.Invert != c.Invert {
+			return !a.Invert
+		}
+		return idx[i] < idx[j]
 	})
+	sorted := make([]Edge, len(m.Edges))
+	for i, j := range idx {
+		sorted[i] = m.Edges[j]
+	}
+	m.Edges = sorted
+}
+
+// Build computes the timing edges for the netlist. The netlist must be
+// finalized, staged, and flow-analyzed (or flow.Reset for the pessimistic
+// ablation). With Options.Workers > 1 the per-stage edge computation (GND
+// path enumeration, Elmore sums) is sharded across a worker pool; the
+// per-stage buffers are merged in stage order, so the output is
+// bit-identical to a serial build.
+func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
+	opt = opt.withDefaults()
+	m := &Model{Caps: ComputeCaps(nl, p)}
+	forced := forcedMap(nl, opt)
+	shards := make([]shard, len(st.Stages))
+	todo := make([]int, len(st.Stages))
+	for i := range todo {
+		todo[i] = i
+	}
+	buildShards(nl, st, p, opt, m.Caps, forced, shards, todo)
+	mergeShards(m, shards)
 	return m
 }
 

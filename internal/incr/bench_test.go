@@ -1,0 +1,30 @@
+package incr
+
+import (
+	"testing"
+
+	"nmostv/internal/core"
+	"nmostv/internal/gen"
+	"nmostv/internal/tech"
+)
+
+func BenchmarkResizeApply(b *testing.B) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DefaultDatapath())
+	s, err := New("bench", nl, Options{Params: p, Sched: testSchedule(), Core: core.Options{Workers: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	devs := s.Devices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := devs[i%len(devs)]
+		f := 1.25
+		if i%2 == 1 {
+			f = 0.8
+		}
+		if _, err := s.Apply([]Delta{{Op: "resize", ID: d.ID, W: d.W * f}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

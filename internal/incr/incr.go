@@ -1,0 +1,492 @@
+// Package incr wraps a loaded design in an incremental analysis session:
+// it accepts small edits (deltas) — device resizes, additions, removals,
+// node capacitance and annotation changes — and re-analyzes only the
+// affected cone instead of the whole design. Stage-level reuse comes from
+// the delay package's content-addressed shard cache (only stages whose
+// fingerprint changed rebuild their timing arcs); arrival-level reuse
+// comes from core.AnalyzeIncremental (only components reachable from the
+// changed arcs through value changes re-relax). The invariant throughout:
+// after any sequence of deltas, the session's result is bit-identical to
+// a from-scratch analysis of the same netlist state — SelfCheck asserts
+// exactly that.
+package incr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/core"
+	"nmostv/internal/delay"
+	"nmostv/internal/flow"
+	"nmostv/internal/netlist"
+	"nmostv/internal/simfile"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+// Delta is one edit to the design. Op selects the kind; the other fields
+// are op-specific. Devices are addressed by their stable ID (reported by
+// Devices and by the add op), never by index.
+type Delta struct {
+	// Op is "resize", "setcap", "annotate", "add", or "remove".
+	Op string `json:"op"`
+	// ID addresses the device for resize and remove.
+	ID int64 `json:"id,omitempty"`
+	// Kind ("e" or "d"), Gate, A, B describe the device for add.
+	// Terminal nodes are created on demand, as in a .sim file.
+	Kind string `json:"kind,omitempty"`
+	Gate string `json:"gate,omitempty"`
+	A    string `json:"a,omitempty"`
+	B    string `json:"b,omitempty"`
+	// W and L are the channel size in µm for add and resize; for resize a
+	// zero dimension keeps the current value.
+	W float64 `json:"w,omitempty"`
+	L float64 `json:"l,omitempty"`
+	// Node names the target for setcap and annotate; it must exist.
+	Node string `json:"node,omitempty"`
+	// Cap is the new lumped capacitance in pF for setcap.
+	Cap float64 `json:"cap,omitempty"`
+	// Attrs are simfile A-record attribute tokens for annotate
+	// (e.g. "input", "clock=1", "exclusive=3").
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+// Stats reports one (re-)analysis: how much was recomputed and how long it
+// took. The cone ratio ConeStages/StagesTotal is the headline incremental
+// win.
+type Stats struct {
+	// Deltas is the number of edits applied in this batch (0 for a full
+	// run or the initial load).
+	Deltas int `json:"deltas"`
+	// Full reports a from-scratch analysis (initial load or Full()).
+	Full bool `json:"full,omitempty"`
+	// StagesTotal and StagesRebuilt count the partition and the stages
+	// whose timing arcs were rebuilt (delay-cache misses).
+	StagesTotal   int `json:"stages_total"`
+	StagesRebuilt int `json:"stages_rebuilt"`
+	// ConeStages counts the distinct stages visited: rebuilt ones plus
+	// stages holding a node whose arrival was re-relaxed.
+	ConeStages int `json:"cone_stages"`
+	// Comps, CompsRelaxed, NodesRelaxed describe the propagation cone
+	// (see core.DeltaStats).
+	Comps        int `json:"comps"`
+	CompsRelaxed int `json:"comps_relaxed"`
+	NodesRelaxed int `json:"nodes_relaxed"`
+	// Nodes is the node count after the batch.
+	Nodes int `json:"nodes"`
+	// ReusedWave reports that the timing-arc model was unchanged and the
+	// propagation plan was reused outright.
+	ReusedWave bool `json:"reused_wave,omitempty"`
+	// AddedIDs are the stable IDs of devices created by add deltas, in
+	// batch order.
+	AddedIDs []int64 `json:"added_ids,omitempty"`
+	// Elapsed is the wall time of the batch, analysis included.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Options configures a session.
+type Options struct {
+	// Params is the process description.
+	Params tech.Params
+	// Sched is the clock schedule analyzed against.
+	Sched clocks.Schedule
+	// Core tunes the analysis (input times, case constants, workers).
+	// SetHigh/SetLow and Workers are also passed to the delay builder.
+	Core core.Options
+	// MaxPaths and MaxDepth bound GND-path enumeration (delay.Options).
+	MaxPaths, MaxDepth int
+}
+
+// Session is a live design under incremental analysis. All methods are
+// safe for concurrent use: queries share a read lock, edits take the write
+// lock and swap in a fresh immutable Result.
+type Session struct {
+	mu sync.RWMutex
+
+	name    string
+	nl      *netlist.Netlist
+	opt     Options
+	stages  *stage.Result
+	flowSum flow.Summary
+	cache   *delay.Cache
+	model   *delay.Model
+	res     *core.Result
+
+	applied int
+	last    Stats
+}
+
+// New finalizes the netlist, runs the initial full analysis, and returns
+// the session. The session takes ownership of the netlist: edit it only
+// through Apply.
+func New(name string, nl *netlist.Netlist, opt Options) (*Session, error) {
+	s := &Session{
+		name:  name,
+		nl:    nl,
+		opt:   opt,
+		cache: delay.NewCache(),
+	}
+	if _, err := s.runFull(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Session) delayOpt() delay.Options {
+	return delay.Options{
+		MaxPaths: s.opt.MaxPaths,
+		MaxDepth: s.opt.MaxDepth,
+		SetHigh:  s.opt.Core.SetHigh,
+		SetLow:   s.opt.Core.SetLow,
+		Workers:  s.opt.Core.Workers,
+	}
+}
+
+// runFull re-derives everything from scratch (but still primes the shard
+// cache for subsequent deltas). Callers hold the write lock, except New.
+func (s *Session) runFull() (Stats, error) {
+	start := time.Now()
+	s.nl.Finalize()
+	s.stages = stage.Extract(s.nl)
+	s.flowSum = flow.Analyze(s.nl)
+	model, _ := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	res, err := core.Analyze(s.nl, model, s.opt.Sched, s.opt.Core)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.model, s.res = model, res
+	st := Stats{
+		Full:          true,
+		StagesTotal:   len(s.stages.Stages),
+		StagesRebuilt: len(s.stages.Stages),
+		ConeStages:    len(s.stages.Stages),
+		Nodes:         len(s.nl.Nodes),
+		Elapsed:       time.Since(start),
+	}
+	s.last = st
+	return st, nil
+}
+
+// Full discards incremental state and re-analyzes from scratch — the
+// escape hatch when the caller wants a clean baseline.
+func (s *Session) Full() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runFull()
+}
+
+// Apply validates and applies a batch of deltas, then re-analyzes the
+// dirty cone. The batch is resolved in full before any mutation, so a bad
+// delta leaves the session untouched; the batch is applied as one edit
+// (one re-analysis). Returns the recomputation stats.
+func (s *Session) Apply(deltas []Delta) (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+
+	// Phase 1: resolve everything against the current state.
+	var acts []func()
+	var addedIDs *[]int64
+	structural := false
+	// Flow orientation reads topology, flags, and ForceFlow — never W, L,
+	// or Cap — so batches of pure resize/setcap deltas keep it valid.
+	needsFlow := false
+	seedIdx := make(map[int]bool)
+	for i := range deltas {
+		d := &deltas[i]
+		fail := func(format string, args ...any) (Stats, error) {
+			return Stats{}, fmt.Errorf("delta %d (%s): %s", i, d.Op, fmt.Sprintf(format, args...))
+		}
+		switch d.Op {
+		case "resize":
+			t := s.nl.TransByID(d.ID)
+			if t == nil {
+				return fail("no device with id %d", d.ID)
+			}
+			w, l := d.W, d.L
+			if w == 0 {
+				w = t.W
+			}
+			if l == 0 {
+				l = t.L
+			}
+			if !(w > 0) || !(l > 0) || math.IsInf(w, 1) || math.IsInf(l, 1) {
+				return fail("bad size w=%v l=%v", w, l)
+			}
+			acts = append(acts, func() { t.W, t.L = w, l })
+		case "setcap":
+			n := s.nl.Lookup(d.Node)
+			if n == nil {
+				return fail("no node %q", d.Node)
+			}
+			c := d.Cap
+			if !(c >= 0) || math.IsInf(c, 1) {
+				return fail("bad cap %v pF", c)
+			}
+			seedIdx[n.Index] = true
+			acts = append(acts, func() { n.Cap = c })
+		case "annotate":
+			n := s.nl.Lookup(d.Node)
+			if n == nil {
+				return fail("no node %q", d.Node)
+			}
+			if len(d.Attrs) == 0 {
+				return fail("no attributes")
+			}
+			// Dry-run against a scratch copy: ApplyAttr only touches
+			// scalar fields, so a struct copy is an isolated target.
+			scratch := *n
+			for _, a := range d.Attrs {
+				if err := simfile.ApplyAttr(&scratch, a); err != nil {
+					return fail("%v", err)
+				}
+			}
+			attrs := d.Attrs
+			needsFlow = true
+			seedIdx[n.Index] = true
+			acts = append(acts, func() {
+				for _, a := range attrs {
+					simfile.ApplyAttr(n, a)
+				}
+			})
+		case "add":
+			var kind netlist.Kind
+			switch d.Kind {
+			case "e", "":
+				kind = netlist.Enh
+			case "d":
+				kind = netlist.Dep
+			default:
+				return fail("bad kind %q", d.Kind)
+			}
+			if d.Gate == "" || d.A == "" || d.B == "" {
+				return fail("gate, a, b node names required")
+			}
+			if !(d.W > 0) || !(d.L > 0) || math.IsInf(d.W, 1) || math.IsInf(d.L, 1) {
+				return fail("bad size w=%v l=%v", d.W, d.L)
+			}
+			d := *d
+			structural = true
+			if addedIDs == nil {
+				addedIDs = new([]int64)
+			}
+			ids := addedIDs
+			acts = append(acts, func() {
+				t := s.nl.AddTransistor(kind,
+					s.nl.Node(d.Gate), s.nl.Node(d.A), s.nl.Node(d.B), d.W, d.L)
+				*ids = append(*ids, t.ID)
+			})
+		case "remove":
+			t := s.nl.TransByID(d.ID)
+			if t == nil {
+				return fail("no device with id %d", d.ID)
+			}
+			// The device's stage may vanish entirely (no surviving
+			// device generates arcs into its nodes), so no rebuilt-stage
+			// seed would cover them: seed the old stage's nodes now.
+			if st := s.stages.ByTrans[t]; st != nil {
+				for _, nd := range st.Nodes {
+					seedIdx[nd.Index] = true
+				}
+			}
+			structural = true
+			acts = append(acts, func() { s.nl.RemoveTransistor(t) })
+		default:
+			return fail("unknown op")
+		}
+	}
+
+	// Phase 2: mutate, re-derive, re-analyze the cone.
+	for _, a := range acts {
+		a()
+	}
+	if structural {
+		s.nl.Finalize()
+		s.stages = stage.Extract(s.nl)
+	}
+	if structural || needsFlow {
+		s.flowSum = flow.Analyze(s.nl)
+	}
+	model, bstats := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	if len(bstats.Rebuilt) == 0 && capsEqual(model.Caps, s.model.Caps) {
+		// Nothing the arc builder reads changed: keep the old model so
+		// the analyzer reuses its propagation plan by pointer identity.
+		model = s.model
+	}
+	seed := make([]bool, len(s.nl.Nodes))
+	for i := range seedIdx {
+		seed[i] = true
+	}
+	for _, stg := range bstats.Rebuilt {
+		for _, nd := range stg.Nodes {
+			seed[nd.Index] = true
+		}
+	}
+	res, dstats, err := core.AnalyzeIncremental(s.nl, model, s.opt.Sched, s.opt.Core, s.res, seed)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.model, s.res = model, res
+	s.applied += len(deltas)
+
+	cone := make(map[int]bool, len(bstats.Rebuilt))
+	for _, stg := range bstats.Rebuilt {
+		cone[stg.Index] = true
+	}
+	for i, rel := range dstats.Relaxed {
+		if rel {
+			if stg := s.stages.ByNode[s.nl.Nodes[i]]; stg != nil {
+				cone[stg.Index] = true
+			}
+		}
+	}
+	st := Stats{
+		Deltas:        len(deltas),
+		StagesTotal:   len(s.stages.Stages),
+		StagesRebuilt: len(bstats.Rebuilt),
+		ConeStages:    len(cone),
+		Comps:         dstats.Comps,
+		CompsRelaxed:  dstats.CompsRelaxed,
+		NodesRelaxed:  dstats.NodesRelaxed,
+		Nodes:         len(s.nl.Nodes),
+		ReusedWave:    dstats.ReusedWave,
+		Elapsed:       time.Since(start),
+	}
+	if addedIDs != nil {
+		st.AddedIDs = *addedIDs
+	}
+	s.last = st
+	return st, nil
+}
+
+func capsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SelfCheck re-derives the whole pipeline from scratch — fresh partition,
+// flow, timing arcs, full analysis — and verifies the session's current
+// result is bit-identical: every timing arc, every arrival (settle and
+// early, both polarities), and every check. This is the equivalence
+// invariant of the incremental engine; it returns nil when it holds.
+func (s *Session) SelfCheck() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nl.Finalize()
+	st := stage.Extract(s.nl)
+	flow.Analyze(s.nl)
+	model := delay.Build(s.nl, st, s.opt.Params, s.delayOpt())
+	ref, err := core.Analyze(s.nl, model, s.opt.Sched, s.opt.Core)
+	if err != nil {
+		return fmt.Errorf("selfcheck reference analysis: %w", err)
+	}
+	if len(model.Edges) != len(s.model.Edges) {
+		return fmt.Errorf("selfcheck: %d timing arcs, reference %d", len(s.model.Edges), len(model.Edges))
+	}
+	for i := range model.Edges {
+		if model.Edges[i] != s.model.Edges[i] {
+			return fmt.Errorf("selfcheck: timing arc %d differs: %+v vs reference %+v",
+				i, s.model.Edges[i], model.Edges[i])
+		}
+	}
+	return compareResults(s.res, ref)
+}
+
+// compareResults asserts bit-identical arrivals and semantically identical
+// check sets (checks are compared on their exported fields after a total
+// ordering, since ties in the report sort may legally reorder).
+func compareResults(got, ref *core.Result) error {
+	for i := range ref.RiseAt {
+		if got.RiseAt[i] != ref.RiseAt[i] || got.FallAt[i] != ref.FallAt[i] {
+			return fmt.Errorf("selfcheck: node %s settle arrivals differ: rise %v/%v fall %v/%v",
+				ref.NL.Nodes[i], got.RiseAt[i], ref.RiseAt[i], got.FallAt[i], ref.FallAt[i])
+		}
+		if got.EarlyRise[i] != ref.EarlyRise[i] || got.EarlyFall[i] != ref.EarlyFall[i] {
+			return fmt.Errorf("selfcheck: node %s early arrivals differ: rise %v/%v fall %v/%v",
+				ref.NL.Nodes[i], got.EarlyRise[i], ref.EarlyRise[i], got.EarlyFall[i], ref.EarlyFall[i])
+		}
+	}
+	gc, rc := canonChecks(got.Checks), canonChecks(ref.Checks)
+	if len(gc) != len(rc) {
+		return fmt.Errorf("selfcheck: %d checks, reference %d", len(gc), len(rc))
+	}
+	for i := range rc {
+		if gc[i] != rc[i] {
+			return fmt.Errorf("selfcheck: check %d differs:\n got %s\n ref %s", i, gc[i], rc[i])
+		}
+	}
+	return nil
+}
+
+// canonCheck is a Check's exported content, usable as a comparable value.
+type canonCheck struct {
+	kind              core.CheckKind
+	node              int
+	pol               core.Polarity
+	phase             int
+	arrival, deadline float64
+	slack             float64
+	ok                bool
+}
+
+func (c canonCheck) String() string {
+	return fmt.Sprintf("{kind:%v node:%d pol:%v phase:%d arr:%v dl:%v slack:%v ok:%v}",
+		c.kind, c.node, c.pol, c.phase, c.arrival, c.deadline, c.slack, c.ok)
+}
+
+func canonChecks(checks []core.Check) []canonCheck {
+	out := make([]canonCheck, len(checks))
+	for i, c := range checks {
+		out[i] = canonCheck{
+			kind: c.Kind, node: c.Node.Index, pol: c.Pol, phase: c.Phase,
+			arrival: c.Arrival, deadline: c.Deadline, slack: c.Slack, ok: c.OK,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.pol != b.pol {
+			return a.pol < b.pol
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		return !a.ok && b.ok
+	})
+	return out
+}
+
+// Result returns the current analysis. The Result is immutable, but its
+// netlist is the session's live one: callers that traverse NL concurrently
+// with Apply must use the query methods instead.
+func (s *Session) Result() *core.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.res
+}
+
+// LastStats returns the stats of the most recent (re-)analysis.
+func (s *Session) LastStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.last
+}

@@ -1,0 +1,367 @@
+package incr
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/core"
+	"nmostv/internal/delay"
+	"nmostv/internal/flow"
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+func testSchedule() clocks.Schedule { return clocks.TwoPhase(5000, 0.8) }
+
+// testWorkloads mirrors the parallel engine's golden-equality coverage: a
+// clocked datapath, a pass-matrix shifter, a NOR-NOR PLA, and the
+// two-phase shift register.
+func testWorkloads() []struct {
+	name  string
+	build func(p tech.Params) *netlist.Netlist
+} {
+	return []struct {
+		name  string
+		build func(p tech.Params) *netlist.Netlist
+	}{
+		{"datapath8x8", func(p tech.Params) *netlist.Netlist {
+			return gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+		}},
+		{"barrel16x4", func(p tech.Params) *netlist.Netlist {
+			b := gen.New("barrel16x4", p)
+			in := make([]*netlist.Node, 16)
+			for i := range in {
+				in[i] = b.Input(fmt.Sprintf("in%d", i))
+			}
+			for _, o := range b.BarrelShifter(in, b.ShiftControls(4)) {
+				b.Output(b.Inverter(o))
+			}
+			return b.Finish()
+		}},
+		{"pla6x10x4", func(p tech.Params) *netlist.Netlist {
+			b := gen.New("pla6x10x4", p)
+			ins := make([]*netlist.Node, 6)
+			for i := range ins {
+				ins[i] = b.Input(fmt.Sprintf("in%d", i))
+			}
+			and := make([][]int, 10)
+			for i := range and {
+				row := make([]int, 6)
+				for j := range row {
+					switch (i*7 + j*3) % 3 {
+					case 0:
+						row[j] = 1
+					case 1:
+						row[j] = -1
+					}
+				}
+				and[i] = row
+			}
+			or := make([][]int, 4)
+			for i := range or {
+				for pt := i; pt < 10; pt += 2 {
+					or[i] = append(or[i], pt)
+				}
+			}
+			for _, o := range b.PLA(ins, and, or) {
+				b.Output(o)
+			}
+			return b.Finish()
+		}},
+		{"shiftreg16", func(p tech.Params) *netlist.Netlist {
+			b := gen.New("shiftreg16", p)
+			phi1 := b.Clock("phi1", 1)
+			phi2 := b.Clock("phi2", 2)
+			b.Output(b.ShiftRegister(b.Input("in"), phi1, phi2, 16))
+			return b.Finish()
+		}},
+	}
+}
+
+func newTestSession(t *testing.T, name string, nl *netlist.Netlist, workers int) *Session {
+	t.Helper()
+	s, err := New(name, nl, Options{
+		Params: tech.Default(),
+		Sched:  testSchedule(),
+		Core:   core.Options{Workers: workers},
+	})
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return s
+}
+
+// randomDelta builds one applicable delta against the session's current
+// netlist. It only reads under the test's single-goroutine use, so direct
+// field access is fine.
+func randomDelta(rng *rand.Rand, s *Session) Delta {
+	nodeName := func() string {
+		for {
+			n := s.nl.Nodes[rng.Intn(len(s.nl.Nodes))]
+			if !n.IsSupply() {
+				return n.Name
+			}
+		}
+	}
+	device := func() *netlist.Transistor {
+		return s.nl.Trans[rng.Intn(len(s.nl.Trans))]
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3: // resize dominates: the classic what-if edit
+		t := device()
+		return Delta{Op: "resize", ID: t.ID, W: t.W * (0.5 + rng.Float64()*1.5)}
+	case 4, 5:
+		return Delta{Op: "setcap", Node: nodeName(), Cap: rng.Float64() * 0.4}
+	case 6:
+		attrs := [][]string{{"output"}, {"input"}, {"precharged"}, {"flowin"}, {"exclusive=7"}}
+		return Delta{Op: "annotate", Node: nodeName(), Attrs: attrs[rng.Intn(len(attrs))]}
+	case 7, 8:
+		return Delta{Op: "add", Kind: "e", Gate: nodeName(), A: nodeName(), B: nodeName(),
+			W: 2 + rng.Float64()*6, L: 2}
+	default:
+		return Delta{Op: "remove", ID: device().ID}
+	}
+}
+
+// TestRandomDeltaEquivalence is the property test of the tentpole
+// invariant: after every random batch of edits, the incremental result is
+// bit-identical to a from-scratch analysis — at serial and full worker
+// counts, over the datapath, shifter, PLA, and shift-register workloads.
+func TestRandomDeltaEquivalence(t *testing.T) {
+	p := tech.Default()
+	for _, w := range testWorkloads() {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			t.Run(fmt.Sprintf("%s/workers%d", w.name, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(w.name))*31 + int64(workers)))
+				s := newTestSession(t, w.name, w.build(p), workers)
+				for round := 0; round < 6; round++ {
+					batch := make([]Delta, 1+rng.Intn(3))
+					for i := range batch {
+						batch[i] = randomDelta(rng, s)
+					}
+					if _, err := s.Apply(batch); err != nil {
+						t.Fatalf("round %d: Apply: %v", round, err)
+					}
+					if err := s.SelfCheck(); err != nil {
+						t.Fatalf("round %d after %v: %v", round, batch, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResizeConeSmall pins the incremental acceptance criterion: a
+// single-transistor resize near the datapath's outputs re-visits under 20%
+// of the stages and still reproduces the from-scratch result bit for bit,
+// critical path included.
+func TestResizeConeSmall(t *testing.T) {
+	p := tech.Default()
+	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+	s := newTestSession(t, "datapath8x8", nl, 1)
+
+	// Pick a device in the stage with the least gate fanout, so the
+	// edit's forward cone is as small as the design allows (an output
+	// driver or a leaf of the control logic).
+	var victim *netlist.Transistor
+	bestFanout := -1
+	for _, stg := range s.stages.Stages {
+		fanout := 0
+		for _, n := range stg.Nodes {
+			fanout += len(n.Gates)
+		}
+		if len(stg.Trans) > 0 && (bestFanout < 0 || fanout < bestFanout) {
+			bestFanout = fanout
+			victim = stg.Trans[0]
+		}
+	}
+	if victim == nil {
+		t.Fatal("no stage found in datapath")
+	}
+
+	st, err := s.Apply([]Delta{{Op: "resize", ID: victim.ID, W: victim.W * 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StagesTotal == 0 || st.ConeStages*5 >= st.StagesTotal {
+		t.Fatalf("resize cone too large: %d of %d stages (want <20%%)", st.ConeStages, st.StagesTotal)
+	}
+	t.Logf("resize cone: %d of %d stages (%.1f%%), %d/%d comps relaxed",
+		st.ConeStages, st.StagesTotal,
+		100*float64(st.ConeStages)/float64(st.StagesTotal),
+		st.CompsRelaxed, st.Comps)
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path recovery must also match a from-scratch run: this exercises
+	// the predecessor remap across the model rebuild.
+	ref := scratchAnalyze(t, s)
+	got := core.FormatPath(s.res.CriticalPath())
+	want := core.FormatPath(ref.CriticalPath())
+	if got != want {
+		t.Fatalf("critical path differs after resize:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func scratchAnalyze(t *testing.T, s *Session) *core.Result {
+	t.Helper()
+	s.nl.Finalize()
+	stg := stage.Extract(s.nl)
+	flow.Analyze(s.nl)
+	m := delay.Build(s.nl, stg, s.opt.Params, s.delayOpt())
+	ref, err := core.Analyze(s.nl, m, s.opt.Sched, s.opt.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestAddRemoveRoundtrip exercises the structural paths: a stage that
+// appears, then vanishes entirely — the removed stage's nodes must fall
+// back to "never transitions" exactly as a fresh analysis would conclude.
+func TestAddRemoveRoundtrip(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("chain", p)
+	b.Output(b.InvChain(b.Input("in"), 8))
+	s := newTestSession(t, "chain", b.Finish(), 1)
+
+	st, err := s.Apply([]Delta{
+		{Op: "add", Kind: "d", Gate: "spur", A: "vdd", B: "spur", W: 2, L: 8},
+		{Op: "add", Kind: "e", Gate: "in", A: "spur", B: "gnd", W: 4, L: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.AddedIDs) != 2 {
+		t.Fatalf("AddedIDs = %v, want 2 ids", st.AddedIDs)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("after add: %v", err)
+	}
+	sp := s.nl.Lookup("spur")
+	if sp == nil || s.res.Settle(sp) < 0 {
+		t.Fatalf("spur node should settle after add; got %v", s.res.Settle(sp))
+	}
+
+	if _, err := s.Apply([]Delta{
+		{Op: "remove", ID: st.AddedIDs[0]},
+		{Op: "remove", ID: st.AddedIDs[1]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("after remove: %v", err)
+	}
+	if s.nl.TransByID(st.AddedIDs[0]) != nil {
+		t.Fatal("removed device still addressable")
+	}
+}
+
+// TestBadDeltasLeaveSessionIntact: a batch that fails validation must not
+// change anything — resolution happens before any mutation.
+func TestBadDeltasLeaveSessionIntact(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("chain", p)
+	b.Output(b.InvChain(b.Input("in"), 4))
+	s := newTestSession(t, "chain", b.Finish(), 1)
+	before := s.Info()
+
+	bad := [][]Delta{
+		{{Op: "teleport"}},
+		{{Op: "resize", ID: 99999, W: 4}},
+		{{Op: "resize", ID: 1, W: -3}},
+		{{Op: "setcap", Node: "nope", Cap: 0.1}},
+		{{Op: "annotate", Node: "in", Attrs: []string{"sparkly"}}},
+		{{Op: "add", Kind: "q", Gate: "a", A: "b", B: "c", W: 4, L: 2}},
+		{{Op: "resize", ID: 1, W: 8}, {Op: "remove", ID: 424242}}, // second fails: whole batch rejected
+	}
+	for _, batch := range bad {
+		if _, err := s.Apply(batch); err == nil {
+			t.Fatalf("Apply(%v) should fail", batch)
+		}
+	}
+	after := s.Info()
+	if before.Nodes != after.Nodes || before.Devices != after.Devices || before.Applied != after.Applied {
+		t.Fatalf("failed batches changed the session: %+v -> %+v", before, after)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullResetsAndMatches: Full() after a run of edits equals the
+// incremental state it replaces.
+func TestFullResetsAndMatches(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("chain", p)
+	b.Output(b.InvChain(b.Input("in"), 8))
+	s := newTestSession(t, "chain", b.Finish(), 1)
+
+	if _, err := s.Apply([]Delta{{Op: "setcap", Node: "in", Cap: 0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	incRes := s.Result()
+	st, err := s.Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full {
+		t.Fatal("Full() stats not marked full")
+	}
+	fullRes := s.Result()
+	for i := range fullRes.RiseAt {
+		if fullRes.RiseAt[i] != incRes.RiseAt[i] || fullRes.FallAt[i] != incRes.FallAt[i] {
+			t.Fatalf("Full() arrivals differ from incremental at node %d", i)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuerySnapshots covers the server-facing DTOs.
+func TestQuerySnapshots(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("chain", p)
+	b.Output(b.InvChain(b.Input("in"), 4))
+	s := newTestSession(t, "chain", b.Finish(), 1)
+
+	if _, ok := s.NodeTiming("no-such-node"); ok {
+		t.Fatal("NodeTiming of missing node reported ok")
+	}
+	nt, ok := s.NodeTiming("in")
+	if !ok || nt.Name != "in" || !strings.Contains(nt.Flags, "input") {
+		t.Fatalf("NodeTiming(in) = %+v, %v", nt, ok)
+	}
+	if nt.Settle == nil || *nt.Settle != 0 {
+		t.Fatalf("input settle = %v, want 0", nt.Settle)
+	}
+	vdd, ok := s.NodeTiming("vdd")
+	if !ok || vdd.Settle != nil {
+		t.Fatalf("vdd should be static: %+v", vdd)
+	}
+
+	crit := s.Critical(3)
+	if len(crit) == 0 || len(crit[0].Steps) == 0 {
+		t.Fatalf("Critical(3) = %+v", crit)
+	}
+	if crit[0].Check.Kind != core.CheckOutput.String() {
+		t.Fatalf("worst endpoint kind = %q", crit[0].Check.Kind)
+	}
+
+	info := s.Info()
+	if info.Nodes != len(s.nl.Nodes) || info.Devices != len(s.nl.Trans) || info.Name != "chain" {
+		t.Fatalf("Info() = %+v", info)
+	}
+	devs := s.Devices()
+	if len(devs) != len(s.nl.Trans) || devs[0].ID == 0 {
+		t.Fatalf("Devices() = %d entries", len(devs))
+	}
+}

@@ -194,8 +194,12 @@ func (r Role) String() string {
 // terminals (source/drain are interchangeable until flow analysis orients
 // the device).
 type Transistor struct {
-	// Index is the position in Netlist.Trans.
+	// Index is the position in Netlist.Trans. It is renumbered when
+	// devices are removed; ID is the stable handle.
 	Index int
+	// ID is a netlist-unique serial assigned at AddTransistor and never
+	// reused. Incremental tools address devices by it across edits.
+	ID int64
 	// Kind is enhancement or depletion.
 	Kind Kind
 	// Gate, A, B are the terminal nodes.
@@ -259,6 +263,7 @@ type Netlist struct {
 	VDD, GND *Node
 
 	byName map[string]*Node
+	nextID int64
 }
 
 // New returns an empty netlist containing only the two supply nodes, named
@@ -305,8 +310,10 @@ func (nl *Netlist) Lookup(name string) *Node {
 // AddTransistor appends a device with the given terminals and size and
 // returns it. Role assignment happens in Finalize.
 func (nl *Netlist) AddTransistor(k Kind, gate, a, b *Node, w, l float64) *Transistor {
+	nl.nextID++
 	t := &Transistor{
 		Index: len(nl.Trans),
+		ID:    nl.nextID,
 		Kind:  k,
 		Gate:  gate,
 		A:     a,
@@ -316,6 +323,35 @@ func (nl *Netlist) AddTransistor(k Kind, gate, a, b *Node, w, l float64) *Transi
 	}
 	nl.Trans = append(nl.Trans, t)
 	return t
+}
+
+// RemoveTransistor deletes a device from the netlist, preserving the
+// relative order of the remaining devices and renumbering their indices.
+// Returns false if t is not (or no longer) a member. The caller must run
+// Finalize before the netlist is analyzed again: the per-node device
+// lists and roles are stale until then.
+func (nl *Netlist) RemoveTransistor(t *Transistor) bool {
+	i := t.Index
+	if i < 0 || i >= len(nl.Trans) || nl.Trans[i] != t {
+		return false
+	}
+	nl.Trans = append(nl.Trans[:i], nl.Trans[i+1:]...)
+	for j := i; j < len(nl.Trans); j++ {
+		nl.Trans[j].Index = j
+	}
+	t.Index = -1
+	return true
+}
+
+// TransByID returns the device with the given stable ID, or nil. Linear
+// scan: callers that address devices repeatedly should keep their own map.
+func (nl *Netlist) TransByID(id int64) *Transistor {
+	for _, t := range nl.Trans {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // Finalize computes derived structure: per-node device lists and per-device

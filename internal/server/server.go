@@ -1,0 +1,311 @@
+// Package server exposes incremental timing sessions over HTTP/JSON: load
+// a design, stream it deltas, query node timing, critical paths, and the
+// equivalence verifier. It is the transport layer of the tvd daemon; all
+// analysis semantics live in internal/incr.
+//
+// Endpoints (designs are named; `?design=` selects one, optional while a
+// single design is loaded):
+//
+//	POST /load?name=N      body = .sim text; loads/replaces design N
+//	POST /delta?design=N   body = JSON array of deltas; incremental re-analysis
+//	POST /full?design=N    from-scratch re-analysis (escape hatch)
+//	GET  /node/{name}      per-node settle/early times, slack, checks
+//	GET  /critical?k=N     k most constrained endpoints with paths
+//	GET  /devices          device list with stable IDs (delta targets)
+//	GET  /verify           re-derive from scratch, compare bit-for-bit
+//	GET  /stats            daemon + per-design counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/core"
+	"nmostv/internal/incr"
+	"nmostv/internal/simfile"
+	"nmostv/internal/tech"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Params is the process used for every design.
+	Params tech.Params
+	// Sched is the clock schedule designs are analyzed against.
+	Sched clocks.Schedule
+	// Workers bounds analysis parallelism (0 = one per CPU).
+	Workers int
+	// Logf receives one line per request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP facade over a registry of incremental sessions.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	sessions map[string]*incr.Session
+
+	start    time.Time
+	requests atomic.Int64
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	if cfg.Sched.Period == 0 {
+		cfg.Sched = clocks.TwoPhase(1000, 0.8)
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*incr.Session),
+		start:    time.Now(),
+	}
+}
+
+// Load parses .sim text and registers (or replaces) the named design.
+func (s *Server) Load(name string, sim io.Reader) (*incr.Session, error) {
+	nl, err := simfile.Read(sim, name)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := incr.New(name, nl, incr.Options{
+		Params: s.cfg.Params,
+		Sched:  s.cfg.Sched,
+		Core:   core.Options{Workers: s.cfg.Workers},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sessions[name] = sess
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// session resolves the `design` query parameter; with exactly one design
+// loaded the parameter is optional.
+func (s *Server) session(r *http.Request) (*incr.Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name := r.URL.Query().Get("design")
+	if name == "" {
+		if len(s.sessions) == 1 {
+			for _, sess := range s.sessions {
+				return sess, nil
+			}
+		}
+		return nil, fmt.Errorf("%d designs loaded; select one with ?design=name", len(s.sessions))
+	}
+	sess, ok := s.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("no design %q loaded", name)
+	}
+	return sess, nil
+}
+
+// Handler returns the routed HTTP handler with per-request timing.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /load", s.handleLoad)
+	mux.HandleFunc("POST /delta", s.handleDelta)
+	mux.HandleFunc("POST /full", s.handleFull)
+	mux.HandleFunc("GET /node/{name}", s.handleNode)
+	mux.HandleFunc("GET /critical", s.handleCritical)
+	mux.HandleFunc("GET /devices", s.handleDevices)
+	mux.HandleFunc("GET /verify", s.handleVerify)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return s.timed(mux)
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), sw.status, time.Since(start))
+		}
+	})
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "design"
+	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	sess, err := s.Load(name, body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "load %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var deltas []incr.Delta
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&deltas); err != nil {
+		writeErr(w, http.StatusBadRequest, "delta body: %v", err)
+		return
+	}
+	if len(deltas) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty delta batch")
+		return
+	}
+	stats, err := sess.Apply(deltas)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	stats, err := sess.Full()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	name := r.PathValue("name")
+	nt, ok := sess.NodeTiming(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "design %q has no node %q", sess.Name(), name)
+		return
+	}
+	writeJSON(w, http.StatusOK, nt)
+}
+
+func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k := 5
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		k, err = strconv.Atoi(kq)
+		if err != nil || k <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, sess.Critical(k))
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Devices())
+}
+
+type verifyBody struct {
+	OK        bool   `json:"ok"`
+	Design    string `json:"design"`
+	Error     string `json:"error,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	start := time.Now()
+	vErr := sess.SelfCheck()
+	body := verifyBody{OK: vErr == nil, Design: sess.Name(), ElapsedNS: time.Since(start).Nanoseconds()}
+	status := http.StatusOK
+	if vErr != nil {
+		body.Error = vErr.Error()
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, body)
+}
+
+type statsBody struct {
+	Designs   int                  `json:"designs"`
+	Requests  int64                `json:"requests"`
+	UptimeNS  int64                `json:"uptime_ns"`
+	PerDesign map[string]incr.Info `json:"per_design"`
+	Names     []string             `json:"names"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	sessions := make(map[string]*incr.Session, len(s.sessions))
+	for name, sess := range s.sessions {
+		sessions[name] = sess
+	}
+	s.mu.RUnlock()
+	body := statsBody{
+		Designs:   len(sessions),
+		Requests:  s.requests.Load(),
+		UptimeNS:  time.Since(s.start).Nanoseconds(),
+		PerDesign: make(map[string]incr.Info, len(sessions)),
+	}
+	for name, sess := range sessions {
+		body.PerDesign[name] = sess.Info()
+		body.Names = append(body.Names, name)
+	}
+	sort.Strings(body.Names)
+	writeJSON(w, http.StatusOK, body)
+}

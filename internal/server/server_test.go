@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/incr"
+	"nmostv/internal/tech"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Params:  tech.Default(),
+		Sched:   clocks.TwoPhase(1000, 0.8),
+		Workers: 1,
+	})
+	f, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := s.Load("tutorial", f); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestNodeQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	var nt incr.NodeTiming
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, &nt)
+	if nt.Name != "dout" || !strings.Contains(nt.Flags, "output") {
+		t.Fatalf("NodeTiming = %+v", nt)
+	}
+	if nt.Settle == nil || *nt.Settle <= 0 {
+		t.Fatalf("dout settle = %v, want positive", nt.Settle)
+	}
+	if nt.Slack == nil {
+		t.Fatal("dout (an output) should carry a slack")
+	}
+	getJSON(t, ts.URL+"/node/no-such-node", http.StatusNotFound, nil)
+}
+
+func TestCriticalAndDevices(t *testing.T) {
+	_, ts := newTestServer(t)
+	var crit []incr.CriticalEntry
+	getJSON(t, ts.URL+"/critical?k=2", http.StatusOK, &crit)
+	if len(crit) == 0 || len(crit) > 2 || len(crit[0].Steps) == 0 {
+		t.Fatalf("critical = %+v", crit)
+	}
+	for i := 1; i < len(crit); i++ {
+		if crit[i].Check.Slack < crit[i-1].Check.Slack {
+			t.Fatalf("critical entries not worst-first: %+v", crit)
+		}
+	}
+	getJSON(t, ts.URL+"/critical?k=zero", http.StatusBadRequest, nil)
+
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices", http.StatusOK, &devs)
+	if len(devs) == 0 || devs[0].ID == 0 {
+		t.Fatalf("devices = %+v", devs)
+	}
+}
+
+func TestDeltaVerifyRoundtrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices", http.StatusOK, &devs)
+
+	var before, after incr.NodeTiming
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, &before)
+
+	// Double the width of the device driving dout's stage, then verify
+	// the incremental result against a from-scratch analysis.
+	var st incr.Stats
+	postJSON(t, ts.URL+"/delta", `[{"op":"resize","id":`+jsonID(devs[len(devs)-1].ID)+`,"w":16}]`,
+		http.StatusOK, &st)
+	if st.Deltas != 1 || st.StagesRebuilt == 0 || st.StagesRebuilt > st.StagesTotal {
+		t.Fatalf("delta stats = %+v", st)
+	}
+
+	var vb verifyBody
+	getJSON(t, ts.URL+"/verify", http.StatusOK, &vb)
+	if !vb.OK || vb.Design != "tutorial" {
+		t.Fatalf("verify = %+v", vb)
+	}
+
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, &after)
+	if after.Settle == nil {
+		t.Fatal("dout static after resize")
+	}
+
+	postJSON(t, ts.URL+"/delta", `[{"op":"resize","id":999999,"w":4}]`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/delta", `not json`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/delta", `[]`, http.StatusBadRequest, nil)
+
+	var fs incr.Stats
+	postJSON(t, ts.URL+"/full", "", http.StatusOK, &fs)
+	if !fs.Full {
+		t.Fatalf("full stats = %+v", fs)
+	}
+}
+
+func jsonID(id int64) string {
+	b, _ := json.Marshal(id)
+	return string(b)
+}
+
+func TestMultiDesignRegistry(t *testing.T) {
+	_, ts := newTestServer(t)
+	sim, err := os.ReadFile("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info incr.Info
+	postJSON(t, ts.URL+"/load?name=second", string(sim), http.StatusOK, &info)
+	if info.Name != "second" || info.Devices == 0 {
+		t.Fatalf("load info = %+v", info)
+	}
+
+	// Two designs: the selector becomes mandatory.
+	getJSON(t, ts.URL+"/node/dout", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/node/dout?design=second", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/node/dout?design=tutorial", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/verify?design=nope", http.StatusNotFound, nil)
+
+	var sb statsBody
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &sb)
+	if sb.Designs != 2 || len(sb.PerDesign) != 2 || sb.Requests == 0 {
+		t.Fatalf("stats = %+v", sb)
+	}
+	if sb.Names[0] != "second" || sb.Names[1] != "tutorial" {
+		t.Fatalf("names = %v", sb.Names)
+	}
+
+	postJSON(t, ts.URL+"/load?name=bad", "e bogus\n", http.StatusBadRequest, nil)
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /delta = %d, want 405", resp.StatusCode)
+	}
+}

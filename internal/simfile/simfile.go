@@ -20,8 +20,11 @@
 //	= canonical alias    node aliasing (extractor merge records)
 //	A node attrs...      annotation record (this repository's extension,
 //	                     replacing the side files designers used):
-//	                     input output clock=1|2 precharged[=phase]
-//	                     storage[=phase] flowin flowout
+//	                     input output clock=1|2 precharged[=1|2]
+//	                     storage[=1|2] flowin flowout exclusive=group
+//
+// Read returns *ParseError for any malformed input — it never panics;
+// FuzzParse in this package enforces that contract.
 //
 // Node names "vdd", "Vdd", "VDD", "gnd", "GND", "vss" denote the supplies.
 package simfile
@@ -30,6 +33,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,6 +70,14 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 	}
 	node := func(n string) *netlist.Node { return nl.Node(resolve(n)) }
 
+	// addCap guards the running sum: Write re-emits node caps in fF
+	// (pF × 1000), so a sum past MaxFloat64/1000 would print as +Inf and
+	// break the read/write round trip.
+	addCap := func(n *netlist.Node, pF float64) bool {
+		n.Cap += pF
+		return n.Cap <= math.MaxFloat64/1000
+	}
+
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -79,8 +91,8 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "|") {
 			if u, ok := parseUnits(line); ok {
-				if u <= 0 {
-					return nil, fail("units must be positive, got %g", u)
+				if !(u > 0) || math.IsInf(u, 1) {
+					return nil, fail("units must be positive and finite, got %g", u)
 				}
 				unitsPerMicron = u
 			}
@@ -100,12 +112,18 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 			if err != nil {
 				return nil, fail("bad width %q: %v", f[5], err)
 			}
+			// Validate after units scaling: a huge units divisor can
+			// underflow a positive raw size to zero, a tiny one can
+			// overflow it to +Inf.
+			l, w = l/unitsPerMicron, w/unitsPerMicron
+			if !(l > 0) || !(w > 0) || math.IsInf(l, 1) || math.IsInf(w, 1) {
+				return nil, fail("device size must be positive and finite, got l=%g w=%g (after units scaling)", l, w)
+			}
 			k := netlist.Enh
 			if f[0] == "d" {
 				k = netlist.Dep
 			}
-			tr := nl.AddTransistor(k, node(f[1]), node(f[2]), node(f[3]),
-				w/unitsPerMicron, l/unitsPerMicron)
+			tr := nl.AddTransistor(k, node(f[1]), node(f[2]), node(f[3]), w, l)
 			if len(f) == 7 {
 				switch f[6] {
 				case ">":
@@ -124,18 +142,24 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 			if err != nil {
 				return nil, fail("bad capacitance %q: %v", f[3], err)
 			}
+			if !(fF >= 0) || math.IsInf(fF, 1) {
+				return nil, fail("capacitance must be non-negative and finite, got %g", fF)
+			}
 			pF := fF / 1000
 			n1, n2 := node(f[1]), node(f[2])
+			ok := true
 			switch {
 			case n1.IsSupply() && n2.IsSupply():
 				// Cap between supplies is irrelevant to timing.
 			case n1.IsSupply():
-				n2.Cap += pF
+				ok = addCap(n2, pF)
 			case n2.IsSupply():
-				n1.Cap += pF
+				ok = addCap(n1, pF)
 			default:
-				n1.Cap += pF / 2
-				n2.Cap += pF / 2
+				ok = addCap(n1, pF/2) && addCap(n2, pF/2)
+			}
+			if !ok {
+				return nil, fail("accumulated capacitance overflows")
 			}
 		case "N":
 			if len(f) != 3 {
@@ -145,7 +169,12 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 			if err != nil {
 				return nil, fail("bad capacitance %q: %v", f[2], err)
 			}
-			node(f[1]).Cap += fF / 1000
+			if !(fF >= 0) || math.IsInf(fF, 1) {
+				return nil, fail("capacitance must be non-negative and finite, got %g", fF)
+			}
+			if !addCap(node(f[1]), fF/1000) {
+				return nil, fail("accumulated capacitance overflows")
+			}
 		case "=":
 			if len(f) != 3 {
 				return nil, fail("= record needs 2 fields, got %d", len(f)-1)
@@ -173,7 +202,9 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("simfile: %w", err)
+		// Surface stream-level failures (oversized line, I/O error) as
+		// ParseError too: callers get one error type, never a panic.
+		return nil, &ParseError{Line: lineNo + 1, Msg: fmt.Sprintf("reading input: %v", err)}
 	}
 	nl.Finalize()
 	return nl, nil
@@ -201,6 +232,11 @@ func parseUnits(line string) (float64, bool) {
 	return 0, false
 }
 
+// ApplyAttr applies one A-record attribute token (e.g. "input",
+// "clock=1", "exclusive=3") to a node — the same vocabulary the parser
+// accepts. Incremental tools use it to annotate nodes of a live design.
+func ApplyAttr(n *netlist.Node, attr string) error { return applyAttr(n, attr) }
+
 func applyAttr(n *netlist.Node, attr string) error {
 	key, val, hasVal := strings.Cut(attr, "=")
 	phase := 0
@@ -220,14 +256,23 @@ func applyAttr(n *netlist.Node, attr string) error {
 		if !hasVal {
 			return fmt.Errorf("attribute clock requires a phase, e.g. clock=1")
 		}
+		if phase != 1 && phase != 2 {
+			return fmt.Errorf("attribute clock: phase must be 1 or 2, got %d", phase)
+		}
 		n.Flags |= netlist.FlagClock
 		n.Phase = phase
 	case "precharged":
+		if hasVal && phase != 1 && phase != 2 {
+			return fmt.Errorf("attribute precharged: phase must be 1 or 2, got %d", phase)
+		}
 		n.Flags |= netlist.FlagPrecharged
 		if hasVal {
 			n.Phase = phase
 		}
 	case "storage":
+		if hasVal && phase != 1 && phase != 2 {
+			return fmt.Errorf("attribute storage: phase must be 1 or 2, got %d", phase)
+		}
 		n.Flags |= netlist.FlagStorage
 		if hasVal {
 			n.Phase = phase

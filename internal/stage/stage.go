@@ -9,6 +9,7 @@ package stage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"nmostv/internal/netlist"
@@ -140,6 +141,80 @@ func Extract(nl *netlist.Netlist) *Result {
 
 func sortNodes(nodes []*netlist.Node) {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
+}
+
+// Fingerprint hashes everything the delay model reads from this stage:
+// the ordered device list (stable ID, kind, size, flow orientation, role,
+// terminal node indices), each channel node's loading, flags, phase,
+// case-analysis constant, and whether it fans out to any gate, and each
+// gate input's clock/flag state. Two stages with equal fingerprints (and
+// equal device-ID lists, which callers verify to rule out hash collisions)
+// produce bit-identical timing edges under the same process parameters and
+// builder options, so per-stage results can be cached across netlist edits.
+//
+// caps is the per-node-index total loading (delay.Model.Caps); forced maps
+// case-analysis constants (node -> held value) exactly as the delay
+// builder receives them.
+func (s *Stage) Fingerprint(caps []float64, forced map[*netlist.Node]bool) uint64 {
+	h := fnv64{}
+	h.init()
+	forcedCode := func(n *netlist.Node) uint64 {
+		v, ok := forced[n]
+		switch {
+		case !ok:
+			return 0
+		case v:
+			return 1
+		default:
+			return 2
+		}
+	}
+	nodeState := func(n *netlist.Node) {
+		h.word(uint64(n.Index))
+		h.word(uint64(n.Flags))
+		h.word(uint64(int64(n.Phase)))
+		h.word(forcedCode(n))
+	}
+	for _, t := range s.Trans {
+		h.word(uint64(t.ID))
+		h.word(uint64(t.Kind)<<24 | uint64(t.Flow)<<16 | uint64(t.ForceFlow)<<8 | uint64(t.Role))
+		h.word(math.Float64bits(t.W))
+		h.word(math.Float64bits(t.L))
+		h.word(uint64(t.Gate.Index))
+		h.word(uint64(t.A.Index))
+		h.word(uint64(t.B.Index))
+	}
+	for _, n := range s.Nodes {
+		nodeState(n)
+		h.word(math.Float64bits(caps[n.Index]))
+		h.word(uint64(len(n.Gates)))
+	}
+	for _, g := range s.GateInputs {
+		nodeState(g)
+	}
+	return h.sum
+}
+
+// DeviceIDs returns the stable IDs of the stage's devices in stage order.
+func (s *Stage) DeviceIDs() []int64 {
+	ids := make([]int64, len(s.Trans))
+	for i, t := range s.Trans {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// fnv64 is an allocation-free FNV-1a accumulator over 64-bit words.
+type fnv64 struct{ sum uint64 }
+
+func (h *fnv64) init() { h.sum = 14695981039346656037 }
+
+func (h *fnv64) word(w uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= w & 0xff
+		h.sum *= 1099511628211
+		w >>= 8
+	}
 }
 
 // FanoutStages returns the stages that node n feeds as a gate input, in
