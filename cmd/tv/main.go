@@ -21,6 +21,10 @@
 //	-charge         run charge-sharing analysis on dynamic nodes
 //	-j n            worker goroutines for model build and propagation
 //	                (0 = one per CPU, 1 = serial; results are identical)
+//	-trace f.json   write a Chrome trace-event file of the analysis
+//	                phases (open in ui.perfetto.dev or chrome://tracing)
+//	-cpuprofile f   write a CPU profile (inspect with go tool pprof)
+//	-memprofile f   write a heap profile taken after analysis
 //	-version        print the version and exit
 package main
 
@@ -29,12 +33,16 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 
 	"nmostv"
+	"nmostv/internal/obs"
 	"nmostv/internal/report"
+	"nmostv/internal/simfile"
 )
 
 // version is stamped by the build:
@@ -71,6 +79,9 @@ func main() {
 	setHigh := flag.String("sethigh", "", "comma-separated nodes held high (case analysis)")
 	setLow := flag.String("setlow", "", "comma-separated nodes held low (case analysis)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the analysis phases")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a post-analysis heap profile to this file")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	inputs := inputTimes{}
 	flag.Var(inputs, "input", "input arrival override name=ns (repeatable)")
@@ -86,8 +97,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	// os.Exit skips deferred calls, so profile/trace finalization is an
+	// explicit function invoked on every exit path after this point.
+	var tvObs *obs.Obs
+	if *tracePath != "" {
+		tvObs = &obs.Obs{Tr: obs.NewTracer()}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	finish := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tvObs.Tr.WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+
 	p := nmostv.DefaultParams()
-	d, err := nmostv.LoadSimFile(flag.Arg(0), p)
+	sp := tvObs.Span("parse")
+	sf, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := simfile.Read(sf, flag.Arg(0))
+	sf.Close()
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -96,10 +156,9 @@ func main() {
 		SetHigh:     splitList(*setHigh),
 		SetLow:      splitList(*setLow),
 		Workers:     *jobs,
+		Obs:         tvObs,
 	}
-	if *noFlow || *jobs != 0 || len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
-		d = nmostv.Prepare(d.NL, p, prepOpt)
-	}
+	d := nmostv.Prepare(nl, p, prepOpt)
 	if len(prepOpt.SetHigh) > 0 || len(prepOpt.SetLow) > 0 {
 		fmt.Printf("case analysis: high=%v low=%v\n", prepOpt.SetHigh, prepOpt.SetLow)
 	}
@@ -129,6 +188,7 @@ func main() {
 		SetHigh:   prepOpt.SetHigh,
 		SetLow:    prepOpt.SetLow,
 		Workers:   *jobs,
+		Obs:       tvObs,
 	}
 	sched := nmostv.TwoPhase(*period, *active)
 	res, err := d.Analyze(sched, opt)
@@ -207,6 +267,7 @@ func main() {
 		printSettles(res)
 	}
 
+	finish()
 	if len(viol) > 0 || ruleFail {
 		os.Exit(1)
 	}

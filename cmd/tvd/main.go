@@ -14,6 +14,14 @@
 //	                 name is the file basename without extension
 //	-j n             worker goroutines for model build and propagation
 //	                 (0 = one per CPU, 1 = serial; results are identical)
+//	-metrics-addr    also serve GET /metrics on a dedicated listener;
+//	                 with -pprof, profiles mount only there, keeping
+//	                 them off the main address
+//	-pprof           mount net/http/pprof under /debug/pprof/.
+//	                 Off by default: profiles expose internals and can
+//	                 burn CPU, so only enable on a trusted interface
+//	                 (prefer pairing with -metrics-addr 127.0.0.1:port)
+//	-quiet           drop the per-request log lines
 //	-version         print the version and exit
 //
 // Quick start:
@@ -22,6 +30,7 @@
 //	curl localhost:8077/node/dout
 //	curl -X POST localhost:8077/delta -d '[{"op":"resize","id":3,"w":8}]'
 //	curl localhost:8077/verify
+//	curl localhost:8077/metrics
 package main
 
 import (
@@ -29,11 +38,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"nmostv/internal/clocks"
+	"nmostv/internal/obs"
 	"nmostv/internal/server"
 	"nmostv/internal/tech"
 )
@@ -52,11 +63,25 @@ func (p *preloads) Set(s string) error {
 	return nil
 }
 
+// mountPprof attaches the net/http/pprof handlers explicitly rather than
+// via its import side effect, so they land on the mux we choose instead
+// of http.DefaultServeMux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	period := flag.Float64("period", 1000, "clock period in ns")
 	active := flag.Float64("active", 0.8, "per-phase active fraction")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "also serve /metrics (and -pprof) on this dedicated address; pprof then stays off the main address")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof (exposes internals; only enable on a trusted interface)")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	var pre preloads
 	flag.Var(&pre, "preload", "load a .sim design at startup (repeatable)")
@@ -73,12 +98,18 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "tvd: ", log.LstdFlags)
-	srv := server.New(server.Config{
+	o := obs.NewObs()
+	cfg := server.Config{
 		Params:  tech.Default(),
 		Sched:   clocks.TwoPhase(*period, *active),
 		Workers: *jobs,
 		Logf:    logger.Printf,
-	})
+		Obs:     o,
+	}
+	if *quiet {
+		cfg.Logf = nil
+	}
+	srv := server.New(cfg)
 
 	for _, path := range pre {
 		f, err := os.Open(path)
@@ -96,8 +127,32 @@ func main() {
 			name, info.Devices, info.Nodes, info.Stages, info.Arcs)
 	}
 
+	handler := srv.Handler()
+	if *metricsAddr != "" {
+		// Dedicated observability listener. Metrics stay harmless on the
+		// main address too; pprof mounts only here, so the main address
+		// can be exposed without exposing profiles.
+		omux := http.NewServeMux()
+		omux.Handle("GET /metrics", o.Reg.Handler())
+		if *enablePprof {
+			mountPprof(omux)
+		}
+		go func() {
+			logger.Printf("metrics on %s (pprof %v)", *metricsAddr, *enablePprof)
+			if err := http.ListenAndServe(*metricsAddr, omux); err != nil {
+				logger.Fatalf("metrics listener: %v", err)
+			}
+		}()
+	} else if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mountPprof(mux)
+		handler = mux
+		logger.Printf("pprof mounted on main address %s", *addr)
+	}
+
 	logger.Printf("tvd %s listening on %s (period %g ns)", version, *addr, *period)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+// settledAnalysis runs a full Analyze over an inverter-chain design and
+// returns an analysis wrapper positioned to re-run the wavefront walk on
+// the settled fixpoint. Relaxation is monotone and the arrivals are
+// already at the fixpoint, so re-relaxing performs the full read path of
+// the hot loop (edge scans, window checks, comparisons) without writing —
+// exactly the steady-state cost the alloc guard must bound.
+func settledAnalysis(tb testing.TB, chain int) *analysis {
+	tb.Helper()
+	b := gen.New("bench", tech.Default())
+	in := b.Input("in")
+	b.Output(b.InvChain(in, chain))
+	nl, m := pipeline(b)
+	res, err := Analyze(nl, m, sched(), Options{Workers: 1})
+	if err != nil {
+		tb.Fatalf("Analyze: %v", err)
+	}
+	a := &analysis{Result: res, opt: Options{Workers: 1}.withDefaults()}
+	a.opt.Workers = 1
+	a.initMetrics()
+	a.initSources()
+	// initSources resets source arrivals to their fixed values; the rest
+	// of res's arrivals are the settled fixpoint, unchanged.
+	return a
+}
+
+// rewalk returns a func re-running the wavefront relaxation walk. The
+// component closure is built once here so AllocsPerRun measures the walk
+// itself, as propagate() does (it builds its closure once per pass, not
+// per component).
+func (a *analysis) rewalk() func() {
+	ws := a.wave
+	fn := func(ci int32) {
+		comp := ws.comps[ci]
+		if !ws.cyclic[ci] {
+			a.relaxNode(int(comp[0]), ws.in[comp[0]])
+		}
+	}
+	return func() { a.forEachComp(fn) }
+}
+
+// TestWavefrontDisabledObsZeroAlloc asserts the instrumentation contract
+// documented on forEachComp: with Obs nil, the wavefront walk — level
+// iteration, counter updates, and per-node relaxation — allocates nothing.
+// The counters degrade to nil-receiver no-ops and span construction is
+// gated on the tracer, so disabled observability costs two nil checks per
+// level and nothing per node.
+func TestWavefrontDisabledObsZeroAlloc(t *testing.T) {
+	a := settledAnalysis(t, 32)
+	if a.opt.Obs != nil || a.mLevels != nil || a.mComps != nil {
+		t.Fatal("instrumentation unexpectedly enabled")
+	}
+	walk := a.rewalk()
+	walk() // warm up: any lazy one-time growth happens here
+	if n := testing.AllocsPerRun(50, walk); n != 0 {
+		t.Fatalf("wavefront walk with disabled obs allocated %v times per run, want 0", n)
+	}
+}
+
+// TestWavefrontEnabledCountersZeroAlloc asserts the same for metrics-only
+// instrumentation (registry attached, no tracer) — the daemon's steady
+// state. Handles are pre-resolved by initMetrics, so the walk itself is
+// atomic increments only.
+func TestWavefrontEnabledCountersZeroAlloc(t *testing.T) {
+	a := settledAnalysis(t, 32)
+	a.opt.Obs = obs.NewObs()
+	a.initMetrics()
+	if a.mLevels == nil || a.mComps == nil {
+		t.Fatal("counters not resolved")
+	}
+	walk := a.rewalk()
+	walk()
+	if n := testing.AllocsPerRun(50, walk); n != 0 {
+		t.Fatalf("wavefront walk with metrics-only obs allocated %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkPropagateDisabledObs(b *testing.B) {
+	a := settledAnalysis(b, 64)
+	walk := a.rewalk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk()
+	}
+}

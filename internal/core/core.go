@@ -25,6 +25,7 @@ import (
 	"nmostv/internal/clocks"
 	"nmostv/internal/delay"
 	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
 )
 
 // NegInf is the arrival time of a node that never transitions during the
@@ -51,6 +52,10 @@ type Options struct {
 	// forces serial propagation. Results are bit-identical at every
 	// worker count (see propagate).
 	Workers int
+	// Obs receives phase spans (wave-plan, propagate, checks, per-level
+	// breakdowns) and wavefront counters. Nil disables instrumentation;
+	// the propagation hot path then performs no extra allocation.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -262,13 +267,36 @@ func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt
 	r.predFall = fillPred(n)
 
 	a := &analysis{Result: r, opt: opt}
+	a.initMetrics()
+	defer opt.Obs.Span("analyze").End()
+	sp := opt.Obs.Span("wave-plan")
 	a.wave = newWaveSchedule(n, model)
+	sp.End()
+	sp = opt.Obs.Span("sources+storage")
 	a.initSources()
 	a.classifyStorage()
+	sp.End()
+	sp = opt.Obs.Span("propagate")
 	a.propagate()
+	sp.End()
+	sp = opt.Obs.Span("propagate-early")
 	a.propagateEarly()
+	sp.End()
+	sp = opt.Obs.Span("checks")
 	a.runChecks()
+	sp.End()
 	return r, nil
+}
+
+// initMetrics resolves the wavefront counter handles once per analysis,
+// so the walk itself is atomic-increment only (nil handles when
+// instrumentation is off — every update degrades to a no-op without
+// allocating).
+func (a *analysis) initMetrics() {
+	a.mLevels = a.opt.Obs.Counter("core_wave_levels_total",
+		"wavefront levels walked across all propagation passes")
+	a.mComps = a.opt.Obs.Counter("core_wave_comps_total",
+		"components scheduled across all propagation passes")
 }
 
 // classifyStorage determines which storage nodes are clock-latched: at
@@ -310,6 +338,9 @@ type analysis struct {
 	// propagates normally; Result.loopNodes collects nodes in
 	// non-converging cycles.)
 	fixedRise, fixedFall []bool
+	// mLevels and mComps are pre-resolved wavefront counters (nil when
+	// instrumentation is disabled; see initMetrics).
+	mLevels, mComps *obs.Counter
 }
 
 // initSources fixes the arrivals that anchor the analysis:

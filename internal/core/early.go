@@ -61,7 +61,7 @@ func (a *analysis) propagateEarly() {
 func (a *analysis) relaxNodeEarly(idx int, incoming []int32) bool {
 	storage := a.clockedStorage[idx]
 	changed := false
-	for _, pol := range []Polarity{Rise, Fall} {
+	for _, pol := range bothPols {
 		if a.isFixed(idx, pol) {
 			continue
 		}
@@ -149,7 +149,7 @@ func (a *analysis) raceChecks() []Check {
 		if !a.clockedStorage[e.To.Index] || e.From.IsClock() {
 			continue
 		}
-		for _, pol := range []Polarity{Rise, Fall} {
+		for _, pol := range bothPols {
 			var d float64
 			var mask uint8
 			if pol == Rise {

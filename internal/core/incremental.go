@@ -72,8 +72,11 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 		predFall:  growPreds(prev.predFall, n),
 	}
 	a := &analysis{Result: r, opt: opt}
+	a.initMetrics()
+	defer opt.Obs.Span("analyze-incremental").End()
 	stats := DeltaStats{}
 
+	sp := opt.Obs.Span("wave-plan")
 	if model == prev.Model && n == len(prev.wave.compOf) {
 		r.wave = prev.wave
 		stats.ReusedWave = true
@@ -81,6 +84,7 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 		r.wave = newWaveSchedule(n, model)
 		remapPreds(r, prev)
 	}
+	sp.End()
 	stats.Comps = len(r.wave.comps)
 
 	// Snapshot the previous fixpoint (grown with NaN so any comparison
@@ -91,8 +95,10 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 	snapER := growCopy(prev.EarlyRise, n, math.NaN())
 	snapEF := growCopy(prev.EarlyFall, n, math.NaN())
 
+	sp = opt.Obs.Span("sources+storage")
 	a.initSources()
 	a.classifyStorage()
+	sp.End()
 	// A source never has a producing arc; clear any pred left over from a
 	// node that only just became fixed (e.g. an added input annotation).
 	for i := 0; i < n; i++ {
@@ -130,7 +136,9 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 		}
 	}
 	relaxed := make([]bool, n)
+	sp = opt.Obs.Span("cone-re-relax")
 	sc, sn := a.propagateDirty(seed, snapRise, snapFall, prev.loopNodes, relaxed)
+	sp.End()
 
 	// Early pass: re-apply the anchors (they mirror the settle sources),
 	// then seed from structure plus anchor changes. Settle values feed the
@@ -150,7 +158,9 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 			eseed[i] = true
 		}
 	}
+	sp = opt.Obs.Span("cone-re-relax-early")
 	ec, en := a.propagateEarlyDirty(eseed, snapER, snapEF, relaxed)
+	sp.End()
 
 	if sc > ec {
 		stats.CompsRelaxed = sc
@@ -164,7 +174,9 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 	}
 	stats.Relaxed = relaxed
 
+	sp = opt.Obs.Span("checks")
 	a.runChecks()
+	sp.End()
 	return r, stats, nil
 }
 

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"nmostv/internal/delay"
 	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
 )
 
 // waveSchedule is the propagation plan shared by the settle and
@@ -105,8 +107,20 @@ const minParallelLevel = 8
 // one worker. Each level is a barrier — by the time fn sees a component,
 // every arrival it can read through an incoming arc is final, except
 // those inside its own (cyclic) component.
+//
+// Instrumentation: the counters are pre-resolved atomic handles updated
+// once per level (never per component), and spans are built only when a
+// tracer is attached — with instrumentation disabled this walk allocates
+// nothing (asserted by TestWavefrontDisabledObsZeroAlloc).
 func (a *analysis) forEachComp(fn func(ci int32)) {
-	for _, lvl := range a.wave.levels {
+	tr := a.opt.Obs.Tracer()
+	for li, lvl := range a.wave.levels {
+		a.mLevels.Inc()
+		a.mComps.Add(int64(len(lvl)))
+		var lsp *obs.Span
+		if tr != nil {
+			lsp = tr.Start(fmt.Sprintf("level %d (%d comps)", li, len(lvl)))
+		}
 		workers := a.opt.Workers
 		if workers > len(lvl) {
 			workers = len(lvl)
@@ -115,24 +129,35 @@ func (a *analysis) forEachComp(fn func(ci int32)) {
 			for _, ci := range lvl {
 				fn(ci)
 			}
+			lsp.End()
 			continue
 		}
+		// The loop variables are passed as arguments, not captured: a
+		// captured per-iteration variable would be heap-allocated every
+		// level even when this parallel path is never taken, breaking the
+		// zero-alloc guarantee of the serial walk.
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w, li int, lvl []int32) {
 				defer wg.Done()
+				var wsp *obs.Span
+				if tr != nil {
+					wsp = tr.StartTID(fmt.Sprintf("level %d worker", li), int64(w+1))
+				}
 				for {
 					k := int(next.Add(1)) - 1
 					if k >= len(lvl) {
+						wsp.End()
 						return
 					}
 					fn(lvl[k])
 				}
-			}()
+			}(w, li, lvl)
 		}
 		wg.Wait()
+		lsp.End()
 	}
 }
 
@@ -167,6 +192,11 @@ func (a *analysis) propagate() {
 	})
 }
 
+// bothPols is the polarity pair the relaxation loops range over — an
+// array, not a slice literal, so the per-node hot path stays
+// allocation-free (see TestWavefrontDisabledObsZeroAlloc).
+var bothPols = [2]Polarity{Rise, Fall}
+
 // relaxNode recomputes both polarities of one node from its incoming arcs.
 // Storage nodes (latch outputs) relax only from clock-driven arcs: their
 // value launches when the latch opens; late data arcs are setup checks,
@@ -175,7 +205,7 @@ func (a *analysis) propagate() {
 func (a *analysis) relaxNode(idx int, incoming []int32) bool {
 	storage := a.clockedStorage[idx]
 	changed := false
-	for _, pol := range []Polarity{Rise, Fall} {
+	for _, pol := range bothPols {
 		if a.isFixed(idx, pol) {
 			continue
 		}

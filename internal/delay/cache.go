@@ -63,6 +63,7 @@ type BuildStats struct {
 // stages that no longer exist are evicted.
 func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options, c *Cache) (*Model, BuildStats) {
 	opt = opt.withDefaults()
+	defer opt.Obs.Span("delay-build-cached").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
 	forced := forcedMap(nl, opt)
 
@@ -70,6 +71,7 @@ func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Op
 	shards := make([]shard, len(stages))
 	fps := make([]uint64, len(stages))
 	var todo []int
+	sp := opt.Obs.Span("fingerprint+probe")
 	for i, s := range stages {
 		fps[i] = s.Fingerprint(m.Caps, forced)
 		if e, ok := c.entries[fps[i]]; ok && idsMatch(e.ids, s) {
@@ -78,18 +80,27 @@ func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Op
 		}
 		todo = append(todo, i)
 	}
+	sp.End()
+	sp = opt.Obs.Span("shard-build")
 	buildShards(nl, st, p, opt, m.Caps, forced, shards, todo)
+	sp.End()
 
 	stats := BuildStats{Stages: len(stages)}
 	for _, i := range todo {
 		stats.Rebuilt = append(stats.Rebuilt, stages[i])
 	}
+	opt.Obs.Counter("delay_cache_hits_total",
+		"stage shards reused from the content-addressed cache").Add(int64(len(stages) - len(todo)))
+	opt.Obs.Counter("delay_cache_misses_total",
+		"stage shards rebuilt on cache miss").Add(int64(len(todo)))
 	fresh := make(map[uint64]cacheEntry, len(stages))
 	for i, s := range stages {
 		fresh[fps[i]] = cacheEntry{ids: s.DeviceIDs(), sh: shards[i]}
 	}
 	c.entries = fresh
 
+	sp = opt.Obs.Span("merge+sort")
 	mergeShards(m, shards)
+	sp.End()
 	return m, stats
 }

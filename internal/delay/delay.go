@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
 )
@@ -133,6 +134,9 @@ type Options struct {
 	// exactly one stage), and the per-stage edge buffers are merged in
 	// stage-index order.
 	Workers int
+	// Obs receives build phase spans and the shard-cache hit/miss
+	// counters; nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -302,6 +306,7 @@ func mergeShards(m *Model, shards []shard) {
 // bit-identical to a serial build.
 func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
 	opt = opt.withDefaults()
+	defer opt.Obs.Span("delay-build").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
 	forced := forcedMap(nl, opt)
 	shards := make([]shard, len(st.Stages))

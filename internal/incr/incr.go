@@ -23,6 +23,7 @@ import (
 	"nmostv/internal/delay"
 	"nmostv/internal/flow"
 	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
@@ -99,6 +100,11 @@ type Options struct {
 	Core core.Options
 	// MaxPaths and MaxDepth bound GND-path enumeration (delay.Options).
 	MaxPaths, MaxDepth int
+	// Obs receives phase spans, cache counters, and per-design gauges
+	// from every (re-)analysis; it is also handed down to the delay
+	// builder and the core analyzer (unless Core.Obs is already set).
+	// Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Session is a live design under incremental analysis. All methods are
@@ -118,12 +124,18 @@ type Session struct {
 
 	applied int
 	last    Stats
+	// cacheHits and cacheMisses accumulate the delay shard-cache totals
+	// over the session's lifetime (every runFull and Apply).
+	cacheHits, cacheMisses int64
 }
 
 // New finalizes the netlist, runs the initial full analysis, and returns
 // the session. The session takes ownership of the netlist: edit it only
 // through Apply.
 func New(name string, nl *netlist.Netlist, opt Options) (*Session, error) {
+	if opt.Obs != nil && opt.Core.Obs == nil {
+		opt.Core.Obs = opt.Obs
+	}
 	s := &Session{
 		name:  name,
 		nl:    nl,
@@ -143,6 +155,7 @@ func (s *Session) delayOpt() delay.Options {
 		SetHigh:  s.opt.Core.SetHigh,
 		SetLow:   s.opt.Core.SetLow,
 		Workers:  s.opt.Core.Workers,
+		Obs:      s.opt.Obs,
 	}
 }
 
@@ -150,10 +163,17 @@ func (s *Session) delayOpt() delay.Options {
 // cache for subsequent deltas). Callers hold the write lock, except New.
 func (s *Session) runFull() (Stats, error) {
 	start := time.Now()
+	defer s.opt.Obs.Span("full-analysis").End()
+	sp := s.opt.Obs.Span("finalize")
 	s.nl.Finalize()
+	sp.End()
+	sp = s.opt.Obs.Span("stage-partition")
 	s.stages = stage.Extract(s.nl)
+	sp.End()
+	sp = s.opt.Obs.Span("flow")
 	s.flowSum = flow.Analyze(s.nl)
-	model, _ := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	sp.End()
+	model, bstats := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
 	res, err := core.Analyze(s.nl, model, s.opt.Sched, s.opt.Core)
 	if err != nil {
 		return Stats{}, err
@@ -168,6 +188,7 @@ func (s *Session) runFull() (Stats, error) {
 		Elapsed:       time.Since(start),
 	}
 	s.last = st
+	s.publish(st, bstats)
 	return st, nil
 }
 
@@ -187,8 +208,10 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
+	defer s.opt.Obs.Span("apply-batch").End()
 
 	// Phase 1: resolve everything against the current state.
+	rsp := s.opt.Obs.Span("delta-resolve")
 	var acts []func()
 	var addedIDs *[]int64
 	structural := false
@@ -300,7 +323,10 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 		}
 	}
 
+	rsp.End()
+
 	// Phase 2: mutate, re-derive, re-analyze the cone.
+	asp := s.opt.Obs.Span("delta-apply")
 	for _, a := range acts {
 		a()
 	}
@@ -311,6 +337,7 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 	if structural || needsFlow {
 		s.flowSum = flow.Analyze(s.nl)
 	}
+	asp.End()
 	model, bstats := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
 	if len(bstats.Rebuilt) == 0 && capsEqual(model.Caps, s.model.Caps) {
 		// Nothing the arc builder reads changed: keep the old model so
@@ -360,7 +387,33 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 		st.AddedIDs = *addedIDs
 	}
 	s.last = st
+	s.publish(st, bstats)
 	return st, nil
+}
+
+// publish accumulates the session cache totals and exports the batch's
+// headline numbers as per-design metrics. Called with the write lock held
+// after every (re-)analysis; handle resolution is a registry map lookup,
+// negligible next to the analysis itself, and a nil Obs makes every call
+// a no-op.
+func (s *Session) publish(st Stats, bstats delay.BuildStats) {
+	s.cacheHits += int64(bstats.Stages - len(bstats.Rebuilt))
+	s.cacheMisses += int64(len(bstats.Rebuilt))
+	o := s.opt.Obs
+	if o == nil {
+		return
+	}
+	lbl := obs.Label{Key: "design", Val: s.name}
+	o.Counter("incr_batches_total", "delta batches and full runs analyzed", lbl).Inc()
+	o.Counter("incr_deltas_total", "individual deltas applied", lbl).Add(int64(st.Deltas))
+	o.Counter("incr_cache_hits_total", "delay shard-cache hits", lbl).Add(int64(bstats.Stages - len(bstats.Rebuilt)))
+	o.Counter("incr_cache_misses_total", "delay shard-cache misses (stages rebuilt)", lbl).Add(int64(len(bstats.Rebuilt)))
+	o.Gauge("incr_cone_stages", "stages in the last re-analysis cone", lbl).Set(float64(st.ConeStages))
+	o.Gauge("incr_stages_total", "stages in the design partition", lbl).Set(float64(st.StagesTotal))
+	o.Gauge("incr_nodes_relaxed", "nodes re-relaxed by the last batch", lbl).Set(float64(st.NodesRelaxed))
+	o.Gauge("incr_comps_relaxed", "components re-relaxed by the last batch", lbl).Set(float64(st.CompsRelaxed))
+	o.Histogram("incr_apply_seconds", "wall time of delta batches and full runs", nil, lbl).
+		Observe(st.Elapsed.Seconds())
 }
 
 func capsEqual(a, b []float64) bool {
@@ -383,6 +436,7 @@ func capsEqual(a, b []float64) bool {
 func (s *Session) SelfCheck() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.opt.Obs.Span("verify").End()
 	s.nl.Finalize()
 	st := stage.Extract(s.nl)
 	flow.Analyze(s.nl)

@@ -69,7 +69,14 @@ type Info struct {
 	Applied    int      `json:"deltas_applied"`
 	Violations int      `json:"violations"`
 	MinSlack   *float64 `json:"min_slack,omitempty"`
-	Last       Stats    `json:"last"`
+	// CacheHits and CacheMisses are the session-lifetime delay
+	// shard-cache totals; CacheHitRate is hits/(hits+misses).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Last reports the most recent (re-)analysis, including the dirty
+	// cone size (cone_stages) and how much was recomputed.
+	Last Stats `json:"last"`
 }
 
 // DeviceInfo describes one device for enumeration by ID.
@@ -171,6 +178,11 @@ func (s *Session) Info() Info {
 		Period:  s.opt.Sched.Period,
 		Applied: s.applied,
 		Last:    s.last,
+	}
+	info.CacheHits = s.cacheHits
+	info.CacheMisses = s.cacheMisses
+	if total := s.cacheHits + s.cacheMisses; total > 0 {
+		info.CacheHitRate = float64(s.cacheHits) / float64(total)
 	}
 	info.Violations = len(s.res.Violations())
 	if ms, ok := s.res.MinSlack(); ok {

@@ -1,0 +1,71 @@
+package obs
+
+// Obs bundles the two instrumentation sinks — a metrics registry and a
+// phase-span tracer — into the single pointer the analysis stack threads
+// through its option structs. Either field may be nil independently
+// (metrics without tracing is the daemon's steady state; tracing without
+// metrics is `tv -trace`), and a nil *Obs disables everything: all
+// methods are nil-receiver safe and return nil (disabled) handles, so
+// instrumented code never branches on "is observability on".
+type Obs struct {
+	// Reg receives counters, gauges, and histograms.
+	Reg *Registry
+	// Tr receives phase spans.
+	Tr *Tracer
+}
+
+// NewObs returns an Obs with a fresh registry and no tracer — the usual
+// daemon configuration.
+func NewObs() *Obs {
+	return &Obs{Reg: NewRegistry()}
+}
+
+// Span opens a span on the main track; nil-safe.
+func (o *Obs) Span(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tr.Start(name)
+}
+
+// SpanTID opens a span on the given track; nil-safe.
+func (o *Obs) SpanTID(name string, tid int64) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tr.StartTID(name, tid)
+}
+
+// Tracer returns the underlying tracer, nil when tracing is disabled.
+// Hot loops use this to skip building span names entirely.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tr
+}
+
+// Counter resolves a counter handle; nil-safe.
+func (o *Obs) Counter(name, help string, labels ...Label) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name, help, labels...)
+}
+
+// Gauge resolves a gauge handle; nil-safe.
+func (o *Obs) Gauge(name, help string, labels ...Label) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name, help, labels...)
+}
+
+// Histogram resolves a histogram handle (nil buckets = DefBuckets);
+// nil-safe.
+func (o *Obs) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name, help, buckets, labels...)
+}

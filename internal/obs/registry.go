@@ -1,0 +1,371 @@
+// Package obs is the dependency-free observability layer of the analyzer
+// and the tvd daemon: an atomic counter/gauge/histogram registry with
+// Prometheus text-format exposition, and a phase-span tracer that records
+// nested spans and exports them as Chrome trace-event JSON (trace.go).
+//
+// Design constraints, in order:
+//
+//   - Zero-alloc on the hot path. Metric handles are resolved once (a
+//     locked map lookup) and then updated with plain atomics; Observe,
+//     Inc, Add, and Set never allocate. Disabled instrumentation is a nil
+//     pointer: every handle method is nil-receiver safe, so instrumented
+//     code needs no branches of its own.
+//   - Safe under -race. Updates are atomics; registration and exposition
+//     take the registry lock; a histogram's sum uses a CAS loop.
+//   - Stdlib only. Exposition follows the Prometheus text format closely
+//     enough for any scraper, without importing a client library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" pair attached to a metric. Metrics with the
+// same name but different label sets are distinct time series of one
+// family, as in Prometheus.
+type Label struct {
+	Key, Val string
+}
+
+// desc is the identity of one time series: family name plus rendered
+// label set.
+type desc struct {
+	name   string
+	help   string
+	labels string // rendered {k="v",...}, "" when unlabeled
+}
+
+// renderLabels builds the canonical label block: keys sorted, values
+// escaped. Deterministic so that the same logical series always resolves
+// to the same handle.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	d desc
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil handle (disabled instrumentation).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (which must be non-negative to keep Prometheus semantics).
+// Safe on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil handle.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds v with a CAS loop. Safe on a nil handle.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil handle.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default histogram bounds in seconds, spanning the
+// ~10µs incremental re-analysis to multi-second full builds.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution metric. Observe is
+// atomic-increment only: a linear scan over ≲20 bounds, one bucket
+// increment, a CAS-added sum — no allocation.
+type Histogram struct {
+	d      desc
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value. Safe on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil handle.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry. A nil *Registry
+// is valid everywhere and yields nil (disabled) handles.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]any // desc ident -> *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]any)}
+}
+
+// resolve returns the existing metric for ident, or registers the one
+// produced by mk. It panics when the name is reused with another type —
+// a programming error worth failing loudly on.
+func (r *Registry) resolve(ident string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.series[ident]; ok {
+		return m
+	}
+	m := mk()
+	r.series[ident] = m
+	return m
+}
+
+// Counter returns (registering on first use) the counter for name+labels.
+// Nil-safe: a nil registry returns a nil, disabled handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, help: help, labels: renderLabels(labels)}
+	m := r.resolve(d.name+d.labels, func() any { return &Counter{d: d} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s registered as %T, requested as counter", d.name, d.labels, m))
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, help: help, labels: renderLabels(labels)}
+	m := r.resolve(d.name+d.labels, func() any { return &Gauge{d: d} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s registered as %T, requested as gauge", d.name, d.labels, m))
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram for
+// name+labels. A nil buckets slice uses DefBuckets. Bucket bounds are
+// fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, help: help, labels: renderLabels(labels)}
+	m := r.resolve(d.name+d.labels, func() any {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		sort.Float64s(bounds)
+		return &Histogram{d: d, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s registered as %T, requested as histogram", d.name, d.labels, m))
+	}
+	return h
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// format: families sorted by name, series sorted by label set, # HELP and
+// # TYPE emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]any, 0, len(r.series))
+	for _, m := range r.series {
+		metrics = append(metrics, m)
+	}
+	r.mu.Unlock()
+
+	descOf := func(m any) desc {
+		switch m := m.(type) {
+		case *Counter:
+			return m.d
+		case *Gauge:
+			return m.d
+		case *Histogram:
+			return m.d
+		}
+		return desc{}
+	}
+	sort.Slice(metrics, func(i, j int) bool {
+		a, b := descOf(metrics[i]), descOf(metrics[j])
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.labels < b.labels
+	})
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range metrics {
+		d := descOf(m)
+		if d.name != lastFamily {
+			lastFamily = d.name
+			if d.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", d.name, d.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", d.name, typeName(m))
+		}
+		switch m := m.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s%s %d\n", d.name, d.labels, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s%s %g\n", d.name, d.labels, m.Value())
+		case *Histogram:
+			writeHistogram(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(m any) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count. The le label is appended to the series' own labels.
+func writeHistogram(b *strings.Builder, h *Histogram) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(h.d.labels, "{"), "}")
+	bucketLabels := func(le string) string {
+		if inner == "" {
+			return fmt.Sprintf(`{le="%s"}`, le)
+		}
+		return fmt.Sprintf(`{%s,le="%s"}`, inner, le)
+	}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", h.d.name, bucketLabels(formatBound(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", h.d.name, bucketLabels("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", h.d.name, h.d.labels, math.Float64frombits(h.sum.Load()))
+	fmt.Fprintf(b, "%s_count%s %d\n", h.d.name, h.d.labels, h.count.Load())
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "requests served"); again != c {
+		t.Fatal("same name+labels must resolve to the same handle")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+
+	// Distinct label sets are distinct series; label order is canonical.
+	a := r.Counter("hits", "", Label{"route", "/x"}, Label{"code", "200"})
+	b := r.Counter("hits", "", Label{"code", "200"}, Label{"route", "/x"})
+	if a != b {
+		t.Fatal("label order must not create a new series")
+	}
+	other := r.Counter("hits", "", Label{"route", "/y"}, Label{"code", "200"})
+	if other == a {
+		t.Fatal("different label values must be distinct series")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 2`, // 0.5 and the boundary value 1
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 106",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family").Inc()
+	r.Counter("aa_total", "first family", Label{"design", `with"quote`}).Add(2)
+	r.Gauge("mid_gauge", "a gauge").Set(1.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Families sorted by name, HELP/TYPE once per family, values rendered.
+	ia := strings.Index(out, "# TYPE aa_total counter")
+	im := strings.Index(out, "# TYPE mid_gauge gauge")
+	iz := strings.Index(out, "# TYPE zz_total counter")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("families out of order:\n%s", out)
+	}
+	if !strings.Contains(out, `aa_total{design="with\"quote"} 2`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "mid_gauge 1.5") {
+		t.Fatalf("gauge sample missing:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Fatalf("handler = %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+// TestConcurrentUpdates exercises every handle type from many goroutines
+// while a scraper renders the registry — the -race target for the whole
+// package.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_hist", "", nil)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-5)
+				if i%100 == 0 {
+					// Concurrent registration of a labeled sibling.
+					r.Counter("conc_total_labeled", "", Label{"w", "x"}).Inc()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("conc_total", "").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := r.Histogram("conc_hist", "", nil).Count(); got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestNilSafety: the disabled configuration is a nil pointer at every
+// level; nothing may panic and nothing may record.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", nil).Observe(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+
+	var o *Obs
+	o.Counter("x", "").Add(1)
+	o.Gauge("x", "").Add(1)
+	o.Histogram("x", "", nil).Observe(1)
+	o.Span("x").End()
+	o.SpanTID("x", 3).End()
+	if o.Tracer() != nil {
+		t.Fatal("nil Obs must expose a nil tracer")
+	}
+
+	// Obs with a registry but no tracer, and vice versa.
+	mo := NewObs()
+	mo.Span("x").End()
+	mo.Counter("ok_total", "").Inc()
+	if mo.Counter("ok_total", "").Value() != 1 {
+		t.Fatal("registry-only Obs must record metrics")
+	}
+	to := &Obs{Tr: NewTracer()}
+	to.Counter("x", "").Inc()
+	sp := to.Span("phase")
+	sp.End()
+	if to.Tr.Len() != 1 {
+		t.Fatal("tracer-only Obs must record spans")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge lookup of a counter name must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records phase spans — named intervals with begin/end times — and
+// exports them as Chrome trace-event JSON, viewable in ui.perfetto.dev or
+// chrome://tracing. Nesting is positional, as in those viewers: spans on
+// the same track (tid) that contain one another render as a flame stack,
+// so a caller that opens "analyze" and then "propagate" inside it gets
+// the nested breakdown for free.
+//
+// A nil *Tracer is the disabled state: Start returns a nil *Span, whose
+// End is a no-op, and neither call allocates — the analyzer threads one
+// pointer through and pays nothing when tracing is off.
+type Tracer struct {
+	base time.Time
+
+	mu     sync.Mutex
+	events []spanEvent
+}
+
+type spanEvent struct {
+	name  string
+	tid   int64
+	start time.Time
+	dur   time.Duration
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span is one open interval; call End to record it.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Time
+}
+
+// Start opens a span on the main track (tid 0). Nil-safe: a nil tracer
+// returns a nil span without allocating.
+func (t *Tracer) Start(name string) *Span {
+	return t.StartTID(name, 0)
+}
+
+// StartTID opens a span on the given track. Concurrent phases (per-worker
+// propagation) use distinct tids so the viewer lays them out as parallel
+// rows instead of an impossible single-threaded stack.
+func (t *Tracer) StartTID(name string, tid int64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// End closes the span and records it. Safe on a nil span, and safe to
+// call from the goroutine that started the span while others end theirs.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := spanEvent{name: s.name, tid: s.tid, start: s.start, dur: time.Since(s.start)}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// Len returns the number of recorded (ended) spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is one complete ("ph":"X") trace event. Timestamps and
+// durations are microseconds, per the trace-event format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+// WriteChrome writes the recorded spans as a Chrome trace-event JSON
+// array. Events are emitted in start order; the viewer reconstructs
+// nesting from containment.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	t.mu.Lock()
+	events := make([]spanEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	out := make([]chromeEvent, len(events))
+	for i, ev := range events {
+		out[i] = chromeEvent{
+			Name: ev.name,
+			Cat:  "tv",
+			Ph:   "X",
+			Ts:   float64(ev.start.Sub(t.base).Nanoseconds()) / 1e3,
+			Dur:  float64(ev.dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  ev.tid,
+		}
+	}
+	// Chrome's importer tolerates any order, but start order makes the
+	// raw file readable too.
+	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

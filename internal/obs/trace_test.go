@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Start("analyze")
+	inner := tr.Start("propagate")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+	w := tr.StartTID("worker", 2)
+	w.End()
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	byName := map[string]chromeEvent{}
+	for _, e := range events {
+		if e.Ph != "X" || e.Pid != 1 {
+			t.Fatalf("event %+v: want ph=X pid=1", e)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("event %+v: negative timestamp", e)
+		}
+		byName[e.Name] = e
+	}
+	outerE, innerE := byName["analyze"], byName["propagate"]
+	// The inner span must nest inside the outer on the same track.
+	if innerE.Tid != outerE.Tid {
+		t.Fatalf("tids differ: %d vs %d", innerE.Tid, outerE.Tid)
+	}
+	if innerE.Ts < outerE.Ts || innerE.Ts+innerE.Dur > outerE.Ts+outerE.Dur+1 {
+		t.Fatalf("propagate [%g,%g] not inside analyze [%g,%g]",
+			innerE.Ts, innerE.Ts+innerE.Dur, outerE.Ts, outerE.Ts+outerE.Dur)
+	}
+	if byName["worker"].Tid != 2 {
+		t.Fatalf("worker tid = %d, want 2", byName["worker"].Tid)
+	}
+	// Start order in the file.
+	for i := 1; i < len(events); i++ {
+		if events[i].Ts < events[i-1].Ts {
+			t.Fatalf("events not in start order: %+v", events)
+		}
+	}
+}
+
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.End()
+	tr.StartTID("y", 1).End()
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("nil tracer wrote %q, want empty array", sb.String())
+	}
+}
+
+// TestTracerConcurrent ends spans from many goroutines at once — the
+// -race target for the tracer.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.StartTID("span", int64(w)).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("len = %d, want %d", tr.Len(), workers*per)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*per {
+		t.Fatalf("%d events, want %d", len(events), workers*per)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/incr"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+// newObsTestServer is newTestServer with instrumentation attached, so the
+// middleware and /metrics routes are live.
+func newObsTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Params:  tech.Default(),
+		Sched:   clocks.TwoPhase(1000, 0.8),
+		Workers: 1,
+		Obs:     obs.NewObs(),
+	})
+	f, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := s.Load("tutorial", f); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestStatusWriterCapturesCode(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	sw.WriteHeader(http.StatusTeapot)
+	if sw.status != http.StatusTeapot || rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, recorded = %d", sw.status, rec.Code)
+	}
+
+	// An implicit 200 (handler writes the body without WriteHeader) must
+	// keep the default.
+	rec = httptest.NewRecorder()
+	sw = &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	sw.Write([]byte("ok"))
+	if sw.status != http.StatusOK {
+		t.Fatalf("implicit status = %d", sw.status)
+	}
+}
+
+func TestRequestMetricsMiddleware(t *testing.T) {
+	_, ts := newObsTestServer(t)
+
+	var nt incr.NodeTiming
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, &nt)
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, &nt)
+	getJSON(t, ts.URL+"/node/zzz_no_such", http.StatusNotFound, nil)
+	resp, err := http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := scrape(t, ts.URL)
+
+	// Labels render in sorted key order: code before route.
+	for _, want := range []string{
+		`tvd_requests_total{code="200",route="GET /node/{name}"} 2`,
+		`tvd_requests_total{code="404",route="GET /node/{name}"} 1`,
+		`tvd_requests_total{code="404",route="unmatched"} 1`,
+		`tvd_request_duration_seconds_bucket{route="GET /node/{name}",le="+Inf"} 3`,
+		`tvd_request_duration_seconds_count{route="GET /node/{name}"} 3`,
+		"# TYPE tvd_requests_total counter",
+		"# TYPE tvd_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestAnalysisMetricsAndStatsCacheFields(t *testing.T) {
+	_, ts := newObsTestServer(t)
+
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices", http.StatusOK, &devs)
+	var st incr.Stats
+	postJSON(t, ts.URL+"/delta", `[{"op":"resize","id":`+jsonID(devs[len(devs)-1].ID)+`,"w":16}]`,
+		http.StatusOK, &st)
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		// The load pass misses every stage (cold cache); the delta batch
+		// reuses every stage outside the dirty cone.
+		`incr_cache_hits_total{design="tutorial"}`,
+		`incr_cache_misses_total{design="tutorial"}`,
+		`incr_batches_total{design="tutorial"} 2`,
+		`incr_cone_stages{design="tutorial"}`,
+		`core_wave_levels_total`,
+		`delay_cache_hits_total`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+
+	var sb statsBody
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &sb)
+	info, ok := sb.PerDesign["tutorial"]
+	if !ok {
+		t.Fatalf("stats missing design: %+v", sb)
+	}
+	if info.CacheMisses == 0 {
+		t.Fatalf("cold load should miss the shard cache: %+v", info)
+	}
+	if info.CacheHits == 0 {
+		t.Fatalf("delta batch should hit the shard cache outside the cone: %+v", info)
+	}
+	wantRate := float64(info.CacheHits) / float64(info.CacheHits+info.CacheMisses)
+	if info.CacheHitRate != wantRate {
+		t.Fatalf("hit rate = %v, want %v", info.CacheHitRate, wantRate)
+	}
+	if info.Last.ConeStages == 0 || info.Last.ConeStages > info.Last.StagesTotal {
+		t.Fatalf("cone stats = %+v", info.Last)
+	}
+}
+
+func TestMetricsRouteAbsentWithoutObs(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics without obs = %d, want 404", resp.StatusCode)
+	}
+}

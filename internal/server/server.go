@@ -14,6 +14,7 @@
 //	GET  /devices          device list with stable IDs (delta targets)
 //	GET  /verify           re-derive from scratch, compare bit-for-bit
 //	GET  /stats            daemon + per-design counters
+//	GET  /metrics          Prometheus text exposition (when Config.Obs set)
 package server
 
 import (
@@ -30,6 +31,7 @@ import (
 	"nmostv/internal/clocks"
 	"nmostv/internal/core"
 	"nmostv/internal/incr"
+	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
 	"nmostv/internal/tech"
 )
@@ -44,6 +46,11 @@ type Config struct {
 	Workers int
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
+	// Obs collects per-route request counters and latency histograms and
+	// is threaded into every session's analysis pipeline. When its
+	// registry is non-nil the handler also serves GET /metrics. Nil
+	// disables all instrumentation.
+	Obs *obs.Obs
 }
 
 // Server is the HTTP facade over a registry of incremental sessions.
@@ -79,6 +86,7 @@ func (s *Server) Load(name string, sim io.Reader) (*incr.Session, error) {
 		Params: s.cfg.Params,
 		Sched:  s.cfg.Sched,
 		Core:   core.Options{Workers: s.cfg.Workers},
+		Obs:    s.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -121,10 +129,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /devices", s.handleDevices)
 	mux.HandleFunc("GET /verify", s.handleVerify)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.cfg.Obs != nil && s.cfg.Obs.Reg != nil {
+		mux.Handle("GET /metrics", s.cfg.Obs.Reg.Handler())
+	}
 	return s.timed(mux)
 }
 
-// statusWriter captures the response code for the request log.
+// statusWriter captures the response code for the request log and the
+// per-route metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -135,14 +147,30 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// timed wraps the mux with request accounting: per-route counters labeled
+// by matched pattern and status code, a per-route latency histogram, and
+// the optional request log. Requests that match no route are grouped under
+// route="unmatched" so probe scans cannot mint unbounded label values.
 func (s *Server) timed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if o := s.cfg.Obs; o != nil {
+			route := r.Pattern
+			if route == "" {
+				route = "unmatched"
+			}
+			o.Counter("tvd_requests_total", "HTTP requests by matched route and status code",
+				obs.Label{Key: "route", Val: route},
+				obs.Label{Key: "code", Val: strconv.Itoa(sw.status)}).Inc()
+			o.Histogram("tvd_request_duration_seconds", "HTTP request latency by matched route",
+				nil, obs.Label{Key: "route", Val: route}).Observe(elapsed.Seconds())
+		}
 		if s.cfg.Logf != nil {
-			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), sw.status, time.Since(start))
+			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), sw.status, elapsed)
 		}
 	})
 }

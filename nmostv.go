@@ -29,6 +29,7 @@ import (
 	"nmostv/internal/erc"
 	"nmostv/internal/flow"
 	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
@@ -116,23 +117,32 @@ type PrepareOptions struct {
 	// is bit-identical at every worker count. Set AnalyzeOptions.Workers
 	// likewise to control the propagation passes.
 	Workers int
+	// Obs receives phase spans (stage-partition, flow, delay-build) and
+	// metrics; pass the same handle in AnalyzeOptions.Obs to cover the
+	// propagation passes too. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Prepare runs the pre-analysis pipeline on a finalized netlist.
 func Prepare(nl *Netlist, p Params, opt PrepareOptions) *Design {
 	d := &Design{NL: nl, Params: p}
+	sp := opt.Obs.Span("stage-partition")
 	d.Stages = stage.Extract(nl)
+	sp.End()
+	sp = opt.Obs.Span("flow")
 	if opt.DisableFlow {
 		flow.Reset(nl)
 	} else {
 		d.Flow = flow.Analyze(nl)
 	}
+	sp.End()
 	d.Model = delay.Build(nl, d.Stages, p, delay.Options{
 		MaxPaths: opt.MaxPaths,
 		MaxDepth: opt.MaxDepth,
 		SetHigh:  opt.SetHigh,
 		SetLow:   opt.SetLow,
 		Workers:  opt.Workers,
+		Obs:      opt.Obs,
 	})
 	return d
 }
