@@ -1,0 +1,26 @@
+//go:build faultpoint
+
+package main
+
+import (
+	"log"
+	"os"
+
+	"nmostv/internal/faultpoint"
+)
+
+// armFaultPoints arms the fault-injection registry from TVD_FAULTPOINTS
+// (e.g. "core.propagate.level=delay:5ms,incr.apply.analyze=error:3").
+// Only compiled with -tags faultpoint; the CI chaos-smoke job uses it to
+// exercise the daemon's failure paths from the outside.
+func armFaultPoints(logger *log.Logger) error {
+	spec := os.Getenv("TVD_FAULTPOINTS")
+	if spec == "" {
+		return nil
+	}
+	if err := faultpoint.ArmSpec(spec); err != nil {
+		return err
+	}
+	logger.Printf("fault points armed: %s", spec)
+	return nil
+}

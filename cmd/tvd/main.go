@@ -14,6 +14,17 @@
 //	                 name is the file basename without extension
 //	-j n             worker goroutines for model build and propagation
 //	                 (0 = one per CPU, 1 = serial; results are identical)
+//	-max-inflight n  concurrent analysis requests admitted before the
+//	                 server sheds with 503 + Retry-After (default 32,
+//	                 negative disables shedding)
+//	-request-timeout d  per-request deadline on analysis routes; over
+//	                 deadline the analysis aborts and the request gets
+//	                 504 (default 30s, negative disables)
+//	-max-designs n   design registry cap; loading past it evicts the
+//	                 least-recently-used design (default 16, negative
+//	                 disables eviction)
+//	-drain-timeout d how long SIGINT/SIGTERM waits for in-flight
+//	                 requests before forcing exit (default 10s)
 //	-metrics-addr    also serve GET /metrics on a dedicated listener;
 //	                 with -pprof, profiles mount only there, keeping
 //	                 them off the main address
@@ -23,6 +34,11 @@
 //	                 (prefer pairing with -metrics-addr 127.0.0.1:port)
 //	-quiet           drop the per-request log lines
 //	-version         print the version and exit
+//
+// Lifecycle: GET /healthz answers 200 for the life of the process; GET
+// /readyz flips to 503 the moment a termination signal arrives, then the
+// daemon drains in-flight requests (bounded by -drain-timeout) and exits
+// 0. A second signal forces immediate exit.
 //
 // Quick start:
 //
@@ -34,14 +50,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"nmostv/internal/clocks"
 	"nmostv/internal/obs"
@@ -74,11 +95,29 @@ func mountPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
+// newHTTPServer wraps a handler in an http.Server with conservative
+// transport timeouts (slow-loris protection; the per-request analysis
+// deadline is the server middleware's job, so no WriteTimeout here — it
+// would sever long legitimate analyses mid-response).
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	period := flag.Float64("period", 1000, "clock period in ns")
 	active := flag.Float64("active", 0.8, "per-phase active fraction")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent analysis requests before shedding with 503 (0 = default, negative disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline on analysis routes (0 = default, negative disables)")
+	maxDesigns := flag.Int("max-designs", 0, "design registry cap with LRU eviction (0 = default, negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	metricsAddr := flag.String("metrics-addr", "", "also serve /metrics (and -pprof) on this dedicated address; pprof then stays off the main address")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof (exposes internals; only enable on a trusted interface)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
@@ -98,13 +137,19 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "tvd: ", log.LstdFlags)
+	if err := armFaultPoints(logger); err != nil {
+		logger.Fatalf("fault points: %v", err)
+	}
 	o := obs.NewObs()
 	cfg := server.Config{
-		Params:  tech.Default(),
-		Sched:   clocks.TwoPhase(*period, *active),
-		Workers: *jobs,
-		Logf:    logger.Printf,
-		Obs:     o,
+		Params:         tech.Default(),
+		Sched:          clocks.TwoPhase(*period, *active),
+		Workers:        *jobs,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		MaxDesigns:     *maxDesigns,
+		Logf:           logger.Printf,
+		Obs:            o,
 	}
 	if *quiet {
 		cfg.Logf = nil
@@ -117,7 +162,7 @@ func main() {
 			logger.Fatalf("preload: %v", err)
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		sess, err := srv.Load(name, f)
+		sess, err := srv.Load(context.Background(), name, f)
 		f.Close()
 		if err != nil {
 			logger.Fatalf("preload %s: %v", path, err)
@@ -128,6 +173,7 @@ func main() {
 	}
 
 	handler := srv.Handler()
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		// Dedicated observability listener. Metrics stay harmless on the
 		// main address too; pprof mounts only here, so the main address
@@ -137,10 +183,13 @@ func main() {
 		if *enablePprof {
 			mountPprof(omux)
 		}
+		metricsSrv = newHTTPServer(*metricsAddr, omux)
 		go func() {
 			logger.Printf("metrics on %s (pprof %v)", *metricsAddr, *enablePprof)
-			if err := http.ListenAndServe(*metricsAddr, omux); err != nil {
-				logger.Fatalf("metrics listener: %v", err)
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The observability listener is an accessory: losing it
+				// (port clash, say) should not take the daemon down.
+				logger.Printf("metrics listener: %v", err)
 			}
 		}()
 	} else if *enablePprof {
@@ -151,8 +200,34 @@ func main() {
 		logger.Printf("pprof mounted on main address %s", *addr)
 	}
 
-	logger.Printf("tvd %s listening on %s (period %g ns)", version, *addr, *period)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	main := newHTTPServer(*addr, handler)
+
+	// First SIGINT/SIGTERM starts the drain; a second forces exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		logger.Printf("tvd %s listening on %s (period %g ns)", version, *addr, *period)
+		serveErr <- main.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
 		logger.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second signal kills us
+	logger.Printf("shutdown signal received; draining (budget %s)", *drainTimeout)
+	srv.BeginDrain()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := main.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(drainCtx)
+	}
+	logger.Printf("drained; exiting")
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -46,7 +47,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4"} {
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from registry", want)
 		}
@@ -217,7 +218,7 @@ func TestMinPeriodMatchesWorstSlack(t *testing.T) {
 	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 8, Words: 4, ShiftAmounts: 2})
 	pr := prepare(nl, p, true)
 	base := genericSchedule()
-	T, res, err := core.MinPeriod(nl, pr.model, base, core.Options{}, 1, base.Period, 0.01)
+	T, res, err := core.MinPeriod(context.Background(), nl, pr.model, base, core.Options{}, 1, base.Period, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestFSMFeedbackLoopCut(t *testing.T) {
 	if v := res.Violations(); len(v) != 0 {
 		t.Fatalf("FSM violates at a generous period: %v", v)
 	}
-	T, _, err := core.MinPeriod(nl, pr.model, genericSchedule(), core.Options{}, 1, 5000, 0.05)
+	T, _, err := core.MinPeriod(context.Background(), nl, pr.model, genericSchedule(), core.Options{}, 1, 5000, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestClockedDatapathConservatism(t *testing.T) {
 	nl := gen.MIPSDatapath(p, gen.DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
 	pr := prepare(nl, p, true)
 	sched := clocks.TwoPhase(2000, 0.8)
-	res, err := core.Analyze(nl, pr.model, sched, core.Options{})
+	res, err := core.Analyze(context.Background(), nl, pr.model, sched, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

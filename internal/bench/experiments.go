@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -59,6 +60,7 @@ func All() []Experiment {
 		{"T4", "Flagship datapath verification report", RunT4},
 		{"T5", "Signal-flow analysis ablation", RunT5},
 		{"T6", "Incremental vs full re-analysis", RunT6},
+		{"T7", "Load shedding at the /delta admission gate", RunT7},
 		{"F1", "Settle-time distribution per phase", RunF1},
 		{"F2", "Runtime scaling curve", RunF2},
 		{"F3", "Pass-chain delay vs length", RunF3},
@@ -119,7 +121,7 @@ func prepareWorkers(nl *netlist.Netlist, p tech.Params, useFlow bool, workers in
 // analyze runs case analysis and returns the result with its duration.
 func (pr *prepared) analyze(sched clocks.Schedule) (*core.Result, time.Duration) {
 	start := time.Now()
-	res, err := core.Analyze(pr.nl, pr.model, sched, core.Options{Workers: pr.workers})
+	res, err := core.Analyze(context.Background(), pr.nl, pr.model, sched, core.Options{Workers: pr.workers})
 	if err != nil {
 		panic(fmt.Sprintf("bench: analyze %s: %v", pr.nl.Name, err))
 	}

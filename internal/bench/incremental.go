@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -59,12 +60,12 @@ func MeasureIncremental(p tech.Params, perDesign int) []T6Sample {
 
 	var out []T6Sample
 	for _, w := range workloads {
-		sess, err := incr.New(w.name, w.build(), opts)
+		sess, err := incr.New(context.Background(), w.name, w.build(), opts)
 		if err != nil {
 			panic(fmt.Sprintf("bench T6: open %s: %v", w.name, err))
 		}
 		// Baseline: time one from-scratch pass on the warmed session.
-		fullStats, err := sess.Full()
+		fullStats, err := sess.Full(context.Background())
 		if err != nil {
 			panic(fmt.Sprintf("bench T6: full %s: %v", w.name, err))
 		}
@@ -78,7 +79,7 @@ func MeasureIncremental(p tech.Params, perDesign int) []T6Sample {
 			if i%2 == 1 {
 				factor = 0.8
 			}
-			st, err := sess.Apply([]incr.Delta{{Op: "resize", ID: dev.ID, W: dev.W * factor}})
+			st, err := sess.Apply(context.Background(), []incr.Delta{{Op: "resize", ID: dev.ID, W: dev.W * factor}})
 			if err != nil {
 				panic(fmt.Sprintf("bench T6: resize %s dev %d: %v", w.name, dev.ID, err))
 			}
@@ -97,7 +98,7 @@ func MeasureIncremental(p tech.Params, perDesign int) []T6Sample {
 				Speedup:      float64(fullStats.Elapsed.Nanoseconds()) / float64(st.Elapsed.Nanoseconds()),
 			})
 		}
-		if err := sess.SelfCheck(); err != nil {
+		if err := sess.SelfCheck(context.Background()); err != nil {
 			panic(fmt.Sprintf("bench T6: equivalence check failed on %s: %v", w.name, err))
 		}
 	}

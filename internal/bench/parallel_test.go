@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestParallelEngineGoldenEquality(t *testing.T) {
 			st := stage.Extract(nl)
 			flow.Analyze(nl)
 			mBase := delay.Build(nl, st, p, delay.Options{Workers: 1})
-			rBase, err := core.Analyze(nl, mBase, sched, core.Options{Workers: 1})
+			rBase, err := core.Analyze(context.Background(), nl, mBase, sched, core.Options{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func TestParallelEngineGoldenEquality(t *testing.T) {
 							workers, i, m.Edges[i], mBase.Edges[i])
 					}
 				}
-				res, err := core.Analyze(nl, m, sched, core.Options{Workers: workers})
+				res, err := core.Analyze(context.Background(), nl, m, sched, core.Options{Workers: workers})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -180,7 +181,7 @@ func RunT4() *Report {
 	nl := gen.MIPSDatapath(p, gen.DefaultDatapath())
 	pr := prepare(nl, p, true)
 	base := genericSchedule()
-	T, res, err := core.MinPeriod(nl, pr.model, base, core.Options{}, 1, base.Period, 0.05)
+	T, res, err := core.MinPeriod(context.Background(), nl, pr.model, base, core.Options{}, 1, base.Period, 0.05)
 	if err != nil {
 		panic(fmt.Sprintf("bench T4: %v", err))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nmostv/internal/gen"
@@ -20,11 +21,11 @@ func settledAnalysis(tb testing.TB, chain int) *analysis {
 	in := b.Input("in")
 	b.Output(b.InvChain(in, chain))
 	nl, m := pipeline(b)
-	res, err := Analyze(nl, m, sched(), Options{Workers: 1})
+	res, err := Analyze(context.Background(), nl, m, sched(), Options{Workers: 1})
 	if err != nil {
 		tb.Fatalf("Analyze: %v", err)
 	}
-	a := &analysis{Result: res, opt: Options{Workers: 1}.withDefaults()}
+	a := &analysis{Result: res, opt: Options{Workers: 1}.withDefaults(), ctx: context.Background()}
 	a.opt.Workers = 1
 	a.initMetrics()
 	a.initSources()

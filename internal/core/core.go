@@ -18,12 +18,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"nmostv/internal/clocks"
 	"nmostv/internal/delay"
+	"nmostv/internal/faultpoint"
 	"nmostv/internal/netlist"
 	"nmostv/internal/obs"
 )
@@ -249,8 +253,11 @@ func (r *Result) MaxSettle() (*netlist.Node, float64) {
 }
 
 // Analyze runs the full case analysis. The netlist must be finalized and
-// flow-analyzed, and model must have been built from it.
-func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt Options) (*Result, error) {
+// flow-analyzed, and model must have been built from it. The context
+// cancels the wavefront walk between levels (and between components
+// inside a level): a dead client or an expired deadline aborts the
+// analysis with the context's error and no partial Result escapes.
+func Analyze(ctx context.Context, nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt Options) (*Result, error) {
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
@@ -266,7 +273,7 @@ func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt
 	r.predRise = fillPred(n)
 	r.predFall = fillPred(n)
 
-	a := &analysis{Result: r, opt: opt}
+	a := &analysis{Result: r, opt: opt, ctx: orBackground(ctx)}
 	a.initMetrics()
 	defer opt.Obs.Span("analyze").End()
 	sp := opt.Obs.Span("wave-plan")
@@ -282,10 +289,20 @@ func Analyze(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt
 	sp = opt.Obs.Span("propagate-early")
 	a.propagateEarly()
 	sp.End()
+	if err := a.abortErr(); err != nil {
+		return nil, err
+	}
 	sp = opt.Obs.Span("checks")
 	a.runChecks()
 	sp.End()
 	return r, nil
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // initMetrics resolves the wavefront counter handles once per analysis,
@@ -330,6 +347,16 @@ func fillPred(n int) []pred {
 type analysis struct {
 	*Result
 	opt Options
+	// ctx cancels the propagation passes; polled once per wavefront level
+	// and every abortStride components inside a level. Never nil.
+	ctx context.Context
+	// stopped flags an abort (cancellation, deadline, or injected fault);
+	// stopErr holds the first cause. Workers poll stopped (one atomic
+	// load per component) and bail; the phases after each pass consult
+	// abortErr and skip the rest of the pipeline.
+	stopped  atomic.Bool
+	stopErr  error
+	stopOnce sync.Once
 	// fixedRise/fixedFall mark per-polarity source arrivals that must
 	// not be relaxed. (Result.wave is the shared propagation plan;
 	// Result.clockedStorage marks storage nodes written through a
@@ -341,6 +368,39 @@ type analysis struct {
 	// mLevels and mComps are pre-resolved wavefront counters (nil when
 	// instrumentation is disabled; see initMetrics).
 	mLevels, mComps *obs.Counter
+}
+
+// abort records the first failure and stops the wavefront walk.
+func (a *analysis) abort(err error) {
+	a.stopOnce.Do(func() {
+		a.stopErr = err
+		a.stopped.Store(true)
+	})
+}
+
+// abortErr returns the recorded failure, nil if the walk ran to
+// completion.
+func (a *analysis) abortErr() error {
+	if a.stopped.Load() {
+		return a.stopErr
+	}
+	return nil
+}
+
+// checkpoint polls the context and the per-level fault point; any failure
+// aborts the walk. Called once per wavefront level and every abortStride
+// components within a level — cheap against even the smallest level's
+// relaxation work, and allocation-free when nothing is armed.
+func (a *analysis) checkpoint() bool {
+	if err := a.ctx.Err(); err != nil {
+		a.abort(err)
+		return false
+	}
+	if err := faultpoint.Hit("core.propagate.level"); err != nil {
+		a.abort(fmt.Errorf("core: propagate: %w", err))
+		return false
+	}
+	return true
 }
 
 // initSources fixes the arrivals that anchor the analysis:

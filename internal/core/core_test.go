@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func sched() clocks.Schedule { return clocks.TwoPhase(100, 0.8) }
 
 func analyze(t *testing.T, nl *netlist.Netlist, m *delay.Model, s clocks.Schedule) *Result {
 	t.Helper()
-	res, err := Analyze(nl, m, s, Options{})
+	res, err := Analyze(context.Background(), nl, m, s, Options{})
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -228,7 +229,7 @@ func TestMissedWindow(t *testing.T) {
 	b.DischargeBranch(dyn, phi1, sig)
 	nl, m := pipeline(b)
 	s := sched()
-	res, err := Analyze(nl, m, s, Options{InputTime: map[string]float64{"late": s.Fall(1) + 1}})
+	res, err := Analyze(context.Background(), nl, m, s, Options{InputTime: map[string]float64{"late": s.Fall(1) + 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,14 +305,14 @@ func TestMinPeriodBracketsTransition(t *testing.T) {
 	nl, m := pipeline(b)
 	base := clocks.TwoPhase(500, 0.8)
 
-	T, res, err := MinPeriod(nl, m, base, Options{}, 0.1, 500, 0.01)
+	T, res, err := MinPeriod(context.Background(), nl, m, base, Options{}, 0.1, 500, 0.01)
 	if err != nil {
 		t.Fatalf("MinPeriod: %v", err)
 	}
 	if !passes(res) {
 		t.Fatal("result at Tmin must pass")
 	}
-	below, err := Analyze(nl, m, base.WithPeriod(T*0.9), Options{})
+	below, err := Analyze(context.Background(), nl, m, base.WithPeriod(T*0.9), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestMinPeriodBracketsTransition(t *testing.T) {
 	}
 
 	// An upper bound below Tmin must report ErrNoPeriod.
-	if _, _, err := MinPeriod(nl, m, base, Options{}, 0.01, T/2, 0.01); err != ErrNoPeriod {
+	if _, _, err := MinPeriod(context.Background(), nl, m, base, Options{}, 0.01, T/2, 0.01); err != ErrNoPeriod {
 		t.Errorf("MinPeriod with hi < Tmin: err = %v, want ErrNoPeriod", err)
 	}
 }
@@ -388,7 +389,7 @@ func TestInputTimeShiftsArrivals(t *testing.T) {
 	nl, m := pipeline(b)
 
 	r0 := analyze(t, nl, m, sched())
-	r5, err := Analyze(nl, m, sched(), Options{InputTime: map[string]float64{"in": 5}})
+	r5, err := Analyze(context.Background(), nl, m, sched(), Options{InputTime: map[string]float64{"in": 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestInputTimeShiftsArrivals(t *testing.T) {
 			r0.Settle(out), r5.Settle(out))
 	}
 
-	rd, err := Analyze(nl, m, sched(), Options{DefaultInputTime: 7})
+	rd, err := Analyze(context.Background(), nl, m, sched(), Options{DefaultInputTime: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +411,7 @@ func TestAnalyzeRejectsBadSchedule(t *testing.T) {
 	b := gen.New("t", tech.Default())
 	b.Inverter(b.Input("in"))
 	nl, m := pipeline(b)
-	if _, err := Analyze(nl, m, clocks.Schedule{}, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), nl, m, clocks.Schedule{}, Options{}); err == nil {
 		t.Fatal("zero schedule must be rejected")
 	}
 }
@@ -474,7 +475,7 @@ func TestCaseAnalysisKillsFalsePath(t *testing.T) {
 		st := stage.Extract(nl)
 		flow.Analyze(nl)
 		m := delay.Build(nl, st, tech.Default(), delay.Options{SetLow: setLow})
-		res, err := Analyze(nl, m, sched(), Options{SetLow: setLow})
+		res, err := Analyze(context.Background(), nl, m, sched(), Options{SetLow: setLow})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -495,7 +496,7 @@ func TestCaseAnalysisForcedNodeStatic(t *testing.T) {
 	st := stage.Extract(nl)
 	flow.Analyze(nl)
 	m := delay.Build(nl, st, tech.Default(), delay.Options{SetHigh: []string{"in"}})
-	res, err := Analyze(nl, m, sched(), Options{SetHigh: []string{"in"}})
+	res, err := Analyze(context.Background(), nl, m, sched(), Options{SetHigh: []string{"in"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +519,7 @@ func TestCaseAnalysisForcedHighPrecharge(t *testing.T) {
 	st := stage.Extract(nl)
 	flow.Analyze(nl)
 	m := delay.Build(nl, st, tech.Default(), delay.Options{SetHigh: []string{"en"}})
-	res, err := Analyze(nl, m, sched(), Options{SetHigh: []string{"en"}})
+	res, err := Analyze(context.Background(), nl, m, sched(), Options{SetHigh: []string{"en"}})
 	if err != nil {
 		t.Fatal(err)
 	}

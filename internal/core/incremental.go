@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -40,9 +41,12 @@ type DeltaStats struct {
 // prev must come from Analyze or AnalyzeIncremental on an earlier state of
 // the same netlist (nodes are append-only; model may be rebuilt). A nil
 // prev degenerates to a full analysis.
-func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt Options, prev *Result, dirtySeed []bool) (*Result, DeltaStats, error) {
+// Like Analyze, the context aborts the cone re-relaxation mid-walk; the
+// caller's previous Result is never mutated, so an aborted incremental
+// pass leaves the published analysis intact.
+func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.Model, sched clocks.Schedule, opt Options, prev *Result, dirtySeed []bool) (*Result, DeltaStats, error) {
 	if prev == nil || prev.wave == nil {
-		r, err := Analyze(nl, model, sched, opt)
+		r, err := Analyze(ctx, nl, model, sched, opt)
 		if err != nil {
 			return nil, DeltaStats{}, err
 		}
@@ -71,7 +75,7 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 		predRise:  growPreds(prev.predRise, n),
 		predFall:  growPreds(prev.predFall, n),
 	}
-	a := &analysis{Result: r, opt: opt}
+	a := &analysis{Result: r, opt: opt, ctx: orBackground(ctx)}
 	a.initMetrics()
 	defer opt.Obs.Span("analyze-incremental").End()
 	stats := DeltaStats{}
@@ -174,6 +178,9 @@ func AnalyzeIncremental(nl *netlist.Netlist, model *delay.Model, sched clocks.Sc
 	}
 	stats.Relaxed = relaxed
 
+	if err := a.abortErr(); err != nil {
+		return nil, DeltaStats{}, err
+	}
 	sp = opt.Obs.Span("checks")
 	a.runChecks()
 	sp.End()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -40,12 +41,12 @@ var ErrNoPeriod = errors.New("core: design fails timing even at the maximum sear
 // schedule's phase proportions are preserved. It returns the period, the
 // analysis result at that period, and an error when even hi fails. tol is
 // the absolute search tolerance in ns.
-func MinPeriod(nl *netlist.Netlist, model *delay.Model, base clocks.Schedule, opt Options, lo, hi, tol float64) (float64, *Result, error) {
+func MinPeriod(ctx context.Context, nl *netlist.Netlist, model *delay.Model, base clocks.Schedule, opt Options, lo, hi, tol float64) (float64, *Result, error) {
 	if tol <= 0 {
 		tol = 0.01
 	}
 	probe := func(T float64) (*Result, error) {
-		return Analyze(nl, model, base.WithPeriod(T), opt)
+		return Analyze(ctx, nl, model, base.WithPeriod(T), opt)
 	}
 	rHi, err := probe(hi)
 	if err != nil {

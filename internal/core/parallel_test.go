@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -64,12 +65,12 @@ func assertResultsIdentical(t *testing.T, workers int, base, res *Result) {
 func TestAnalyzeWorkersBitIdentical(t *testing.T) {
 	nl, m := datapathModel(gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
 	s := clocks.TwoPhase(2000, 0.8)
-	base, err := Analyze(nl, m, s, Options{Workers: 1})
+	base, err := Analyze(context.Background(), nl, m, s, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
-		res, err := Analyze(nl, m, s, Options{Workers: w})
+		res, err := Analyze(context.Background(), nl, m, s, Options{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestAnalyzeWorkersCyclicComponent(t *testing.T) {
 	flow.Analyze(nl)
 	m := delay.Build(nl, st, p, delay.Options{Workers: 1})
 	s := clocks.TwoPhase(500, 0.8)
-	base, err := Analyze(nl, m, s, Options{Workers: 1})
+	base, err := Analyze(context.Background(), nl, m, s, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestAnalyzeWorkersCyclicComponent(t *testing.T) {
 		t.Fatal("circuit must exercise the cyclic-SCC path (no loop check found)")
 	}
 	for _, w := range []int{2, runtime.GOMAXPROCS(0) + 1} {
-		res, err := Analyze(nl, m, s, Options{Workers: w})
+		res, err := Analyze(context.Background(), nl, m, s, Options{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func BenchmarkAnalyzeWorkers(b *testing.B) {
 		b.Run(map[bool]string{true: "serial", false: "parallel"}[w == 1], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Analyze(nl, m, s, Options{Workers: w}); err != nil {
+				if _, err := Analyze(context.Background(), nl, m, s, Options{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}

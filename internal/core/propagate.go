@@ -112,9 +112,17 @@ const minParallelLevel = 8
 // once per level (never per component), and spans are built only when a
 // tracer is attached — with instrumentation disabled this walk allocates
 // nothing (asserted by TestWavefrontDisabledObsZeroAlloc).
+// abortStride is how many components a propagation loop relaxes between
+// context polls inside one level; abort-flag polls happen every component
+// (a single atomic load).
+const abortStride = 64
+
 func (a *analysis) forEachComp(fn func(ci int32)) {
 	tr := a.opt.Obs.Tracer()
 	for li, lvl := range a.wave.levels {
+		if !a.checkpoint() {
+			return
+		}
 		a.mLevels.Inc()
 		a.mComps.Add(int64(len(lvl)))
 		var lsp *obs.Span
@@ -126,10 +134,22 @@ func (a *analysis) forEachComp(fn func(ci int32)) {
 			workers = len(lvl)
 		}
 		if workers <= 1 || len(lvl) < minParallelLevel {
-			for _, ci := range lvl {
+			for k, ci := range lvl {
+				if a.stopped.Load() {
+					break
+				}
+				if k%abortStride == abortStride-1 {
+					if err := a.ctx.Err(); err != nil {
+						a.abort(err)
+						break
+					}
+				}
 				fn(ci)
 			}
 			lsp.End()
+			if a.stopped.Load() {
+				return
+			}
 			continue
 		}
 		// The loop variables are passed as arguments, not captured: a
@@ -148,9 +168,14 @@ func (a *analysis) forEachComp(fn func(ci int32)) {
 				}
 				for {
 					k := int(next.Add(1)) - 1
-					if k >= len(lvl) {
+					if k >= len(lvl) || a.stopped.Load() {
 						wsp.End()
 						return
+					}
+					if k%abortStride == abortStride-1 {
+						if err := a.ctx.Err(); err != nil {
+							a.abort(err)
+						}
 					}
 					fn(lvl[k])
 				}
@@ -158,6 +183,9 @@ func (a *analysis) forEachComp(fn func(ci int32)) {
 		}
 		wg.Wait()
 		lsp.End()
+		if a.stopped.Load() {
+			return
+		}
 	}
 }
 

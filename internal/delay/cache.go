@@ -1,6 +1,8 @@
 package delay
 
 import (
+	"context"
+
 	"nmostv/internal/netlist"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
@@ -32,6 +34,25 @@ func NewCache() *Cache {
 	return &Cache{entries: make(map[uint64]cacheEntry)}
 }
 
+// Checkpoint captures the cache's current contents for a later Rollback.
+// It is O(1): BuildWithCache refreshes the cache by replacing the entry
+// map wholesale (entries themselves are immutable), so the old map stays
+// valid behind the captured reference.
+type Checkpoint struct {
+	entries map[uint64]cacheEntry
+}
+
+// Checkpoint returns a handle on the current contents.
+func (c *Cache) Checkpoint() Checkpoint { return Checkpoint{entries: c.entries} }
+
+// Rollback restores the contents captured by a Checkpoint. A session
+// that unwinds an aborted delta batch must also unwind the cache: a
+// completed BuildWithCache for the aborted state would otherwise leave
+// entries keyed by the mutated fingerprints, and re-applying the same
+// batch would hit wholesale — reporting zero rebuilt stages and starving
+// the incremental analyzer's seed set.
+func (c *Cache) Rollback(cp Checkpoint) { c.entries = cp.entries }
+
 func idsMatch(ids []int64, s *stage.Stage) bool {
 	if len(ids) != len(s.Trans) {
 		return false
@@ -61,7 +82,12 @@ type BuildStats struct {
 // computation, and merge order and the global sort are unchanged. The
 // cache is refreshed wholesale to the current fingerprints, so entries for
 // stages that no longer exist are evicted.
-func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options, c *Cache) (*Model, BuildStats) {
+//
+// The context is polled once per rebuilt shard. An aborted build returns
+// the error with no model and — critically — without refreshing the
+// cache: the entries still describe the last completed build, so a
+// rolled-back session keeps its warm shards.
+func BuildWithCache(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options, c *Cache) (*Model, BuildStats, error) {
 	opt = opt.withDefaults()
 	defer opt.Obs.Span("delay-build-cached").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
@@ -82,8 +108,11 @@ func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Op
 	}
 	sp.End()
 	sp = opt.Obs.Span("shard-build")
-	buildShards(nl, st, p, opt, m.Caps, forced, shards, todo)
+	err := buildShards(ctx, nl, st, p, opt, m.Caps, forced, shards, todo)
 	sp.End()
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
 
 	stats := BuildStats{Stages: len(stages)}
 	for _, i := range todo {
@@ -102,5 +131,5 @@ func BuildWithCache(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Op
 	sp = opt.Obs.Span("merge+sort")
 	mergeShards(m, shards)
 	sp.End()
-	return m, stats
+	return m, stats, nil
 }

@@ -27,6 +27,7 @@
 package delay
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nmostv/internal/faultpoint"
 	"nmostv/internal/netlist"
 	"nmostv/internal/obs"
 	"nmostv/internal/stage"
@@ -216,8 +218,11 @@ type shard struct {
 
 // buildShards computes the shards for the stage indices listed in todo
 // using the option's worker pool. Slots not listed are left untouched.
-func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options,
-	caps []float64, forced map[*netlist.Node]bool, shards []shard, todo []int) {
+// The context is polled once per shard: cancellation (or the
+// "delay.build.shard" fault point) aborts the build with the first error
+// and the caller must discard the partially filled shards.
+func buildShards(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options,
+	caps []float64, forced map[*netlist.Node]bool, shards []shard, todo []int) error {
 	stages := st.Stages
 	buildOne := func(b *builder, si int) {
 		b.edges = nil
@@ -226,6 +231,32 @@ func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Optio
 		b.stageEdges(stages[si])
 		shards[si] = shard{edges: b.edges, truncated: b.truncated}
 	}
+	var (
+		stop     atomic.Bool
+		stopOnce sync.Once
+		stopErr  error
+	)
+	fail := func(err error) {
+		stopOnce.Do(func() {
+			stopErr = err
+			stop.Store(true)
+		})
+	}
+	// check polls for an abort before each shard build.
+	check := func() bool {
+		if stop.Load() {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			return false
+		}
+		if err := faultpoint.Hit("delay.build.shard"); err != nil {
+			fail(fmt.Errorf("delay: build shard: %w", err))
+			return false
+		}
+		return true
+	}
 	workers := opt.Workers
 	if workers > len(todo) {
 		workers = len(todo)
@@ -233,9 +264,12 @@ func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Optio
 	if workers <= 1 {
 		b := newBuilder(nl, st, p, opt, caps, forced)
 		for _, si := range todo {
+			if !check() {
+				break
+			}
 			buildOne(b, si)
 		}
-		return
+		return stopErr
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -246,7 +280,7 @@ func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Optio
 			b := newBuilder(nl, st, p, opt, caps, forced)
 			for {
 				k := int(next.Add(1)) - 1
-				if k >= len(todo) {
+				if k >= len(todo) || !check() {
 					return
 				}
 				buildOne(b, todo[k])
@@ -254,6 +288,7 @@ func buildShards(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Optio
 		}()
 	}
 	wg.Wait()
+	return stopErr
 }
 
 // mergeShards concatenates the shards in stage order into m.Edges and
@@ -304,7 +339,24 @@ func mergeShards(m *Model, shards []shard) {
 // path enumeration, Elmore sums) is sharded across a worker pool; the
 // per-stage buffers are merged in stage order, so the output is
 // bit-identical to a serial build.
+//
+// Build cannot be canceled; interruptible callers (the daemon) use
+// BuildCtx. With a background context a build can only fail through an
+// armed fault point, which never happens outside chaos tests, so Build
+// panics on that path rather than growing an error return every batch
+// caller must thread.
 func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *Model {
+	m, err := BuildCtx(context.Background(), nl, st, p, opt)
+	if err != nil {
+		panic(fmt.Sprintf("delay: uncancelable build failed: %v", err))
+	}
+	return m
+}
+
+// BuildCtx is Build with cancellation: the context is polled once per
+// stage shard, and a canceled build returns the context's error with no
+// model.
+func BuildCtx(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) (*Model, error) {
 	opt = opt.withDefaults()
 	defer opt.Obs.Span("delay-build").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
@@ -314,9 +366,11 @@ func Build(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) *M
 	for i := range todo {
 		todo[i] = i
 	}
-	buildShards(nl, st, p, opt, m.Caps, forced, shards, todo)
+	if err := buildShards(ctx, nl, st, p, opt, m.Caps, forced, shards, todo); err != nil {
+		return nil, err
+	}
 	mergeShards(m, shards)
-	return m
+	return m, nil
 }
 
 type edgeKey struct {

@@ -1,0 +1,187 @@
+// Package faultpoint provides named fault-injection points for resilience
+// testing. Analysis and daemon code calls Hit("pkg.phase.point") at places
+// where a production fault could strike — a slow shard build, a stalled
+// wavefront level, a crash mid-apply — and tests (or a tvd binary built
+// with the `faultpoint` tag) arm those points to inject delays, errors, or
+// panics.
+//
+// The package is always compiled, but disarmed it is inert: Hit is a
+// single atomic load returning nil — no allocation, no lock, safe inside
+// zero-alloc hot paths. Arming is global (one process-wide registry), so
+// chaos tests that arm points must not run in parallel with tests that
+// assert clean behavior; use Reset in a defer.
+package faultpoint
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action is what an armed point does when hit, in order: sleep Delay,
+// then panic (if Panic), then return Err. Count bounds how many hits
+// trigger the action (0 = every hit); afterwards the point is inert but
+// still counts hits.
+type Action struct {
+	// Delay stalls the caller before any other effect.
+	Delay time.Duration
+	// Err is returned from Hit; the call site propagates it as an
+	// injected failure.
+	Err error
+	// Panic makes Hit panic with ErrInjected (exercises recovery paths).
+	Panic bool
+	// Count limits how many hits fire the action; 0 means unlimited.
+	Count int
+}
+
+// ErrInjected is the default injected error, and the panic value used by
+// Panic actions.
+var ErrInjected = fmt.Errorf("faultpoint: injected fault")
+
+type point struct {
+	act   Action
+	fired int64 // hits that triggered the action
+	hits  int64 // all hits while armed
+}
+
+var (
+	armed  atomic.Bool // fast-path gate: false ⇒ Hit returns nil immediately
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Hit reports the injected fault for the named point, or nil. The
+// disarmed fast path is one atomic load.
+func Hit(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return hitSlow(name)
+}
+
+func hitSlow(name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.act.Count > 0 && p.fired >= int64(p.act.Count) {
+		mu.Unlock()
+		return nil
+	}
+	p.fired++
+	act := p.act
+	mu.Unlock()
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Panic {
+		panic(ErrInjected)
+	}
+	return act.Err
+}
+
+// Arm installs (or replaces) the action for a named point and enables the
+// registry.
+func Arm(name string, act Action) {
+	mu.Lock()
+	points[name] = &point{act: act}
+	armed.Store(true)
+	mu.Unlock()
+}
+
+// Disarm removes one point; the registry stays enabled while any point
+// remains armed.
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	if len(points) == 0 {
+		armed.Store(false)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point. Chaos tests call it in a defer so later
+// tests see an inert registry.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// Fired returns how many times the named point triggered its action.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Hits returns how many times the named point was reached while armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// ArmSpec arms points from a compact spec string, one clause per point:
+//
+//	name=delay:5ms[,name=error[,name=panic[,name=error:3]]]
+//
+// Modes: "delay:<duration>" sleeps, "error" returns ErrInjected, "panic"
+// panics. An optional ":<n>" suffix on error/panic (or a second suffix on
+// delay, "delay:5ms:3") bounds the fire count. The tvd binary built with
+// the `faultpoint` tag arms TVD_FAULTPOINTS through this.
+func ArmSpec(spec string) error {
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(clause, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: bad clause %q (want name=mode)", clause)
+		}
+		parts := strings.Split(mode, ":")
+		act := Action{}
+		switch parts[0] {
+		case "delay":
+			if len(parts) < 2 {
+				return fmt.Errorf("faultpoint: %s: delay needs a duration (delay:5ms)", name)
+			}
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return fmt.Errorf("faultpoint: %s: %v", name, err)
+			}
+			act.Delay = d
+			parts = parts[1:] // count suffix, if any, is now parts[1]
+		case "error":
+			act.Err = ErrInjected
+		case "panic":
+			act.Panic = true
+		default:
+			return fmt.Errorf("faultpoint: %s: unknown mode %q", name, parts[0])
+		}
+		if len(parts) == 2 {
+			var n int
+			if _, err := fmt.Sscanf(parts[1], "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("faultpoint: %s: bad count %q", name, parts[1])
+			}
+			act.Count = n
+		} else if len(parts) > 2 {
+			return fmt.Errorf("faultpoint: %s: too many ':' fields", name)
+		}
+		Arm(name, act)
+	}
+	return nil
+}

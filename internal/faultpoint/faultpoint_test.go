@@ -1,0 +1,102 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if Hits("nothing.armed") != 0 || Fired("nothing.armed") != 0 {
+		t.Fatal("disarmed point recorded activity")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	defer Reset()
+	Arm("p.err", Action{Err: ErrInjected})
+	if err := Hit("p.err"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	// Other points stay inert even while the registry is armed.
+	if err := Hit("p.other"); err != nil {
+		t.Fatalf("unarmed point Hit = %v, want nil", err)
+	}
+	if Fired("p.err") != 1 || Hits("p.err") != 1 {
+		t.Fatalf("fired=%d hits=%d, want 1/1", Fired("p.err"), Hits("p.err"))
+	}
+	Disarm("p.err")
+	if err := Hit("p.err"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+}
+
+func TestCountBoundsFirings(t *testing.T) {
+	defer Reset()
+	Arm("p.count", Action{Err: ErrInjected, Count: 2})
+	var injected int
+	for i := 0; i < 5; i++ {
+		if Hit("p.count") != nil {
+			injected++
+		}
+	}
+	if injected != 2 {
+		t.Fatalf("injected %d times, want 2", injected)
+	}
+	if Fired("p.count") != 2 || Hits("p.count") != 5 {
+		t.Fatalf("fired=%d hits=%d, want 2/5", Fired("p.count"), Hits("p.count"))
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Reset()
+	Arm("p.slow", Action{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p.slow"); err != nil {
+		t.Fatalf("delay-only Hit = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Arm("p.crash", Action{Panic: true})
+	defer func() {
+		if rec := recover(); rec != ErrInjected {
+			t.Fatalf("recovered %v, want ErrInjected", rec)
+		}
+	}()
+	Hit("p.crash")
+	t.Fatal("Hit did not panic")
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	if err := ArmSpec("a=delay:1ms, b=error, c=error:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("b: %v, want ErrInjected", err)
+	}
+	for i := 0; i < 3; i++ {
+		Hit("c")
+	}
+	if Fired("c") != 2 {
+		t.Fatalf("c fired %d, want 2 (count suffix)", Fired("c"))
+	}
+	if err := Hit("a"); err != nil {
+		t.Fatalf("a (delay): %v, want nil", err)
+	}
+
+	for _, bad := range []string{"noequals", "=error", "x=notamode", "x=delay", "x=delay:bogus", "x=error:zero"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"context"
 	"testing"
 
 	"nmostv/internal/core"
@@ -11,7 +12,7 @@ import (
 func BenchmarkResizeApply(b *testing.B) {
 	p := tech.Default()
 	nl := gen.MIPSDatapath(p, gen.DefaultDatapath())
-	s, err := New("bench", nl, Options{Params: p, Sched: testSchedule(), Core: core.Options{Workers: 1}})
+	s, err := New(context.Background(), "bench", nl, Options{Params: p, Sched: testSchedule(), Core: core.Options{Workers: 1}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func BenchmarkResizeApply(b *testing.B) {
 		if i%2 == 1 {
 			f = 0.8
 		}
-		if _, err := s.Apply([]Delta{{Op: "resize", ID: d.ID, W: d.W * f}}); err != nil {
+		if _, err := s.Apply(context.Background(), []Delta{{Op: "resize", ID: d.ID, W: d.W * f}}); err != nil {
 			b.Fatal(err)
 		}
 	}

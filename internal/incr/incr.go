@@ -12,6 +12,7 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,12 +22,14 @@ import (
 	"nmostv/internal/clocks"
 	"nmostv/internal/core"
 	"nmostv/internal/delay"
+	"nmostv/internal/faultpoint"
 	"nmostv/internal/flow"
 	"nmostv/internal/netlist"
 	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
+	"nmostv/internal/tverr"
 )
 
 // Delta is one edit to the design. Op selects the kind; the other fields
@@ -131,8 +134,9 @@ type Session struct {
 
 // New finalizes the netlist, runs the initial full analysis, and returns
 // the session. The session takes ownership of the netlist: edit it only
-// through Apply.
-func New(name string, nl *netlist.Netlist, opt Options) (*Session, error) {
+// through Apply. A canceled context aborts the initial analysis and no
+// session is created.
+func New(ctx context.Context, name string, nl *netlist.Netlist, opt Options) (*Session, error) {
 	if opt.Obs != nil && opt.Core.Obs == nil {
 		opt.Core.Obs = opt.Obs
 	}
@@ -142,7 +146,7 @@ func New(name string, nl *netlist.Netlist, opt Options) (*Session, error) {
 		opt:   opt,
 		cache: delay.NewCache(),
 	}
-	if _, err := s.runFull(); err != nil {
+	if _, err := s.runFull(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -161,7 +165,10 @@ func (s *Session) delayOpt() delay.Options {
 
 // runFull re-derives everything from scratch (but still primes the shard
 // cache for subsequent deltas). Callers hold the write lock, except New.
-func (s *Session) runFull() (Stats, error) {
+// An abort leaves the published model and result untouched: the netlist is
+// not mutated here, and the re-derived stages/flow are equivalent to the
+// old ones, so the session's equivalence invariant still holds.
+func (s *Session) runFull(ctx context.Context) (Stats, error) {
 	start := time.Now()
 	defer s.opt.Obs.Span("full-analysis").End()
 	sp := s.opt.Obs.Span("finalize")
@@ -173,8 +180,11 @@ func (s *Session) runFull() (Stats, error) {
 	sp = s.opt.Obs.Span("flow")
 	s.flowSum = flow.Analyze(s.nl)
 	sp.End()
-	model, bstats := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
-	res, err := core.Analyze(s.nl, model, s.opt.Sched, s.opt.Core)
+	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.opt.Core)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -194,25 +204,36 @@ func (s *Session) runFull() (Stats, error) {
 
 // Full discards incremental state and re-analyzes from scratch — the
 // escape hatch when the caller wants a clean baseline.
-func (s *Session) Full() (Stats, error) {
+func (s *Session) Full(ctx context.Context) (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.runFull()
+	return s.runFull(ctx)
 }
 
 // Apply validates and applies a batch of deltas, then re-analyzes the
 // dirty cone. The batch is resolved in full before any mutation, so a bad
 // delta leaves the session untouched; the batch is applied as one edit
 // (one re-analysis). Returns the recomputation stats.
-func (s *Session) Apply(deltas []Delta) (Stats, error) {
+//
+// If the context is canceled (or a fault point fires) after the netlist
+// has been mutated but before the new result is published, the mutations
+// are rolled back — each act's undo runs in reverse, created nodes are
+// truncated, and the derived structure is restored — so the previously
+// published result still satisfies SelfCheck. Resolve failures are typed
+// tverr.Invalid; aborts keep their context/fault error kind.
+func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
 	defer s.opt.Obs.Span("apply-batch").End()
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 
-	// Phase 1: resolve everything against the current state.
+	// Phase 1: resolve everything against the current state. Each act
+	// mutates and returns its own undo.
 	rsp := s.opt.Obs.Span("delta-resolve")
-	var acts []func()
+	var acts []func() func()
 	var addedIDs *[]int64
 	structural := false
 	// Flow orientation reads topology, flags, and ForceFlow — never W, L,
@@ -222,7 +243,8 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 	for i := range deltas {
 		d := &deltas[i]
 		fail := func(format string, args ...any) (Stats, error) {
-			return Stats{}, fmt.Errorf("delta %d (%s): %s", i, d.Op, fmt.Sprintf(format, args...))
+			return Stats{}, tverr.Errorf(tverr.Invalid, "incr.apply",
+				"delta %d (%s): %s", i, d.Op, fmt.Sprintf(format, args...))
 		}
 		switch d.Op {
 		case "resize":
@@ -240,7 +262,11 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 			if !(w > 0) || !(l > 0) || math.IsInf(w, 1) || math.IsInf(l, 1) {
 				return fail("bad size w=%v l=%v", w, l)
 			}
-			acts = append(acts, func() { t.W, t.L = w, l })
+			acts = append(acts, func() func() {
+				ow, ol := t.W, t.L
+				t.W, t.L = w, l
+				return func() { t.W, t.L = ow, ol }
+			})
 		case "setcap":
 			n := s.nl.Lookup(d.Node)
 			if n == nil {
@@ -251,7 +277,11 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 				return fail("bad cap %v pF", c)
 			}
 			seedIdx[n.Index] = true
-			acts = append(acts, func() { n.Cap = c })
+			acts = append(acts, func() func() {
+				oc := n.Cap
+				n.Cap = c
+				return func() { n.Cap = oc }
+			})
 		case "annotate":
 			n := s.nl.Lookup(d.Node)
 			if n == nil {
@@ -271,9 +301,18 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 			attrs := d.Attrs
 			needsFlow = true
 			seedIdx[n.Index] = true
-			acts = append(acts, func() {
+			acts = append(acts, func() func() {
+				// ApplyAttr only touches scalar annotation fields; a
+				// struct copy captures them all for the undo.
+				old := *n
 				for _, a := range attrs {
 					simfile.ApplyAttr(n, a)
+				}
+				return func() {
+					n.Cap = old.Cap
+					n.Flags = old.Flags
+					n.Phase = old.Phase
+					n.Exclusive = old.Exclusive
 				}
 			})
 		case "add":
@@ -298,10 +337,14 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 				addedIDs = new([]int64)
 			}
 			ids := addedIDs
-			acts = append(acts, func() {
+			acts = append(acts, func() func() {
 				t := s.nl.AddTransistor(kind,
 					s.nl.Node(d.Gate), s.nl.Node(d.A), s.nl.Node(d.B), d.W, d.L)
 				*ids = append(*ids, t.ID)
+				return func() {
+					s.nl.RemoveTransistor(t)
+					*ids = (*ids)[:len(*ids)-1]
+				}
 			})
 		case "remove":
 			t := s.nl.TransByID(d.ID)
@@ -317,7 +360,11 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 				}
 			}
 			structural = true
-			acts = append(acts, func() { s.nl.RemoveTransistor(t) })
+			acts = append(acts, func() func() {
+				at := t.Index
+				s.nl.RemoveTransistor(t)
+				return func() { s.nl.RestoreTransistor(t, at) }
+			})
 		default:
 			return fail("unknown op")
 		}
@@ -325,10 +372,25 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 
 	rsp.End()
 
-	// Phase 2: mutate, re-derive, re-analyze the cone.
+	// Phase 2: mutate, re-derive, re-analyze the cone. From here to
+	// publish, any abort must unwind the netlist to its pre-batch state.
+	var rollback func()
+	defer func() {
+		// A panic below (injected fault, analyzer bug) must not leave the
+		// netlist mutated against the published result: roll back, then
+		// let the panic continue to the daemon's recovery middleware.
+		if rec := recover(); rec != nil {
+			if rollback != nil {
+				rollback()
+			}
+			panic(rec)
+		}
+	}()
+	nodesBefore := len(s.nl.Nodes)
 	asp := s.opt.Obs.Span("delta-apply")
+	undos := make([]func(), 0, len(acts))
 	for _, a := range acts {
-		a()
+		undos = append(undos, a())
 	}
 	if structural {
 		s.nl.Finalize()
@@ -338,7 +400,32 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 		s.flowSum = flow.Analyze(s.nl)
 	}
 	asp.End()
-	model, bstats := delay.BuildWithCache(s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	// rollback restores the pre-batch netlist (undos in reverse, created
+	// nodes truncated), re-derives stages/flow, and rewinds the shard
+	// cache so the session again matches its published result bit for
+	// bit — including the seed accounting of a retried batch.
+	cacheCP := s.cache.Checkpoint()
+	rollback = func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+		s.nl.TruncateNodes(nodesBefore)
+		s.cache.Rollback(cacheCP)
+		if structural {
+			s.nl.Finalize()
+			s.stages = stage.Extract(s.nl)
+		}
+		if structural || needsFlow {
+			s.flowSum = flow.Analyze(s.nl)
+		}
+		s.opt.Obs.Counter("incr_rollbacks_total",
+			"delta batches rolled back after an aborted re-analysis").Inc()
+	}
+	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	if err != nil {
+		rollback()
+		return Stats{}, err
+	}
 	if len(bstats.Rebuilt) == 0 && capsEqual(model.Caps, s.model.Caps) {
 		// Nothing the arc builder reads changed: keep the old model so
 		// the analyzer reuses its propagation plan by pointer identity.
@@ -353,11 +440,17 @@ func (s *Session) Apply(deltas []Delta) (Stats, error) {
 			seed[nd.Index] = true
 		}
 	}
-	res, dstats, err := core.AnalyzeIncremental(s.nl, model, s.opt.Sched, s.opt.Core, s.res, seed)
+	if err := faultpoint.Hit("incr.apply.analyze"); err != nil {
+		rollback()
+		return Stats{}, fmt.Errorf("incr: apply: %w", err)
+	}
+	res, dstats, err := core.AnalyzeIncremental(ctx, s.nl, model, s.opt.Sched, s.opt.Core, s.res, seed)
 	if err != nil {
+		rollback()
 		return Stats{}, err
 	}
 	s.model, s.res = model, res
+	rollback = nil // committed: a later panic must not unwind the batch
 	s.applied += len(deltas)
 
 	cone := make(map[int]bool, len(bstats.Rebuilt))
@@ -433,15 +526,18 @@ func capsEqual(a, b []float64) bool {
 // result is bit-identical: every timing arc, every arrival (settle and
 // early, both polarities), and every check. This is the equivalence
 // invariant of the incremental engine; it returns nil when it holds.
-func (s *Session) SelfCheck() error {
+func (s *Session) SelfCheck(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.opt.Obs.Span("verify").End()
 	s.nl.Finalize()
 	st := stage.Extract(s.nl)
 	flow.Analyze(s.nl)
-	model := delay.Build(s.nl, st, s.opt.Params, s.delayOpt())
-	ref, err := core.Analyze(s.nl, model, s.opt.Sched, s.opt.Core)
+	model, err := delay.BuildCtx(ctx, s.nl, st, s.opt.Params, s.delayOpt())
+	if err != nil {
+		return err
+	}
+	ref, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.opt.Core)
 	if err != nil {
 		return fmt.Errorf("selfcheck reference analysis: %w", err)
 	}

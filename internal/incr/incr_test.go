@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -86,7 +87,7 @@ func testWorkloads() []struct {
 
 func newTestSession(t *testing.T, name string, nl *netlist.Netlist, workers int) *Session {
 	t.Helper()
-	s, err := New(name, nl, Options{
+	s, err := New(context.Background(), name, nl, Options{
 		Params: tech.Default(),
 		Sched:  testSchedule(),
 		Core:   core.Options{Workers: workers},
@@ -145,10 +146,10 @@ func TestRandomDeltaEquivalence(t *testing.T) {
 					for i := range batch {
 						batch[i] = randomDelta(rng, s)
 					}
-					if _, err := s.Apply(batch); err != nil {
+					if _, err := s.Apply(context.Background(), batch); err != nil {
 						t.Fatalf("round %d: Apply: %v", round, err)
 					}
-					if err := s.SelfCheck(); err != nil {
+					if err := s.SelfCheck(context.Background()); err != nil {
 						t.Fatalf("round %d after %v: %v", round, batch, err)
 					}
 				}
@@ -185,7 +186,7 @@ func TestResizeConeSmall(t *testing.T) {
 		t.Fatal("no stage found in datapath")
 	}
 
-	st, err := s.Apply([]Delta{{Op: "resize", ID: victim.ID, W: victim.W * 2}})
+	st, err := s.Apply(context.Background(), []Delta{{Op: "resize", ID: victim.ID, W: victim.W * 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestResizeConeSmall(t *testing.T) {
 		st.ConeStages, st.StagesTotal,
 		100*float64(st.ConeStages)/float64(st.StagesTotal),
 		st.CompsRelaxed, st.Comps)
-	if err := s.SelfCheck(); err != nil {
+	if err := s.SelfCheck(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -216,7 +217,7 @@ func scratchAnalyze(t *testing.T, s *Session) *core.Result {
 	stg := stage.Extract(s.nl)
 	flow.Analyze(s.nl)
 	m := delay.Build(s.nl, stg, s.opt.Params, s.delayOpt())
-	ref, err := core.Analyze(s.nl, m, s.opt.Sched, s.opt.Core)
+	ref, err := core.Analyze(context.Background(), s.nl, m, s.opt.Sched, s.opt.Core)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestAddRemoveRoundtrip(t *testing.T) {
 	b.Output(b.InvChain(b.Input("in"), 8))
 	s := newTestSession(t, "chain", b.Finish(), 1)
 
-	st, err := s.Apply([]Delta{
+	st, err := s.Apply(context.Background(), []Delta{
 		{Op: "add", Kind: "d", Gate: "spur", A: "vdd", B: "spur", W: 2, L: 8},
 		{Op: "add", Kind: "e", Gate: "in", A: "spur", B: "gnd", W: 4, L: 2},
 	})
@@ -242,7 +243,7 @@ func TestAddRemoveRoundtrip(t *testing.T) {
 	if len(st.AddedIDs) != 2 {
 		t.Fatalf("AddedIDs = %v, want 2 ids", st.AddedIDs)
 	}
-	if err := s.SelfCheck(); err != nil {
+	if err := s.SelfCheck(context.Background()); err != nil {
 		t.Fatalf("after add: %v", err)
 	}
 	sp := s.nl.Lookup("spur")
@@ -250,13 +251,13 @@ func TestAddRemoveRoundtrip(t *testing.T) {
 		t.Fatalf("spur node should settle after add; got %v", s.res.Settle(sp))
 	}
 
-	if _, err := s.Apply([]Delta{
+	if _, err := s.Apply(context.Background(), []Delta{
 		{Op: "remove", ID: st.AddedIDs[0]},
 		{Op: "remove", ID: st.AddedIDs[1]},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SelfCheck(); err != nil {
+	if err := s.SelfCheck(context.Background()); err != nil {
 		t.Fatalf("after remove: %v", err)
 	}
 	if s.nl.TransByID(st.AddedIDs[0]) != nil {
@@ -283,7 +284,7 @@ func TestBadDeltasLeaveSessionIntact(t *testing.T) {
 		{{Op: "resize", ID: 1, W: 8}, {Op: "remove", ID: 424242}}, // second fails: whole batch rejected
 	}
 	for _, batch := range bad {
-		if _, err := s.Apply(batch); err == nil {
+		if _, err := s.Apply(context.Background(), batch); err == nil {
 			t.Fatalf("Apply(%v) should fail", batch)
 		}
 	}
@@ -291,7 +292,7 @@ func TestBadDeltasLeaveSessionIntact(t *testing.T) {
 	if before.Nodes != after.Nodes || before.Devices != after.Devices || before.Applied != after.Applied {
 		t.Fatalf("failed batches changed the session: %+v -> %+v", before, after)
 	}
-	if err := s.SelfCheck(); err != nil {
+	if err := s.SelfCheck(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -304,11 +305,11 @@ func TestFullResetsAndMatches(t *testing.T) {
 	b.Output(b.InvChain(b.Input("in"), 8))
 	s := newTestSession(t, "chain", b.Finish(), 1)
 
-	if _, err := s.Apply([]Delta{{Op: "setcap", Node: "in", Cap: 0.25}}); err != nil {
+	if _, err := s.Apply(context.Background(), []Delta{{Op: "setcap", Node: "in", Cap: 0.25}}); err != nil {
 		t.Fatal(err)
 	}
 	incRes := s.Result()
-	st, err := s.Full()
+	st, err := s.Full(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestFullResetsAndMatches(t *testing.T) {
 			t.Fatalf("Full() arrivals differ from incremental at node %d", i)
 		}
 	}
-	if err := s.SelfCheck(); err != nil {
+	if err := s.SelfCheck(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

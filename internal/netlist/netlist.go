@@ -343,6 +343,44 @@ func (nl *Netlist) RemoveTransistor(t *Transistor) bool {
 	return true
 }
 
+// RestoreTransistor reinserts a device previously deleted with
+// RemoveTransistor at position at, restoring the exact pre-removal device
+// order (and therefore stage extraction order and analysis output). The
+// device keeps its original stable ID. It is the rollback inverse of
+// RemoveTransistor for aborted incremental deltas; the caller must run
+// Finalize before the netlist is analyzed again.
+func (nl *Netlist) RestoreTransistor(t *Transistor, at int) {
+	if at < 0 {
+		at = 0
+	}
+	if at > len(nl.Trans) {
+		at = len(nl.Trans)
+	}
+	nl.Trans = append(nl.Trans, nil)
+	copy(nl.Trans[at+1:], nl.Trans[at:])
+	nl.Trans[at] = t
+	for j := at; j < len(nl.Trans); j++ {
+		nl.Trans[j].Index = j
+	}
+}
+
+// TruncateNodes discards every node with Index >= n, unwinding node
+// creation during a rolled-back edit. The caller must guarantee no
+// remaining transistor references a discarded node (rollback removes the
+// devices first). Supply aliases are safe: VDD and GND sit at indices 0
+// and 1 and are never truncated.
+func (nl *Netlist) TruncateNodes(n int) {
+	if n < 0 || n >= len(nl.Nodes) {
+		return
+	}
+	for name, nd := range nl.byName {
+		if nd.Index >= n {
+			delete(nl.byName, name)
+		}
+	}
+	nl.Nodes = nl.Nodes[:n]
+}
+
 // TransByID returns the device with the given stable ID, or nil. Linear
 // scan: callers that address devices repeatedly should keep their own map.
 func (nl *Netlist) TransByID(id int64) *Transistor {

@@ -259,3 +259,59 @@ func containsIssue(issues []Issue, severity, substr string) bool {
 	}
 	return false
 }
+
+func TestRestoreTransistorRoundTrip(t *testing.T) {
+	nl := New("t")
+	g := nl.Node("g")
+	var devs []*Transistor
+	for i := 0; i < 5; i++ {
+		devs = append(devs, nl.AddTransistor(Enh, g, nl.Node("a"), nl.GND, 4, 2))
+	}
+	victim := devs[2]
+	at := victim.Index
+	if !nl.RemoveTransistor(victim) {
+		t.Fatal("RemoveTransistor failed")
+	}
+	nl.RestoreTransistor(victim, at)
+	if len(nl.Trans) != 5 {
+		t.Fatalf("device count %d, want 5", len(nl.Trans))
+	}
+	for i, want := range devs {
+		got := nl.Trans[i]
+		if got != want || got.Index != i {
+			t.Fatalf("slot %d holds %v (index %d), want original order", i, got, got.Index)
+		}
+	}
+	if victim.ID != devs[2].ID {
+		t.Fatal("stable ID changed across remove/restore")
+	}
+}
+
+func TestTruncateNodes(t *testing.T) {
+	nl := New("t")
+	a := nl.Node("a")
+	before := len(nl.Nodes)
+	nl.Node("tmp1")
+	nl.Node("tmp2")
+	nl.TruncateNodes(before)
+	if len(nl.Nodes) != before {
+		t.Fatalf("node count %d, want %d", len(nl.Nodes), before)
+	}
+	if nl.Lookup("tmp1") != nil || nl.Lookup("tmp2") != nil {
+		t.Fatal("truncated nodes still resolvable by name")
+	}
+	if nl.Lookup("a") != a || nl.VDD == nil || nl.GND == nil {
+		t.Fatal("surviving nodes damaged by truncation")
+	}
+	// A new node after truncation reuses the freed index range cleanly.
+	n := nl.Node("fresh")
+	if n.Index != before {
+		t.Fatalf("fresh node index %d, want %d", n.Index, before)
+	}
+	// Out-of-range truncation points are no-ops.
+	nl.TruncateNodes(len(nl.Nodes))
+	nl.TruncateNodes(-1)
+	if nl.Lookup("fresh") != n {
+		t.Fatal("no-op truncation damaged the netlist")
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/faultpoint"
+	"nmostv/internal/incr"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+// TestChaosUnderFaults hammers the daemon with concurrent mixed traffic
+// while delay, error, and panic faults are armed on the analysis paths,
+// then asserts the three resilience invariants: the daemon never stops
+// serving, every surviving session still passes its bit-identical
+// SelfCheck, and no goroutines leak once the traffic drains. Run under
+// -race this also shakes out lock-ordering mistakes in the rollback and
+// admission paths.
+func TestChaosUnderFaults(t *testing.T) {
+	defer faultpoint.Reset()
+	base := runtime.NumGoroutine()
+
+	// Workers:1 keeps every armed point on a request goroutine or the
+	// serial build path — a panic on a worker-pool goroutine would kill
+	// the process instead of exercising the recovery middleware.
+	s := New(Config{
+		Params:         tech.Default(),
+		Sched:          clocks.TwoPhase(1000, 0.8),
+		Workers:        1,
+		MaxInflight:    4,
+		RequestTimeout: 2 * time.Second,
+		Obs:            obs.NewObs(),
+	})
+	designs := []string{"a", "b"}
+	for i, name := range designs {
+		if _, err := s.Load(context.Background(), name, strings.NewReader(chainSim(t, 12+8*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	ids := map[string]incr.DeviceInfo{}
+	for _, name := range designs {
+		var devs []incr.DeviceInfo
+		getJSON(t, ts.URL+"/devices?design="+name, http.StatusOK, &devs)
+		ids[name] = devs[len(devs)/2]
+	}
+
+	faultpoint.Arm("core.propagate.level", faultpoint.Action{Delay: 100 * time.Microsecond})
+	faultpoint.Arm("delay.build.shard", faultpoint.Action{Err: faultpoint.ErrInjected, Count: 20})
+	faultpoint.Arm("incr.apply.analyze", faultpoint.Action{Panic: true, Count: 6})
+
+	// The daemon may refuse work (400/404/413/503), time it out (499/504),
+	// or convert an injected crash to a 500 — but it must always answer
+	// with a mapped status, never hang or drop the connection.
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusBadRequest: true, http.StatusNotFound: true,
+		http.StatusInternalServerError: true, http.StatusServiceUnavailable: true,
+		http.StatusGatewayTimeout: true, 499: true,
+	}
+	do := func(method, route, body string) error {
+		var resp *http.Response
+		var err error
+		if method == http.MethodGet {
+			resp, err = client.Get(ts.URL + route)
+		} else {
+			resp, err = client.Post(ts.URL+route, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			return fmt.Errorf("%s %s: %v", method, route, err)
+		}
+		resp.Body.Close()
+		if !allowed[resp.StatusCode] {
+			return fmt.Errorf("%s %s: unexpected status %d", method, route, resp.StatusCode)
+		}
+		return nil
+	}
+
+	const workers, iters = 8, 25
+	errc := make(chan error, workers*iters)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := designs[w%len(designs)]
+			dev := ids[name]
+			for i := 0; i < iters; i++ {
+				var err error
+				switch i % 6 {
+				case 0: // valid resize, alternating widths
+					err = do(http.MethodPost, "/delta?design="+name,
+						fmt.Sprintf(`[{"op":"resize","id":%d,"w":%g}]`, dev.ID, dev.W*float64(1+i%2)))
+				case 1: // bogus device ID → 400
+					err = do(http.MethodPost, "/delta?design="+name, `[{"op":"resize","id":987654,"w":4}]`)
+				case 2:
+					err = do(http.MethodGet, "/critical?design="+name, "")
+				case 3:
+					err = do(http.MethodPost, "/full?design="+name, "")
+				case 4:
+					err = do(http.MethodGet, "/healthz", "")
+				case 5: // truncated JSON → 400
+					err = do(http.MethodPost, "/delta?design="+name, `[{"op":"resi`)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if faultpoint.Hits("core.propagate.level") == 0 {
+		t.Error("chaos run never reached the propagate fault point")
+	}
+	faultpoint.Reset()
+
+	// Invariant 1: still serving.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+	// Invariant 2: every session survived coherent — the incremental state
+	// is bit-identical to a from-scratch analysis of whatever mix of
+	// deltas actually committed.
+	for _, name := range designs {
+		var vb verifyBody
+		getJSON(t, ts.URL+"/verify?design="+name, http.StatusOK, &vb)
+		if !vb.OK {
+			t.Fatalf("design %s failed SelfCheck after chaos: %+v", name, vb)
+		}
+	}
+
+	// Invariant 3: zero goroutine leaks once traffic and server are gone.
+	client.CloseIdleConnections()
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			var buf strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), base, buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -29,7 +30,7 @@ func newObsTestServer(t *testing.T) (*Server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if _, err := s.Load("tutorial", f); err != nil {
+	if _, err := s.Load(context.Background(), "tutorial", f); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())

@@ -14,14 +14,30 @@
 //	GET  /devices          device list with stable IDs (delta targets)
 //	GET  /verify           re-derive from scratch, compare bit-for-bit
 //	GET  /stats            daemon + per-design counters
+//	GET  /healthz          liveness (always 200 while the process serves)
+//	GET  /readyz           readiness (503 once draining begins)
 //	GET  /metrics          Prometheus text exposition (when Config.Obs set)
+//
+// Resilience: analysis routes (load, delta, full, verify) run under a
+// bounded in-flight semaphore — excess requests are shed with 503 and a
+// Retry-After header rather than queued — and a per-request deadline that
+// cancels the underlying analysis (the wavefront walk aborts and the
+// session rolls back to its published result). Request bodies are capped
+// (413 on overrun), handler panics become 500s without killing the
+// daemon, and the design registry is bounded with LRU eviction. Failures
+// are classified through the tverr taxonomy: bad input 400, unknown
+// design/node 404, oversized body 413, shed 503, canceled client 499,
+// deadline 504, everything else 500.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -34,6 +50,16 @@ import (
 	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
 	"nmostv/internal/tech"
+	"nmostv/internal/tverr"
+)
+
+// Defaults for the resilience knobs (Config zero values).
+const (
+	DefaultMaxInflight    = 32
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxDesigns     = 16
+	DefaultMaxLoadBytes   = 64 << 20
+	DefaultMaxDeltaBytes  = 16 << 20
 )
 
 // Config parameterizes the daemon.
@@ -44,6 +70,22 @@ type Config struct {
 	Sched clocks.Schedule
 	// Workers bounds analysis parallelism (0 = one per CPU).
 	Workers int
+	// MaxInflight bounds concurrently running analysis requests (load,
+	// delta, full, verify); excess requests are shed with 503 +
+	// Retry-After instead of queueing behind the session locks. 0 means
+	// DefaultMaxInflight; negative disables shedding.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline on analysis routes; a
+	// request over deadline aborts its analysis and returns 504. 0 means
+	// DefaultRequestTimeout; negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxDesigns caps the session registry; loading beyond the cap
+	// evicts the least-recently-used design. 0 means DefaultMaxDesigns;
+	// negative disables eviction.
+	MaxDesigns int
+	// MaxLoadBytes and MaxDeltaBytes cap the request bodies of POST
+	// /load and POST /delta (413 on overrun). 0 means the defaults.
+	MaxLoadBytes, MaxDeltaBytes int64
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 	// Obs collects per-route request counters and latency histograms and
@@ -53,12 +95,47 @@ type Config struct {
 	Obs *obs.Obs
 }
 
+func (c *Config) withDefaults() {
+	if c.Sched.Period == 0 {
+		c.Sched = clocks.TwoPhase(1000, 0.8)
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxDesigns == 0 {
+		c.MaxDesigns = DefaultMaxDesigns
+	}
+	if c.MaxLoadBytes == 0 {
+		c.MaxLoadBytes = DefaultMaxLoadBytes
+	}
+	if c.MaxDeltaBytes == 0 {
+		c.MaxDeltaBytes = DefaultMaxDeltaBytes
+	}
+}
+
+// regEntry is one registered design with its LRU stamp.
+type regEntry struct {
+	sess *incr.Session
+	// lastUse is the registry-wide use sequence at the entry's last
+	// resolution; the smallest stamp is the eviction victim.
+	lastUse atomic.Uint64
+}
+
 // Server is the HTTP facade over a registry of incremental sessions.
 type Server struct {
 	cfg Config
 
 	mu       sync.RWMutex
-	sessions map[string]*incr.Session
+	sessions map[string]*regEntry
+	useSeq   atomic.Uint64
+
+	// inflight is the admission semaphore for analysis routes; nil when
+	// shedding is disabled.
+	inflight chan struct{}
+	draining atomic.Bool
 
 	start    time.Time
 	requests atomic.Int64
@@ -66,23 +143,42 @@ type Server struct {
 
 // New returns an empty server.
 func New(cfg Config) *Server {
-	if cfg.Sched.Period == 0 {
-		cfg.Sched = clocks.TwoPhase(1000, 0.8)
-	}
-	return &Server{
+	cfg.withDefaults()
+	s := &Server{
 		cfg:      cfg,
-		sessions: make(map[string]*incr.Session),
+		sessions: make(map[string]*regEntry),
 		start:    time.Now(),
 	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
 }
 
-// Load parses .sim text and registers (or replaces) the named design.
-func (s *Server) Load(name string, sim io.Reader) (*incr.Session, error) {
+// BeginDrain flips the server to draining: /readyz starts returning 503
+// so load balancers stop routing here, while in-flight and already-routed
+// requests keep being served. Called by the daemon on SIGTERM before
+// http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Load parses .sim text and registers (or replaces) the named design,
+// evicting the least-recently-used design when the registry is over
+// Config.MaxDesigns. The context cancels the initial analysis.
+func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Session, error) {
 	nl, err := simfile.Read(sim, name)
 	if err != nil {
+		// An oversized body surfaces as the reader's *http.MaxBytesError
+		// wrapped in the ParseError; KindOf sees through it (413).
+		// Everything else is malformed input.
+		if tverr.KindOf(err) == tverr.Internal {
+			return nil, tverr.New(tverr.Invalid, "server.load", err)
+		}
 		return nil, err
 	}
-	sess, err := incr.New(name, nl, incr.Options{
+	sess, err := incr.New(ctx, name, nl, incr.Options{
 		Params: s.cfg.Params,
 		Sched:  s.cfg.Sched,
 		Core:   core.Options{Workers: s.cfg.Workers},
@@ -92,59 +188,117 @@ func (s *Server) Load(name string, sim io.Reader) (*incr.Session, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.sessions[name] = sess
+	e, ok := s.sessions[name]
+	if !ok {
+		e = &regEntry{}
+		s.sessions[name] = e
+	}
+	e.sess = sess
+	e.lastUse.Store(s.useSeq.Add(1))
+	evicted := s.evictLocked(name)
 	s.mu.Unlock()
+	for _, victim := range evicted {
+		s.cfg.Obs.Counter("tvd_sessions_evicted_total",
+			"designs evicted from the registry by the LRU cap").Inc()
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("evicted design %q (registry over -max-designs=%d)", victim, s.cfg.MaxDesigns)
+		}
+	}
 	return sess, nil
 }
 
+// evictLocked drops least-recently-used entries until the registry is
+// within MaxDesigns, never evicting keep (the design just loaded).
+// Returns the evicted names. Caller holds the write lock.
+func (s *Server) evictLocked(keep string) []string {
+	if s.cfg.MaxDesigns <= 0 {
+		return nil
+	}
+	var evicted []string
+	for len(s.sessions) > s.cfg.MaxDesigns {
+		victim := ""
+		var oldest uint64
+		for name, e := range s.sessions {
+			if name == keep {
+				continue
+			}
+			if u := e.lastUse.Load(); victim == "" || u < oldest {
+				victim, oldest = name, u
+			}
+		}
+		if victim == "" {
+			return evicted
+		}
+		delete(s.sessions, victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
 // session resolves the `design` query parameter; with exactly one design
-// loaded the parameter is optional.
+// loaded the parameter is optional. An unknown design is NotFound (404);
+// an ambiguous or empty selection is Invalid (400).
 func (s *Server) session(r *http.Request) (*incr.Session, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	name := r.URL.Query().Get("design")
 	if name == "" {
 		if len(s.sessions) == 1 {
-			for _, sess := range s.sessions {
-				return sess, nil
+			for _, e := range s.sessions {
+				e.lastUse.Store(s.useSeq.Add(1))
+				return e.sess, nil
 			}
 		}
-		return nil, fmt.Errorf("%d designs loaded; select one with ?design=name", len(s.sessions))
+		return nil, tverr.Errorf(tverr.Invalid, "server.session",
+			"%d designs loaded; select one with ?design=name", len(s.sessions))
 	}
-	sess, ok := s.sessions[name]
+	e, ok := s.sessions[name]
 	if !ok {
-		return nil, fmt.Errorf("no design %q loaded", name)
+		return nil, tverr.Errorf(tverr.NotFound, "server.session", "no design %q loaded", name)
 	}
-	return sess, nil
+	e.lastUse.Store(s.useSeq.Add(1))
+	return e.sess, nil
 }
 
-// Handler returns the routed HTTP handler with per-request timing.
+// Handler returns the routed HTTP handler with the full middleware stack:
+// request accounting outermost, then panic recovery, then (per analysis
+// route) admission control and the request deadline.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /load", s.handleLoad)
-	mux.HandleFunc("POST /delta", s.handleDelta)
-	mux.HandleFunc("POST /full", s.handleFull)
+	mux.HandleFunc("POST /load", s.heavy(s.handleLoad))
+	mux.HandleFunc("POST /delta", s.heavy(s.handleDelta))
+	mux.HandleFunc("POST /full", s.heavy(s.handleFull))
+	mux.HandleFunc("GET /verify", s.heavy(s.handleVerify))
 	mux.HandleFunc("GET /node/{name}", s.handleNode)
 	mux.HandleFunc("GET /critical", s.handleCritical)
 	mux.HandleFunc("GET /devices", s.handleDevices)
-	mux.HandleFunc("GET /verify", s.handleVerify)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.Obs != nil && s.cfg.Obs.Reg != nil {
 		mux.Handle("GET /metrics", s.cfg.Obs.Reg.Handler())
 	}
-	return s.timed(mux)
+	return s.timed(s.recovered(mux))
 }
 
 // statusWriter captures the response code for the request log and the
-// per-route metrics.
+// per-route metrics, and whether anything was written (so the panic
+// recovery knows if a 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // timed wraps the mux with request accounting: per-route counters labeled
@@ -155,7 +309,10 @@ func (s *Server) timed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests.Add(1)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		}
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		if o := s.cfg.Obs; o != nil {
@@ -175,6 +332,68 @@ func (s *Server) timed(next http.Handler) http.Handler {
 	})
 }
 
+// recovered turns handler panics into 500 responses (when the header has
+// not been sent yet) and keeps the daemon serving. http.ErrAbortHandler
+// passes through — it is net/http's own abort protocol.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.cfg.Obs.Counter("tvd_panics_total",
+				"handler panics recovered by the middleware").Inc()
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			if !sw.wrote {
+				writeErr(sw, http.StatusInternalServerError, "internal error")
+			} else {
+				// Mid-body panic: the status line is gone; record the
+				// failure for the request log/metrics at least.
+				sw.status = http.StatusInternalServerError
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// heavy gates an analysis handler with admission control and the
+// per-request deadline. A full semaphore sheds the request immediately —
+// 503 with Retry-After — rather than queueing it behind the session
+// write lock; an acquired slot is held for the handler's whole run.
+func (s *Server) heavy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.cfg.Obs.Counter("tvd_shed_total",
+					"analysis requests shed with 503 by admission control").Inc()
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable,
+					"server saturated (%d analysis requests in flight); retry", cap(s.inflight))
+				return
+			}
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -191,15 +410,21 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// fail maps an error through the tverr taxonomy to its HTTP status and
+// writes the JSON error body.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	writeErr(w, tverr.HTTPStatus(err), "%v", err)
+}
+
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		name = "design"
 	}
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
-	sess, err := s.Load(name, body)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxLoadBytes)
+	sess, err := s.Load(r.Context(), name, body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "load %q: %v", name, err)
+		writeErr(w, tverr.HTTPStatus(err), "load %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.Info())
@@ -208,13 +433,20 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	var deltas []incr.Delta
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxDeltaBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&deltas); err != nil {
+		// Truncated or malformed JSON is 400; a body over the cap
+		// surfaces as *http.MaxBytesError through the decoder (413).
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "delta body: %v", err)
 		return
 	}
@@ -222,9 +454,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty delta batch")
 		return
 	}
-	stats, err := sess.Apply(deltas)
+	stats, err := sess.Apply(r.Context(), deltas)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -233,12 +465,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
-	stats, err := sess.Full()
+	stats, err := sess.Full(r.Context())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -247,7 +479,7 @@ func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	name := r.PathValue("name")
@@ -262,7 +494,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	k := 5
@@ -279,7 +511,7 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.Devices())
@@ -295,11 +527,17 @@ type verifyBody struct {
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.fail(w, err)
 		return
 	}
 	start := time.Now()
-	vErr := sess.SelfCheck()
+	vErr := sess.SelfCheck(r.Context())
+	if vErr != nil && tverr.HTTPStatus(vErr) != http.StatusInternalServerError {
+		// Canceled or timed out before the comparison finished: that is
+		// the request's failure, not an equivalence violation.
+		s.fail(w, vErr)
+		return
+	}
 	body := verifyBody{OK: vErr == nil, Design: sess.Name(), ElapsedNS: time.Since(start).Nanoseconds()}
 	status := http.StatusOK
 	if vErr != nil {
@@ -313,6 +551,7 @@ type statsBody struct {
 	Designs   int                  `json:"designs"`
 	Requests  int64                `json:"requests"`
 	UptimeNS  int64                `json:"uptime_ns"`
+	Draining  bool                 `json:"draining,omitempty"`
 	PerDesign map[string]incr.Info `json:"per_design"`
 	Names     []string             `json:"names"`
 }
@@ -320,14 +559,15 @@ type statsBody struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	sessions := make(map[string]*incr.Session, len(s.sessions))
-	for name, sess := range s.sessions {
-		sessions[name] = sess
+	for name, e := range s.sessions {
+		sessions[name] = e.sess
 	}
 	s.mu.RUnlock()
 	body := statsBody{
 		Designs:   len(sessions),
 		Requests:  s.requests.Load(),
 		UptimeNS:  time.Since(s.start).Nanoseconds(),
+		Draining:  s.draining.Load(),
 		PerDesign: make(map[string]incr.Info, len(sessions)),
 	}
 	for name, sess := range sessions {
@@ -336,4 +576,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(body.Names)
 	writeJSON(w, http.StatusOK, body)
+}
+
+type healthBody struct {
+	OK       bool   `json:"ok"`
+	State    string `json:"state"`
+	UptimeNS int64  `json:"uptime_ns"`
+}
+
+// handleHealthz is liveness: 200 for as long as the process can serve
+// requests at all, draining included. Restart-deciding probes use this.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthBody{OK: true, State: state, UptimeNS: time.Since(s.start).Nanoseconds()})
+}
+
+// handleReadyz is readiness: 503 once draining so routing layers pull the
+// instance before shutdown completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			healthBody{OK: false, State: "draining", UptimeNS: time.Since(s.start).Nanoseconds()})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{OK: true, State: "serving", UptimeNS: time.Since(s.start).Nanoseconds()})
 }

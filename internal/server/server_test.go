@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -25,7 +26,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if _, err := s.Load("tutorial", f); err != nil {
+	if _, err := s.Load(context.Background(), "tutorial", f); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -160,8 +161,9 @@ func TestMultiDesignRegistry(t *testing.T) {
 		t.Fatalf("load info = %+v", info)
 	}
 
-	// Two designs: the selector becomes mandatory.
-	getJSON(t, ts.URL+"/node/dout", http.StatusNotFound, nil)
+	// Two designs: the selector becomes mandatory. An ambiguous request
+	// is the client's mistake (400); only an unknown design is 404.
+	getJSON(t, ts.URL+"/node/dout", http.StatusBadRequest, nil)
 	getJSON(t, ts.URL+"/node/dout?design=second", http.StatusOK, nil)
 	getJSON(t, ts.URL+"/node/dout?design=tutorial", http.StatusOK, nil)
 	getJSON(t, ts.URL+"/verify?design=nope", http.StatusNotFound, nil)

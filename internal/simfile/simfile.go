@@ -41,13 +41,20 @@ import (
 	"nmostv/internal/netlist"
 )
 
-// ParseError describes a syntax error with its line number.
+// ParseError describes a syntax error with its line number. For
+// stream-level failures Err retains the underlying reader error (an
+// *http.MaxBytesError from a capped request body, an I/O error), so
+// callers can classify with errors.As through the wrapper.
 type ParseError struct {
 	Line int
 	Msg  string
+	Err  error
 }
 
 func (e *ParseError) Error() string { return fmt.Sprintf("simfile: line %d: %s", e.Line, e.Msg) }
+
+// Unwrap exposes the underlying stream error, if any.
+func (e *ParseError) Unwrap() error { return e.Err }
 
 // Read parses a .sim stream into a netlist named name. The returned netlist
 // is finalized.
@@ -204,7 +211,7 @@ func Read(r io.Reader, name string) (*netlist.Netlist, error) {
 	if err := sc.Err(); err != nil {
 		// Surface stream-level failures (oversized line, I/O error) as
 		// ParseError too: callers get one error type, never a panic.
-		return nil, &ParseError{Line: lineNo + 1, Msg: fmt.Sprintf("reading input: %v", err)}
+		return nil, &ParseError{Line: lineNo + 1, Msg: fmt.Sprintf("reading input: %v", err), Err: err}
 	}
 	nl.Finalize()
 	return nl, nil

@@ -1,0 +1,129 @@
+// Package tverr is the daemon's error taxonomy: one Kind per failure
+// class, one place that maps kinds to HTTP status codes. Analysis layers
+// wrap their failures (or return raw context errors); the HTTP layer
+// calls HTTPStatus and never invents codes ad hoc, so a given failure
+// mode maps to the same status on every route.
+package tverr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Kind classifies a failure.
+type Kind uint8
+
+const (
+	// Internal is the default: an unexpected failure (bug, injected
+	// fault, invariant breach).
+	Internal Kind = iota
+	// Invalid marks malformed or unacceptable input: bad JSON, a delta
+	// addressing nothing, a parse error.
+	Invalid
+	// NotFound marks a missing resource: unknown design, unknown node.
+	NotFound
+	// TooLarge marks a request body over the configured byte cap.
+	TooLarge
+	// Unavailable marks load shedding: the server is saturated or
+	// draining and the client should retry later.
+	Unavailable
+	// Canceled marks work aborted because the client went away.
+	Canceled
+	// Timeout marks work aborted by a server-side deadline.
+	Timeout
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Invalid:
+		return "invalid"
+	case NotFound:
+		return "not-found"
+	case TooLarge:
+		return "too-large"
+	case Unavailable:
+		return "unavailable"
+	case Canceled:
+		return "canceled"
+	case Timeout:
+		return "timeout"
+	}
+	return "internal"
+}
+
+// Error is a classified error.
+type Error struct {
+	Kind Kind
+	// Op names the failing operation ("load", "delta", "analyze").
+	Op string
+	// Err is the underlying cause, preserved for errors.Is/As.
+	Err error
+}
+
+func (e *Error) Error() string {
+	if e.Op == "" {
+		return e.Err.Error()
+	}
+	return fmt.Sprintf("%s: %v", e.Op, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// New wraps err with a kind and operation name. A nil err returns nil.
+func New(k Kind, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Kind: k, Op: op, Err: err}
+}
+
+// Errorf builds a classified error from a format string.
+func Errorf(k Kind, op, format string, args ...any) error {
+	return &Error{Kind: k, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// KindOf classifies any error: explicit *Error kinds win, then the
+// well-known sentinels (context cancellation and deadline, body-size
+// overrun), else Internal.
+func KindOf(err error) Kind {
+	var te *Error
+	if errors.As(err, &te) {
+		return te.Kind
+	}
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		return TooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return Timeout
+	case errors.Is(err, context.Canceled):
+		return Canceled
+	}
+	return Internal
+}
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) code
+// logged for requests aborted by the client; the client never reads it.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error to the response status code for its kind.
+func HTTPStatus(err error) int {
+	switch KindOf(err) {
+	case Invalid:
+		return http.StatusBadRequest
+	case NotFound:
+		return http.StatusNotFound
+	case TooLarge:
+		return http.StatusRequestEntityTooLarge
+	case Unavailable:
+		return http.StatusServiceUnavailable
+	case Canceled:
+		return StatusClientClosedRequest
+	case Timeout:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}

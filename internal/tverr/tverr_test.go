@@ -1,0 +1,70 @@
+package tverr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestKindToStatus(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want int
+	}{
+		{Invalid, http.StatusBadRequest},
+		{NotFound, http.StatusNotFound},
+		{TooLarge, http.StatusRequestEntityTooLarge},
+		{Unavailable, http.StatusServiceUnavailable},
+		{Canceled, StatusClientClosedRequest},
+		{Timeout, http.StatusGatewayTimeout},
+		{Internal, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		err := New(c.kind, "op", errors.New("boom"))
+		if got := HTTPStatus(err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestKindOfSentinels(t *testing.T) {
+	if k := KindOf(context.Canceled); k != Canceled {
+		t.Errorf("context.Canceled -> %v, want Canceled", k)
+	}
+	if k := KindOf(context.DeadlineExceeded); k != Timeout {
+		t.Errorf("context.DeadlineExceeded -> %v, want Timeout", k)
+	}
+	mbe := &http.MaxBytesError{Limit: 10}
+	if k := KindOf(fmt.Errorf("reading: %w", mbe)); k != TooLarge {
+		t.Errorf("wrapped MaxBytesError -> %v, want TooLarge", k)
+	}
+	if k := KindOf(errors.New("plain")); k != Internal {
+		t.Errorf("plain error -> %v, want Internal", k)
+	}
+}
+
+func TestExplicitKindWinsThroughWrapping(t *testing.T) {
+	// An explicit classification survives further %w wrapping and beats
+	// sentinel sniffing of the cause.
+	inner := New(Invalid, "parse", context.Canceled)
+	wrapped := fmt.Errorf("request: %w", inner)
+	if k := KindOf(wrapped); k != Invalid {
+		t.Fatalf("KindOf = %v, want Invalid (explicit kind should win)", k)
+	}
+}
+
+func TestNewNilAndUnwrap(t *testing.T) {
+	if New(Invalid, "op", nil) != nil {
+		t.Fatal("New(nil) != nil")
+	}
+	cause := errors.New("cause")
+	err := New(NotFound, "lookup", cause)
+	if !errors.Is(err, cause) {
+		t.Fatal("errors.Is through Error failed")
+	}
+	if got := err.Error(); got != "lookup: cause" {
+		t.Fatalf("Error() = %q", got)
+	}
+}

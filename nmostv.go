@@ -19,6 +19,7 @@
 package nmostv
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -156,13 +157,19 @@ func AnalyzeCase(nl *Netlist, p Params, sched Schedule, setHigh, setLow []string
 
 // Analyze runs case analysis against a clock schedule.
 func (d *Design) Analyze(sched Schedule, opt AnalyzeOptions) (*Result, error) {
-	return core.Analyze(d.NL, d.Model, sched, opt)
+	return core.Analyze(context.Background(), d.NL, d.Model, sched, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation: the wavefront walk polls
+// the context and an aborted analysis returns its error with no result.
+func (d *Design) AnalyzeContext(ctx context.Context, sched Schedule, opt AnalyzeOptions) (*Result, error) {
+	return core.Analyze(ctx, d.NL, d.Model, sched, opt)
 }
 
 // MinPeriod searches for the smallest passing clock period in [lo, hi] ns
 // (tolerance tol), preserving base's phase proportions.
 func (d *Design) MinPeriod(base Schedule, opt AnalyzeOptions, lo, hi, tol float64) (float64, *Result, error) {
-	return core.MinPeriod(d.NL, d.Model, base, opt, lo, hi, tol)
+	return core.MinPeriod(context.Background(), d.NL, d.Model, base, opt, lo, hi, tol)
 }
 
 // LoadSim parses a .sim stream and prepares it with default options.
