@@ -1,5 +1,5 @@
 // Command experiments regenerates the reconstructed evaluation: every
-// table (T1–T7), figure (F1–F4), and ablation (A1–A2) documented in
+// table (T1–T8), figure (F1–F4), and ablation (A1–A2) documented in
 // DESIGN.md, printed as plain text. EXPERIMENTS.md is produced from this
 // output.
 //
@@ -12,8 +12,10 @@
 // Experiments that produce machine-readable artifacts persist them into
 // the current directory: T2 writes BENCH_T2.json (ns/op, transistors/s,
 // parallel speedup per sweep size), T6 writes BENCH_T3.json (incremental
-// vs full re-analysis per sampled resize), and T7 writes BENCH_T4.json
-// (load-shedding latency/error curves vs concurrent /delta clients).
+// vs full re-analysis per sampled resize), T7 writes BENCH_T4.json
+// (load-shedding latency/error curves vs concurrent /delta clients), and
+// T8 writes BENCH_T5.json (tiled-chip throughput sweep, 10k → 1M
+// transistors, vs the seed-engine baseline).
 package main
 
 import (
@@ -64,7 +66,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 T6 T7 F1 F2 F3 F4 A1 A2")
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 T6 T7 T8 F1 F2 F3 F4 A1 A2")
 		os.Exit(2)
 	}
 }

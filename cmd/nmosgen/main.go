@@ -7,6 +7,7 @@
 //	nmosgen -list
 //	nmosgen -circuit mips32r16 -o out.sim
 //	nmosgen -circuit datapath -bits 64 -words 64 -shifts 8 -o big.sim
+//	nmosgen -circuit tiled -target 1000000 -o chip1m.sim
 package main
 
 import (
@@ -25,7 +26,8 @@ func main() {
 	circuit := flag.String("circuit", "", "circuit name, or 'datapath' for a parameterized datapath")
 	bits := flag.Int("bits", 32, "datapath width (with -circuit datapath)")
 	words := flag.Int("words", 16, "register count (with -circuit datapath)")
-	shifts := flag.Int("shifts", 4, "barrel shifter amounts (with -circuit datapath)")
+	shifts := flag.Int("shifts", 4, "barrel shifter amounts (with -circuit datapath/tiled)")
+	target := flag.Int("target", 1_000_000, "transistor-count floor (with -circuit tiled)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -34,6 +36,7 @@ func main() {
 			fmt.Printf("%-14s %s\n", w.Name, w.Note)
 		}
 		fmt.Printf("%-14s %s\n", "datapath", "parameterized MIPS-like datapath (-bits/-words/-shifts)")
+		fmt.Printf("%-14s %s\n", "tiled", "datapath-tile array under one control PLA, scaled to -target transistors")
 		return
 	}
 	if *circuit == "" {
@@ -43,11 +46,18 @@ func main() {
 
 	p := nmostv.DefaultParams()
 	var nl *netlist.Netlist
-	if *circuit == "datapath" {
+	switch {
+	case *circuit == "datapath":
 		nl = gen.MIPSDatapath(p, gen.DatapathConfig{
 			Bits: *bits, Words: *words, ShiftAmounts: *shifts,
 		})
-	} else {
+	case *circuit == "tiled":
+		cfg := gen.DefaultTiledChip(*target)
+		if *bits != 32 || *words != 16 || *shifts != 4 {
+			cfg.Tile = gen.DatapathConfig{Bits: *bits, Words: *words, ShiftAmounts: *shifts}
+		}
+		nl = gen.TiledChip(p, cfg)
+	default:
 		for _, w := range bench.Suite() {
 			if w.Name == *circuit {
 				nl = w.Build(p)

@@ -1,0 +1,95 @@
+// Command perfgate is the CI performance smoke gate. It measures
+// full-pipeline throughput (stage extraction, flow inference, delay
+// build, case analysis) on the tiled benchmark chip at the size recorded
+// in the committed baseline — 100k transistors, small enough for a CI
+// runner, large enough to expose an allocation or GC regression in the
+// structure-of-arrays core — and exits nonzero if transistors/sec falls
+// more than -tol below the baseline figure.
+//
+// The baseline (testdata/perf_baseline.json) is committed deliberately
+// low relative to the reference-host measurement so that runner-to-
+// runner hardware variance does not trip the gate; the gate exists to
+// catch order-of-magnitude regressions (a pointer chase or per-edge
+// allocation creeping back into the walk), not single-digit noise.
+//
+// Usage:
+//
+//	perfgate                      # gate against testdata/perf_baseline.json
+//	perfgate -tol 0.30            # allowed fractional regression
+//	perfgate -out BENCH_T5.json   # also persist the measurement as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nmostv/internal/bench"
+)
+
+type baseline struct {
+	Target      int     `json:"target_transistors"`
+	Workers     int     `json:"workers"`
+	TransPerSec float64 `json:"transistors_per_sec"`
+	Note        string  `json:"note,omitempty"`
+}
+
+type gateResult struct {
+	Experiment string         `json:"experiment"`
+	Baseline   baseline       `json:"baseline"`
+	Floor      float64        `json:"floor_trans_per_sec"`
+	Pass       bool           `json:"pass"`
+	Sample     bench.T8Sample `json:"sample"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "testdata/perf_baseline.json", "committed throughput baseline")
+	tol := flag.Float64("tol", 0.30, "allowed fractional regression below the baseline")
+	out := flag.String("out", "", "optional path to persist the measurement as JSON")
+	flag.Parse()
+
+	blob, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	var b baseline
+	if err := json.Unmarshal(blob, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: parse %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+	if b.Target <= 0 || b.TransPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "perfgate: %s: target and transistors_per_sec must be positive\n", *basePath)
+		os.Exit(2)
+	}
+
+	sample := bench.MeasureTiled(b.Target, b.Workers)
+	floor := b.TransPerSec * (1 - *tol)
+	pass := sample.TransPerSec >= floor
+
+	fmt.Printf("perfgate: %d transistors, %d workers: %.0f trans/s (median of %d runs)\n",
+		sample.Transistors, sample.Workers, sample.TransPerSec, bench.T8Repeats)
+	fmt.Printf("perfgate: baseline %.0f trans/s, tolerance %.0f%% -> floor %.0f trans/s\n",
+		b.TransPerSec, *tol*100, floor)
+
+	if *out != "" {
+		res := gateResult{Experiment: "perf-smoke", Baseline: b, Floor: floor, Pass: pass, Sample: sample}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("perfgate: wrote %s\n", *out)
+	}
+
+	if !pass {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL — throughput regressed more than %.0f%% below baseline\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: PASS")
+}

@@ -47,7 +47,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4"} {
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3", "F4"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from registry", want)
 		}

@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"T5", "Signal-flow analysis ablation", RunT5},
 		{"T6", "Incremental vs full re-analysis", RunT6},
 		{"T7", "Load shedding at the /delta admission gate", RunT7},
+		{"T8", "Million-transistor throughput", RunT8},
 		{"F1", "Settle-time distribution per phase", RunF1},
 		{"F2", "Runtime scaling curve", RunF2},
 		{"F3", "Pass-chain delay vs length", RunF3},

@@ -66,7 +66,10 @@ func MeasureScaling() []ScalePoint {
 }
 
 // MeasureScalingWorkers runs the size sweep at an explicit worker count
-// (0 = one per CPU).
+// (0 = one per CPU). Each point is the median of T8Repeats timed runs
+// after one warmup run (measureMedian): a single cold run per size let
+// first-touch page faults and heap growth land on arbitrary points and
+// made the reported throughput non-monotone in design size.
 func MeasureScalingWorkers(workers int) []ScalePoint {
 	p := tech.Default()
 	eff := workers
@@ -76,14 +79,13 @@ func MeasureScalingWorkers(workers int) []ScalePoint {
 	var out []ScalePoint
 	for _, cfg := range ScalePoints() {
 		nl := gen.MIPSDatapath(p, cfg)
-		pr := prepareWorkers(nl, p, true, workers)
-		_, dur := pr.analyze(genericSchedule())
+		m := measureMedian(nl, p, true, workers, T8Repeats)
 		out = append(out, ScalePoint{
 			Config:      cfg,
-			Transistors: pr.stats.Transistors,
-			Edges:       len(pr.model.Edges),
-			Prep:        pr.prepDur,
-			Analyze:     dur,
+			Transistors: m.transistors,
+			Edges:       m.arcs,
+			Prep:        m.prep,
+			Analyze:     m.analyze,
 			Workers:     eff,
 		})
 	}

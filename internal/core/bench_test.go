@@ -41,9 +41,9 @@ func settledAnalysis(tb testing.TB, chain int) *analysis {
 func (a *analysis) rewalk() func() {
 	ws := a.wave
 	fn := func(ci int32) {
-		comp := ws.comps[ci]
+		comp := ws.comp(ci)
 		if !ws.cyclic[ci] {
-			a.relaxNode(int(comp[0]), ws.in[comp[0]])
+			a.relaxNode(int(comp[0]), ws.in(comp[0]))
 		}
 	}
 	return func() { a.forEachComp(fn) }

@@ -60,6 +60,11 @@ type Options struct {
 	// breakdowns) and wavefront counters. Nil disables instrumentation;
 	// the propagation hot path then performs no extra allocation.
 	Obs *obs.Obs
+	// Arena supplies reusable scratch for the analysis working set. Pass
+	// the same arena on every call of a long-lived session (single
+	// analysis at a time) to make repeated AnalyzeIncremental calls
+	// allocation-stable; nil allocates fresh scratch per call.
+	Arena *Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -263,21 +268,17 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, model *delay.Model, sched
 	}
 	opt = opt.withDefaults()
 	n := len(nl.Nodes)
-	r := &Result{
-		NL:     nl,
-		Model:  model,
-		Sched:  sched,
-		RiseAt: fill(n, NegInf),
-		FallAt: fill(n, NegInf),
-	}
-	r.predRise = fillPred(n)
-	r.predFall = fillPred(n)
+	r := &Result{NL: nl, Model: model, Sched: sched}
+	r.allocArrays(n)
+	fillFloat(r.RiseAt, NegInf)
+	fillFloat(r.FallAt, NegInf)
 
 	a := &analysis{Result: r, opt: opt, ctx: orBackground(ctx)}
+	a.arena = arenaFor(opt)
 	a.initMetrics()
 	defer opt.Obs.Span("analyze").End()
 	sp := opt.Obs.Span("wave-plan")
-	a.wave = newWaveSchedule(n, model)
+	a.wave = newWaveSchedule(n, model, a.arena)
 	sp.End()
 	sp = opt.Obs.Span("sources+storage")
 	a.initSources()
@@ -320,28 +321,50 @@ func (a *analysis) initMetrics() {
 // least one incoming arc launched by a clock.
 func (a *analysis) classifyStorage() {
 	a.clockedStorage = make([]bool, len(a.NL.Nodes))
+	flags := a.Model.NodeFlags
 	for i := range a.Model.Edges {
 		e := &a.Model.Edges[i]
-		if e.To.Flags.Has(netlist.FlagStorage) && e.From.IsClock() {
-			a.clockedStorage[e.To.Index] = true
+		if flags[e.To]&netlist.FlagStorage != 0 && flags[e.From]&netlist.FlagClock != 0 {
+			a.clockedStorage[e.To] = true
 		}
 	}
 }
 
-func fill(n int, v float64) []float64 {
-	s := make([]float64, n)
+// allocArrays lays out the Result-owned per-node arrays: the four arrival
+// arrays share one 4n float64 block and the two predecessor arrays one 2n
+// block, so a Result is two allocations and the settle/early pair of each
+// node sits a fixed stride apart. These escape into the published Result
+// and are deliberately NOT arena-carved: a later analysis reusing the
+// arena must not scribble over a result a reader still holds.
+func (r *Result) allocArrays(n int) {
+	block := make([]float64, 4*n)
+	r.RiseAt = block[0*n : 1*n : 1*n]
+	r.FallAt = block[1*n : 2*n : 2*n]
+	r.EarlyRise = block[2*n : 3*n : 3*n]
+	r.EarlyFall = block[3*n : 4*n : 4*n]
+	pb := make([]pred, 2*n)
+	r.predRise = pb[0:n:n]
+	r.predFall = pb[n : 2*n : 2*n]
+	for i := range pb {
+		pb[i] = pred{edge: -1}
+	}
+}
+
+// arenaFor returns the caller-provided scratch arena, reset for a new
+// call, or a fresh private one.
+func arenaFor(opt Options) *Arena {
+	ar := opt.Arena
+	if ar == nil {
+		ar = &Arena{}
+	}
+	ar.begin()
+	return ar
+}
+
+func fillFloat(s []float64, v float64) {
 	for i := range s {
 		s[i] = v
 	}
-	return s
-}
-
-func fillPred(n int) []pred {
-	s := make([]pred, n)
-	for i := range s {
-		s[i] = pred{edge: -1}
-	}
-	return s
 }
 
 type analysis struct {
@@ -365,6 +388,10 @@ type analysis struct {
 	// propagates normally; Result.loopNodes collects nodes in
 	// non-converging cycles.)
 	fixedRise, fixedFall []bool
+	// arena supplies the call's scratch memory; see Options.Arena. Set by
+	// the entry points (lazily by initSources for test harnesses that
+	// drive the phases directly).
+	arena *Arena
 	// mLevels and mComps are pre-resolved wavefront counters (nil when
 	// instrumentation is disabled; see initMetrics).
 	mLevels, mComps *obs.Counter
@@ -416,8 +443,11 @@ func (a *analysis) checkpoint() bool {
 //     clock-driven ones; data arcs into them become setup checks.
 func (a *analysis) initSources() {
 	nl := a.NL
-	a.fixedRise = make([]bool, len(nl.Nodes))
-	a.fixedFall = make([]bool, len(nl.Nodes))
+	if a.arena == nil {
+		a.arena = &Arena{}
+	}
+	a.fixedRise = a.arena.bools(len(nl.Nodes))
+	a.fixedFall = a.arena.bools(len(nl.Nodes))
 	forced := make(map[string]bool, len(a.opt.SetHigh)+len(a.opt.SetLow))
 	for _, name := range a.opt.SetHigh {
 		forced[name] = true
@@ -499,9 +529,9 @@ func (a *analysis) relaxEdge(ei int, target Polarity) (t float64, fromPol Polari
 	fromPol = causePol(e, target)
 	var cause float64
 	if fromPol == Rise {
-		cause = a.RiseAt[e.From.Index]
+		cause = a.RiseAt[e.From]
 	} else {
-		cause = a.FallAt[e.From.Index]
+		cause = a.FallAt[e.From]
 	}
 	if math.IsInf(cause, -1) {
 		return 0, 0, false

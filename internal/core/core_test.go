@@ -37,7 +37,7 @@ func analyze(t *testing.T, nl *netlist.Netlist, m *delay.Model, s clocks.Schedul
 func edgeBetween(m *delay.Model, from, to *netlist.Node) *delay.Edge {
 	for i := range m.Edges {
 		e := &m.Edges[i]
-		if e.From == from && e.To == to {
+		if int(e.From) == from.Index && int(e.To) == to.Index {
 			return e
 		}
 	}

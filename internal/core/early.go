@@ -15,9 +15,10 @@ var PosInf = math.Inf(1)
 // newly launched value could reach a latch whose previous-phase clock has
 // not yet closed.
 func (a *analysis) propagateEarly() {
-	n := len(a.NL.Nodes)
-	a.EarlyRise = fill(n, PosInf)
-	a.EarlyFall = fill(n, PosInf)
+	// The arrays were laid out by Result.allocArrays; fill in place
+	// rather than allocating a fresh pair per pass.
+	fillFloat(a.EarlyRise, PosInf)
+	fillFloat(a.EarlyFall, PosInf)
 
 	// Sources get the same anchor times as the settle pass: a clock
 	// edge happens exactly at its scheduled time; an input changes at
@@ -35,16 +36,16 @@ func (a *analysis) propagateEarly() {
 	// order-independent within a level as max-relaxation).
 	ws := a.wave
 	a.forEachComp(func(ci int32) {
-		comp := ws.comps[ci]
+		comp := ws.comp(ci)
 		if !ws.cyclic[ci] {
-			a.relaxNodeEarly(int(comp[0]), ws.in[comp[0]])
+			a.relaxNodeEarly(int(comp[0]), ws.in(comp[0]))
 			return
 		}
 		bound := a.opt.SCCIterBound*len(comp) + 8
 		for iter := 0; iter < bound; iter++ {
 			changed := false
 			for _, idx := range comp {
-				if a.relaxNodeEarly(int(idx), ws.in[idx]) {
+				if a.relaxNodeEarly(int(idx), ws.in(idx)) {
 					changed = true
 				}
 			}
@@ -67,7 +68,7 @@ func (a *analysis) relaxNodeEarly(idx int, incoming []int32) bool {
 		}
 		best := a.earlyArrival(idx, pol)
 		for _, ei := range incoming {
-			if storage && !a.Model.Edges[ei].From.IsClock() {
+			if storage && !a.Model.IsClock(a.Model.Edges[ei].From) {
 				continue
 			}
 			t, ok := a.relaxEdgeEarly(int(ei), pol)
@@ -97,7 +98,7 @@ func (a *analysis) relaxEdgeEarly(ei int, target Polarity) (t float64, ok bool) 
 	if math.IsInf(d, 1) {
 		return 0, false
 	}
-	cause := a.earlyArrival(e.From.Index, causePol(e, target))
+	cause := a.earlyArrival(int(e.From), causePol(e, target))
 	if math.IsInf(cause, 1) {
 		return 0, false
 	}
@@ -146,7 +147,7 @@ func (a *analysis) raceChecks() []Check {
 	worst := map[key]Check{}
 	for i := range a.Model.Edges {
 		e := &a.Model.Edges[i]
-		if !a.clockedStorage[e.To.Index] || e.From.IsClock() {
+		if !a.clockedStorage[e.To] || a.Model.IsClock(e.From) {
 			continue
 		}
 		for _, pol := range bothPols {
@@ -164,19 +165,19 @@ func (a *analysis) raceChecks() []Check {
 			if mask == delay.MaskPhi2 {
 				phase = 2
 			}
-			cause := a.earlyArrival(e.From.Index, causePol(e, pol))
+			cause := a.earlyArrival(int(e.From), causePol(e, pol))
 			if math.IsInf(cause, 1) {
 				continue
 			}
 			prevClose := a.Sched.Fall(phase) - a.Sched.Period
 			margin := cause - prevClose
 			c := Check{
-				Kind: CheckRace, Node: e.To, Pol: pol, Phase: phase,
+				Kind: CheckRace, Node: a.NL.Nodes[e.To], Pol: pol, Phase: phase,
 				Arrival: cause, Deadline: prevClose,
 				Slack: margin, OK: margin >= 0,
 				edge: int32(i),
 			}
-			k := key{e.To.Index, phase}
+			k := key{int(e.To), phase}
 			if old, ok := worst[k]; !ok || c.Slack < old.Slack {
 				worst[k] = c
 			}

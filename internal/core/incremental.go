@@ -23,6 +23,8 @@ type DeltaStats struct {
 	// (the timing-arc model did not change).
 	ReusedWave bool
 	// Relaxed marks, per node index, the nodes re-relaxed in either pass.
+	// When the call ran with Options.Arena, the mask is arena-backed:
+	// consume it before the next analysis on that arena.
 	Relaxed []bool
 }
 
@@ -52,8 +54,8 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 		}
 		n := len(nl.Nodes)
 		st := DeltaStats{
-			Comps:        len(r.wave.comps),
-			CompsRelaxed: len(r.wave.comps),
+			Comps:        r.wave.numComps(),
+			CompsRelaxed: r.wave.numComps(),
 			NodesRelaxed: n,
 			Relaxed:      fillBool(n, true),
 		}
@@ -64,18 +66,16 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 	}
 	opt = opt.withDefaults()
 	n := len(nl.Nodes)
-	r := &Result{
-		NL:        nl,
-		Model:     model,
-		Sched:     sched,
-		RiseAt:    growCopy(prev.RiseAt, n, NegInf),
-		FallAt:    growCopy(prev.FallAt, n, NegInf),
-		EarlyRise: growCopy(prev.EarlyRise, n, PosInf),
-		EarlyFall: growCopy(prev.EarlyFall, n, PosInf),
-		predRise:  growPreds(prev.predRise, n),
-		predFall:  growPreds(prev.predFall, n),
-	}
+	r := &Result{NL: nl, Model: model, Sched: sched}
+	r.allocArrays(n)
+	growCopy(r.RiseAt, prev.RiseAt, NegInf)
+	growCopy(r.FallAt, prev.FallAt, NegInf)
+	growCopy(r.EarlyRise, prev.EarlyRise, PosInf)
+	growCopy(r.EarlyFall, prev.EarlyFall, PosInf)
+	copy(r.predRise, prev.predRise)
+	copy(r.predFall, prev.predFall)
 	a := &analysis{Result: r, opt: opt, ctx: orBackground(ctx)}
+	a.arena = arenaFor(opt)
 	a.initMetrics()
 	defer opt.Obs.Span("analyze-incremental").End()
 	stats := DeltaStats{}
@@ -85,19 +85,19 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 		r.wave = prev.wave
 		stats.ReusedWave = true
 	} else {
-		r.wave = newWaveSchedule(n, model)
+		r.wave = newWaveSchedule(n, model, a.arena)
 		remapPreds(r, prev)
 	}
 	sp.End()
-	stats.Comps = len(r.wave.comps)
+	stats.Comps = r.wave.numComps()
 
 	// Snapshot the previous fixpoint (grown with NaN so any comparison
 	// against a new node's slot reads "changed") before re-anchoring the
 	// sources overwrites the working arrays.
-	snapRise := growCopy(prev.RiseAt, n, math.NaN())
-	snapFall := growCopy(prev.FallAt, n, math.NaN())
-	snapER := growCopy(prev.EarlyRise, n, math.NaN())
-	snapEF := growCopy(prev.EarlyFall, n, math.NaN())
+	snapRise := a.arena.float64Copy(prev.RiseAt, n, math.NaN())
+	snapFall := a.arena.float64Copy(prev.FallAt, n, math.NaN())
+	snapER := a.arena.float64Copy(prev.EarlyRise, n, math.NaN())
+	snapEF := a.arena.float64Copy(prev.EarlyFall, n, math.NaN())
 
 	sp = opt.Obs.Span("sources+storage")
 	a.initSources()
@@ -117,7 +117,7 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 	// Structural seed: caller's dirty nodes, nodes that did not exist in
 	// prev, and nodes whose storage classification flipped (their
 	// incoming-arc filter changed).
-	base := make([]bool, n)
+	base := a.arena.bools(n)
 	for i := 0; i < n; i++ {
 		if (i < len(dirtySeed) && dirtySeed[i]) || i >= len(prev.RiseAt) {
 			base[i] = true
@@ -132,14 +132,14 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 	// Settle seed: structure plus changed source anchors (initSources
 	// only ever writes fixed values, so any difference from the snapshot
 	// is an anchor change).
-	seed := make([]bool, n)
+	seed := a.arena.bools(n)
 	copy(seed, base)
 	for i := 0; i < n; i++ {
 		if r.RiseAt[i] != snapRise[i] || r.FallAt[i] != snapFall[i] {
 			seed[i] = true
 		}
 	}
-	relaxed := make([]bool, n)
+	relaxed := a.arena.bools(n)
 	sp = opt.Obs.Span("cone-re-relax")
 	sc, sn := a.propagateDirty(seed, snapRise, snapFall, prev.loopNodes, relaxed)
 	sp.End()
@@ -155,7 +155,7 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 			r.EarlyFall[i] = r.FallAt[i]
 		}
 	}
-	eseed := make([]bool, n)
+	eseed := a.arena.bools(n)
 	copy(eseed, base)
 	for i := 0; i < n; i++ {
 		if r.EarlyRise[i] != snapER[i] || r.EarlyFall[i] != snapEF[i] {
@@ -198,16 +198,16 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 // run, so the fixpoint is bit-identical.
 func (a *analysis) propagateDirty(seed []bool, snapRise, snapFall []float64, prevLoops []*netlist.Node, relaxed []bool) (comps, nodes int) {
 	ws := a.wave
-	dirty := seedComps(ws, seed)
-	touched := make([]bool, len(ws.comps))
-	loops := make([][]*netlist.Node, len(ws.comps))
+	dirty := a.seedComps(ws, seed)
+	touched := a.arena.bools(ws.numComps())
+	loops := a.arena.loopSlices(ws.numComps())
 	var nc, nn atomic.Int64
 	a.forEachComp(func(ci int32) {
 		if !dirty[ci].Load() {
 			return
 		}
 		touched[ci] = true
-		comp := ws.comps[ci]
+		comp := ws.comp(ci)
 		nc.Add(1)
 		nn.Add(int64(len(comp)))
 		for _, idx := range comp {
@@ -222,14 +222,14 @@ func (a *analysis) propagateDirty(seed []bool, snapRise, snapFall []float64, pre
 			}
 		}
 		if !ws.cyclic[ci] {
-			a.relaxNode(int(comp[0]), ws.in[comp[0]])
+			a.relaxNode(int(comp[0]), ws.in(comp[0]))
 		} else {
-			loops[ci] = a.iterateSCC(comp, ws.in)
+			loops[ci] = a.iterateSCC(comp, ws)
 		}
 		for _, idx := range comp {
 			if a.RiseAt[idx] != snapRise[idx] || a.FallAt[idx] != snapFall[idx] {
-				for _, ei := range ws.out[idx] {
-					if wc := ws.compOf[a.Model.Edges[ei].To.Index]; wc != ci {
+				for _, ei := range ws.out(idx) {
+					if wc := ws.compOf[a.Model.Edges[ei].To]; wc != ci {
 						dirty[wc].Store(true)
 					}
 				}
@@ -257,13 +257,13 @@ func (a *analysis) propagateDirty(seed []bool, snapRise, snapFall []float64, pre
 // propagateDirty for the wake protocol.
 func (a *analysis) propagateEarlyDirty(seed []bool, snapRise, snapFall []float64, relaxed []bool) (comps, nodes int) {
 	ws := a.wave
-	dirty := seedComps(ws, seed)
+	dirty := a.seedComps(ws, seed)
 	var nc, nn atomic.Int64
 	a.forEachComp(func(ci int32) {
 		if !dirty[ci].Load() {
 			return
 		}
-		comp := ws.comps[ci]
+		comp := ws.comp(ci)
 		nc.Add(1)
 		nn.Add(int64(len(comp)))
 		for _, idx := range comp {
@@ -276,13 +276,13 @@ func (a *analysis) propagateEarlyDirty(seed []bool, snapRise, snapFall []float64
 			}
 		}
 		if !ws.cyclic[ci] {
-			a.relaxNodeEarly(int(comp[0]), ws.in[comp[0]])
+			a.relaxNodeEarly(int(comp[0]), ws.in(comp[0]))
 		} else {
 			bound := a.opt.SCCIterBound*len(comp) + 8
 			for iter := 0; iter < bound; iter++ {
 				changed := false
 				for _, idx := range comp {
-					if a.relaxNodeEarly(int(idx), ws.in[idx]) {
+					if a.relaxNodeEarly(int(idx), ws.in(idx)) {
 						changed = true
 					}
 				}
@@ -293,8 +293,8 @@ func (a *analysis) propagateEarlyDirty(seed []bool, snapRise, snapFall []float64
 		}
 		for _, idx := range comp {
 			if a.EarlyRise[idx] != snapRise[idx] || a.EarlyFall[idx] != snapFall[idx] {
-				for _, ei := range ws.out[idx] {
-					if wc := ws.compOf[a.Model.Edges[ei].To.Index]; wc != ci {
+				for _, ei := range ws.out(idx) {
+					if wc := ws.compOf[a.Model.Edges[ei].To]; wc != ci {
 						dirty[wc].Store(true)
 					}
 				}
@@ -305,8 +305,8 @@ func (a *analysis) propagateEarlyDirty(seed []bool, snapRise, snapFall []float64
 }
 
 // seedComps lifts a per-node dirty mask to per-component atomic flags.
-func seedComps(ws *waveSchedule, seed []bool) []atomic.Bool {
-	dirty := make([]atomic.Bool, len(ws.comps))
+func (a *analysis) seedComps(ws *waveSchedule, seed []bool) []atomic.Bool {
+	dirty := a.arena.atomicBools(ws.numComps())
 	for i, d := range seed {
 		if d {
 			dirty[ws.compOf[i]].Store(true)
@@ -327,7 +327,7 @@ type edgeIdent struct {
 
 func identOf(e *delay.Edge) edgeIdent {
 	return edgeIdent{
-		from: int32(e.From.Index), to: int32(e.To.Index),
+		from: e.From, to: e.To,
 		invert: e.Invert, gateArc: e.GateArc,
 		maskRise: e.MaskRise, maskFall: e.MaskFall,
 	}
@@ -359,22 +359,13 @@ func remapPreds(r, prev *Result) {
 	remap(r.predFall)
 }
 
-func growCopy(src []float64, n int, fillv float64) []float64 {
-	out := make([]float64, n)
-	copy(out, src)
-	for i := len(src); i < n; i++ {
-		out[i] = fillv
+// growCopy fills dst with src, padding the tail beyond len(src) with
+// fillv.
+func growCopy(dst, src []float64, fillv float64) {
+	m := copy(dst, src)
+	for i := m; i < len(dst); i++ {
+		dst[i] = fillv
 	}
-	return out
-}
-
-func growPreds(src []pred, n int) []pred {
-	out := make([]pred, n)
-	copy(out, src)
-	for i := len(src); i < n; i++ {
-		out[i] = pred{edge: -1}
-	}
-	return out
 }
 
 func fillBool(n int, v bool) []bool {

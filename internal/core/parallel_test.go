@@ -132,8 +132,8 @@ func buildAdjacencyAppend(n int, m *delay.Model) (out, in [][]int32) {
 	in = make([][]int32, n)
 	for i := range m.Edges {
 		e := &m.Edges[i]
-		out[e.From.Index] = append(out[e.From.Index], int32(i))
-		in[e.To.Index] = append(in[e.To.Index], int32(i))
+		out[e.From] = append(out[e.From], int32(i))
+		in[e.To] = append(in[e.To], int32(i))
 	}
 	return out, in
 }
@@ -143,10 +143,12 @@ func buildAdjacencyAppend(n int, m *delay.Model) (out, in [][]int32) {
 func TestBuildAdjacencyMatchesAppend(t *testing.T) {
 	nl, m := datapathModel(gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
 	n := len(nl.Nodes)
-	out, in := buildAdjacency(n, m)
+	var ws waveSchedule
+	buildAdjacency(n, m, &ws)
 	wantOut, wantIn := buildAdjacencyAppend(n, m)
 	for i := 0; i < n; i++ {
-		for _, pair := range []struct{ got, want []int32 }{{out[i], wantOut[i]}, {in[i], wantIn[i]}} {
+		v := int32(i)
+		for _, pair := range []struct{ got, want []int32 }{{ws.out(v), wantOut[i]}, {ws.in(v), wantIn[i]}} {
 			if len(pair.got) != len(pair.want) {
 				t.Fatalf("node %d: %d edges, want %d", i, len(pair.got), len(pair.want))
 			}
@@ -168,7 +170,8 @@ func BenchmarkBuildAdjacency(b *testing.B) {
 	b.Run("flat", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			buildAdjacency(n, m)
+			var ws waveSchedule
+			buildAdjacency(n, m, &ws)
 		}
 	})
 	b.Run("append", func(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"nmostv/internal/netlist"
 )
@@ -37,22 +38,30 @@ func (s Step) String() string {
 	return fmt.Sprintf("%-20s %s @ %8.4f ns%s", s.Node, s.Pol, s.Time, via)
 }
 
+// pathSeenPool recycles the per-query visited masks of Path: the query
+// side of the daemon bypasses admission control, so path recovery must not
+// allocate O(path) map storage per request. Masks are keyed by
+// node-id×polarity and returned to the pool cleared.
+var pathSeenPool sync.Pool
+
 // Path recovers the worst-case path producing the given node transition,
 // ordered from source to endpoint. Returns nil when the node never makes
-// that transition.
+// that transition. Safe for concurrent use on a published Result.
 func (r *Result) Path(n *netlist.Node, pol Polarity) []Step {
 	if math.IsInf(r.arrivalOf(n.Index, pol), -1) {
 		return nil
 	}
-	type key struct {
-		idx int
-		pol Polarity
+	want := 2 * len(r.NL.Nodes)
+	seen, _ := pathSeenPool.Get().([]bool)
+	if cap(seen) < want {
+		seen = make([]bool, want)
+	} else {
+		seen = seen[:want]
 	}
-	seen := make(map[key]bool)
 	var rev []Step
 	idx, p := n.Index, pol
 	for {
-		k := key{idx, p}
+		k := 2*idx + int(p)
 		if seen[k] {
 			break // defensive: cyclic predecessor chain
 		}
@@ -61,15 +70,21 @@ func (r *Result) Path(n *netlist.Node, pol Polarity) []Step {
 		step := Step{Node: r.NL.Nodes[idx], Pol: p, Time: r.arrivalOf(idx, p)}
 		if pr.edge >= 0 {
 			e := &r.Model.Edges[pr.edge]
-			step.Via = e.Via
+			step.Via = r.NL.TransByID(e.Via)
 			step.Invert = e.Invert
 			rev = append(rev, step)
-			idx, p = e.From.Index, pr.fromPol
+			idx, p = int(e.From), pr.fromPol
 			continue
 		}
 		rev = append(rev, step)
 		break
 	}
+	// Clear only the entries this walk set — every mark corresponds to a
+	// produced step — then recycle the mask: O(path), not O(nodes).
+	for _, s := range rev {
+		seen[2*s.Node.Index+int(s.Pol)] = false
+	}
+	pathSeenPool.Put(seen) //nolint:staticcheck // slice header boxing is fine here
 	// Reverse to source-first order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
@@ -194,12 +209,12 @@ func (r *Result) CheckPath(c Check) []Step {
 		return r.Path(c.Node, c.Pol)
 	}
 	e := &r.Model.Edges[c.edge]
-	steps := r.Path(e.From, causePol(e, c.Pol))
+	steps := r.Path(r.NL.Nodes[e.From], causePol(e, c.Pol))
 	return append(steps, Step{
 		Node:   c.Node,
 		Pol:    c.Pol,
 		Time:   c.Arrival,
-		Via:    e.Via,
+		Via:    r.NL.TransByID(e.Via),
 		Invert: e.Invert,
 	})
 }

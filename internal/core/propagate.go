@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,52 +20,80 @@ import (
 // concurrently, cannot change the fixpoint. That is the wavefront: levels
 // run in sequence, components within a level run in parallel.
 type waveSchedule struct {
-	out, in [][]int32 // node -> edge indices (slices of two flat arrays)
-	comps   [][]int32 // SCCs in reverse topological order (tarjan output)
-	compOf  []int32   // node -> component id
-	cyclic  []bool    // per comp: >1 node or a self arc — needs iteration
-	levels  [][]int32 // level -> comp ids; level 0 holds the sources
+	// CSR adjacency: node v's out-arcs are outEdge[outStart[v]:
+	// outStart[v+1]] (edge indices, ascending), likewise in. Flat
+	// offset+payload arrays instead of a slice-header per node: no
+	// pointers for the collector to trace through a million-node plan.
+	outStart, outEdge []int32
+	inStart, inEdge   []int32
+	// CSR component membership: SCC ci's nodes are
+	// compNodes[compStart[ci]:compStart[ci+1]], components in reverse
+	// topological (tarjan emission) order.
+	compStart, compNodes []int32
+	compOf               []int32   // node -> component id
+	cyclic               []bool    // per comp: >1 node or a self arc — needs iteration
+	levels               [][]int32 // level -> comp ids; level 0 holds the sources
 }
 
-// buildAdjacency builds the per-node out/in edge-index lists with a
-// count-first pass into two flat backing arrays: two allocations instead
-// of per-node append growth.
-func buildAdjacency(n int, m *delay.Model) (out, in [][]int32) {
-	outCnt := make([]int32, n)
-	inCnt := make([]int32, n)
+func (ws *waveSchedule) out(v int32) []int32 {
+	return ws.outEdge[ws.outStart[v]:ws.outStart[v+1]]
+}
+
+func (ws *waveSchedule) in(v int32) []int32 {
+	return ws.inEdge[ws.inStart[v]:ws.inStart[v+1]]
+}
+
+func (ws *waveSchedule) comp(ci int32) []int32 {
+	return ws.compNodes[ws.compStart[ci]:ws.compStart[ci+1]]
+}
+
+func (ws *waveSchedule) numComps() int { return len(ws.compStart) - 1 }
+
+// buildAdjacency fills the plan's CSR adjacency with a counting sort:
+// count per node, prefix-sum into offsets, scatter edge indices with the
+// offsets as moving cursors, shift back. The arrays escape with the plan
+// (retained across incremental calls), so they are heap, not arena.
+func buildAdjacency(n int, m *delay.Model, ws *waveSchedule) {
+	outStart := make([]int32, n+1)
+	inStart := make([]int32, n+1)
 	for i := range m.Edges {
 		e := &m.Edges[i]
-		outCnt[e.From.Index]++
-		inCnt[e.To.Index]++
+		outStart[e.From+1]++
+		inStart[e.To+1]++
 	}
-	out = make([][]int32, n)
-	in = make([][]int32, n)
-	outFlat := make([]int32, len(m.Edges))
-	inFlat := make([]int32, len(m.Edges))
-	var op, ip int32
 	for i := 0; i < n; i++ {
-		out[i] = outFlat[op : op : op+outCnt[i]]
-		op += outCnt[i]
-		in[i] = inFlat[ip : ip : ip+inCnt[i]]
-		ip += inCnt[i]
+		outStart[i+1] += outStart[i]
+		inStart[i+1] += inStart[i]
 	}
+	outEdge := make([]int32, len(m.Edges))
+	inEdge := make([]int32, len(m.Edges))
 	for i := range m.Edges {
 		e := &m.Edges[i]
-		out[e.From.Index] = append(out[e.From.Index], int32(i))
-		in[e.To.Index] = append(in[e.To.Index], int32(i))
+		outEdge[outStart[e.From]] = int32(i)
+		outStart[e.From]++
+		inEdge[inStart[e.To]] = int32(i)
+		inStart[e.To]++
 	}
-	return out, in
+	for i := n; i > 0; i-- {
+		outStart[i] = outStart[i-1]
+		inStart[i] = inStart[i-1]
+	}
+	outStart[0], inStart[0] = 0, 0
+	ws.outStart, ws.outEdge = outStart, outEdge
+	ws.inStart, ws.inEdge = inStart, inEdge
 }
 
-// newWaveSchedule computes the shared propagation plan for a model.
-func newWaveSchedule(n int, m *delay.Model) *waveSchedule {
+// newWaveSchedule computes the shared propagation plan for a model. The
+// plan itself escapes (it is retained across incremental calls); ar backs
+// only construction scratch (degree counts, Tarjan state).
+func newWaveSchedule(n int, m *delay.Model, ar *Arena) *waveSchedule {
 	ws := &waveSchedule{}
-	ws.out, ws.in = buildAdjacency(n, m)
-	ws.comps = tarjan(n, ws.out, m)
-	nc := len(ws.comps)
+	buildAdjacency(n, m, ws)
+	tarjan(n, ws, m, ar)
+	nc := ws.numComps()
 	compOf := make([]int32, n)
-	for ci, comp := range ws.comps {
-		for _, v := range comp {
+	for ci := 0; ci < nc; ci++ {
+		for _, v := range ws.comp(int32(ci)) {
 			compOf[v] = int32(ci)
 		}
 	}
@@ -77,11 +106,11 @@ func newWaveSchedule(n int, m *delay.Model) *waveSchedule {
 	level := make([]int32, nc)
 	var maxLevel int32
 	for i := nc - 1; i >= 0; i-- {
-		comp := ws.comps[i]
-		ws.cyclic[i] = len(comp) > 1 || hasSelfArc(m, ws.out, comp[0])
+		comp := ws.comp(int32(i))
+		ws.cyclic[i] = len(comp) > 1 || hasSelfArc(m, ws, comp[0])
 		for _, v := range comp {
-			for _, ei := range ws.out[v] {
-				wc := compOf[m.Edges[ei].To.Index]
+			for _, ei := range ws.out(v) {
+				wc := compOf[m.Edges[ei].To]
 				if int(wc) != i && level[i]+1 > level[wc] {
 					level[wc] = level[i] + 1
 					if level[wc] > maxLevel {
@@ -201,14 +230,14 @@ func (a *analysis) forEachComp(fn func(ci int32)) {
 // worker, so the result is bit-identical at any worker count.
 func (a *analysis) propagate() {
 	ws := a.wave
-	loops := make([][]*netlist.Node, len(ws.comps))
+	loops := a.arena.loopSlices(ws.numComps())
 	a.forEachComp(func(ci int32) {
-		comp := ws.comps[ci]
+		comp := ws.comp(ci)
 		if !ws.cyclic[ci] {
-			a.relaxNode(int(comp[0]), ws.in[comp[0]])
+			a.relaxNode(int(comp[0]), ws.in(comp[0]))
 			return
 		}
-		loops[ci] = a.iterateSCC(comp, ws.in)
+		loops[ci] = a.iterateSCC(comp, ws)
 	})
 	for _, l := range loops {
 		a.loopNodes = append(a.loopNodes, l...)
@@ -241,7 +270,7 @@ func (a *analysis) relaxNode(idx int, incoming []int32) bool {
 		bestPred := pred{edge: -1}
 		havePred := false
 		for _, ei := range incoming {
-			if storage && !a.Model.Edges[ei].From.IsClock() {
+			if storage && !a.Model.IsClock(a.Model.Edges[ei].From) {
 				continue
 			}
 			t, fromPol, ok := a.relaxEdge(int(ei), pol)
@@ -261,12 +290,12 @@ func (a *analysis) relaxNode(idx int, incoming []int32) bool {
 
 // iterateSCC runs bounded fixpoint iteration over a cyclic component and
 // returns its non-converging nodes (nil when the component settles).
-func (a *analysis) iterateSCC(comp []int32, in [][]int32) []*netlist.Node {
+func (a *analysis) iterateSCC(comp []int32, ws *waveSchedule) []*netlist.Node {
 	bound := a.opt.SCCIterBound*len(comp) + 8
 	for iter := 0; iter < bound; iter++ {
 		changed := false
 		for _, idx := range comp {
-			if a.relaxNode(int(idx), in[idx]) {
+			if a.relaxNode(int(idx), ws.in(idx)) {
 				changed = true
 			}
 		}
@@ -284,9 +313,9 @@ func (a *analysis) iterateSCC(comp []int32, in [][]int32) []*netlist.Node {
 	return loops
 }
 
-func hasSelfArc(m *delay.Model, out [][]int32, idx int32) bool {
-	for _, ei := range out[idx] {
-		if m.Edges[ei].To.Index == int(idx) {
+func hasSelfArc(m *delay.Model, ws *waveSchedule, idx int32) bool {
+	for _, ei := range ws.out(idx) {
+		if m.Edges[ei].To == idx {
 			return true
 		}
 	}
@@ -297,19 +326,26 @@ func hasSelfArc(m *delay.Model, out [][]int32, idx int32) bool {
 // be deep enough to overflow the goroutine stack with recursion). The
 // returned components appear in reverse topological order of the
 // condensation.
-func tarjan(n int, out [][]int32, m *delay.Model) [][]int32 {
+func tarjan(n int, ws *waveSchedule, m *delay.Model, ar *Arena) {
 	const unvisited = -1
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
+	index := ar.int32s(n)
+	low := ar.int32s(n)
+	onStack := ar.bools(n)
 	for i := range index {
 		index[i] = unvisited
 	}
-	var (
-		counter int32
-		stack   []int32 // Tarjan node stack
-		sccs    [][]int32
-	)
+	counter := int32(0)
+	// Every node lands in exactly one component, so the membership CSR
+	// is two exact heap allocations: one n-sized payload holding the
+	// lists back to back and one offset array. Heap, not arena — the
+	// arrays escape into the retained wave plan, and the arena is reset
+	// per call while the plan survives across calls.
+	compStart := make([]int32, 1, n+1)
+	compBuf := make([]int32, n)
+	compOff := int32(0)
+	// The node stack holds at most every node once; carving it at full
+	// size keeps the appends below inside the arena block.
+	stack := ar.int32s(n)[:0]
 
 	type frame struct {
 		v  int32
@@ -332,8 +368,9 @@ func tarjan(n int, out [][]int32, m *delay.Model) [][]int32 {
 			f := &call[len(call)-1]
 			v := f.v
 			advanced := false
-			for f.ei < len(out[v]) {
-				w := int32(m.Edges[out[v][f.ei]].To.Index)
+			oe := ws.out(v)
+			for f.ei < len(oe) {
+				w := m.Edges[oe[f.ei]].To
 				f.ei++
 				if index[w] == unvisited {
 					index[w] = counter
@@ -354,17 +391,17 @@ func tarjan(n int, out [][]int32, m *delay.Model) [][]int32 {
 			}
 			// v is finished.
 			if low[v] == index[v] {
-				var comp []int32
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					compBuf[compOff] = w
+					compOff++
 					if w == v {
 						break
 					}
 				}
-				sccs = append(sccs, comp)
+				compStart = append(compStart, compOff)
 			}
 			call = call[:len(call)-1]
 			if len(call) > 0 {
@@ -375,19 +412,25 @@ func tarjan(n int, out [][]int32, m *delay.Model) [][]int32 {
 			}
 		}
 	}
-	return sccs
+	ws.compStart, ws.compNodes = compStart, compBuf
 }
 
 // runChecks populates Result.Checks from the settled arrivals.
 func (a *analysis) runChecks() {
-	type aggKey struct {
-		node  int
-		pol   Polarity
-		phase int
+	// Worst-per-(node, polarity, phase) latch aggregation over a dense
+	// arena-backed slot table — slot -> index into checks — instead of a
+	// hash map keyed by the triple. Entries land in first-touch (edge
+	// scan) order, which is deterministic where the map iteration this
+	// replaces was randomized; the final total-order sort renders both
+	// indistinguishable for every key it inspects.
+	nn := len(a.NL.Nodes)
+	worstSlot := a.arena.int32s(4 * nn)
+	for i := range worstSlot {
+		worstSlot[i] = -1
 	}
-	worstLatch := make(map[aggKey]Check)
+	var checks []Check
 	var missed []Check
-	deadSeen := make(map[int]bool)
+	deadSeen := a.arena.bools(nn)
 	var dead []Check
 
 	for i := range a.Model.Edges {
@@ -405,10 +448,10 @@ func (a *analysis) runChecks() {
 			}
 			clamp, deadline, _, alive := a.maskWindow(mask)
 			if !alive {
-				if !deadSeen[e.To.Index] {
-					deadSeen[e.To.Index] = true
+				if !deadSeen[e.To] {
+					deadSeen[e.To] = true
 					dead = append(dead, Check{
-						Kind: CheckDeadPath, Node: e.To, Pol: pol, OK: false, edge: int32(i),
+						Kind: CheckDeadPath, Node: a.NL.Nodes[e.To], Pol: pol, OK: false, edge: int32(i),
 					})
 				}
 				continue
@@ -417,7 +460,7 @@ func (a *analysis) runChecks() {
 			if mask == delay.MaskPhi2 {
 				phase = 2
 			}
-			cause := a.arrival(e.From.Index, causePol(e, pol))
+			cause := a.arrival(int(e.From), causePol(e, pol))
 			if isInfNeg(cause) {
 				continue
 			}
@@ -429,13 +472,13 @@ func (a *analysis) runChecks() {
 			// is a real violation, and allowing the wrap would also
 			// make period feasibility non-monotone (a silently
 			// multicycle reinterpretation of the design).
-			if cause > deadline && phase == 1 && a.clockedStorage[e.To.Index] {
+			if cause > deadline && phase == 1 && a.clockedStorage[e.To] {
 				clamp += a.Sched.Period
 				deadline += a.Sched.Period
 			}
 			if cause > deadline {
 				missed = append(missed, Check{
-					Kind: CheckMissedWindow, Node: e.To, Pol: pol, Phase: phase,
+					Kind: CheckMissedWindow, Node: a.NL.Nodes[e.To], Pol: pol, Phase: phase,
 					Arrival: cause, Deadline: deadline,
 					Slack: deadline - cause, OK: false, edge: int32(i),
 				})
@@ -447,22 +490,26 @@ func (a *analysis) runChecks() {
 			}
 			arr := launch + d
 			c := Check{
-				Kind: CheckLatch, Node: e.To, Pol: pol, Phase: phase,
+				Kind: CheckLatch, Node: a.NL.Nodes[e.To], Pol: pol, Phase: phase,
 				Arrival: arr, Deadline: deadline,
 				Slack: deadline - arr, OK: deadline-arr >= 0,
 				edge: int32(i),
 			}
-			k := aggKey{e.To.Index, pol, phase}
-			if old, ok := worstLatch[k]; !ok || c.Slack < old.Slack {
-				worstLatch[k] = c
+			slot := 4*int(e.To) + 2*(phase-1)
+			if pol == Fall {
+				slot++
+			}
+			if j := worstSlot[slot]; j >= 0 {
+				if c.Slack < checks[j].Slack {
+					checks[j] = c
+				}
+			} else {
+				worstSlot[slot] = int32(len(checks))
+				checks = append(checks, c)
 			}
 		}
 	}
 
-	var checks []Check
-	for _, c := range worstLatch {
-		checks = append(checks, c)
-	}
 	checks = append(checks, missed...)
 	checks = append(checks, dead...)
 
@@ -492,18 +539,40 @@ func (a *analysis) runChecks() {
 
 	checks = append(checks, a.raceChecks()...)
 
-	sort.SliceStable(checks, func(i, j int) bool {
-		ci, cj := checks[i], checks[j]
+	// Sort an index permutation with a non-reflective generic sort: the
+	// insertion-position tiebreak makes the comparator a strict total
+	// order, so the result is exactly what the stable reflective sort
+	// this replaces produced — without a typedmemmove per swap of the
+	// ~100-byte Check struct.
+	idx := make([]int32, len(checks))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(i, j int32) int {
+		ci, cj := &checks[i], &checks[j]
 		if ci.OK != cj.OK {
-			return !ci.OK
+			if !ci.OK {
+				return -1
+			}
+			return 1
 		}
 		if ci.Slack != cj.Slack {
-			return ci.Slack < cj.Slack
+			if ci.Slack < cj.Slack {
+				return -1
+			}
+			return 1
 		}
 		if ci.Node.Index != cj.Node.Index {
-			return ci.Node.Index < cj.Node.Index
+			return ci.Node.Index - cj.Node.Index
 		}
-		return ci.Pol < cj.Pol
+		if ci.Pol != cj.Pol {
+			return int(ci.Pol) - int(cj.Pol)
+		}
+		return int(i) - int(j)
 	})
-	a.Checks = checks
+	sorted := make([]Check, len(checks))
+	for i, j := range idx {
+		sorted[i] = checks[j]
+	}
+	a.Checks = sorted
 }

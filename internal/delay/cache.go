@@ -20,6 +20,10 @@ import (
 // safe for concurrent use.
 type Cache struct {
 	entries map[uint64]cacheEntry
+	// scratch is the reusable graph snapshot backing store: a session's
+	// repeated rebuilds refill the same flat arrays instead of
+	// reallocating O(nodes + devices) state per edit.
+	scratch *graph
 }
 
 type cacheEntry struct {
@@ -91,7 +95,9 @@ func BuildWithCache(ctx context.Context, nl *netlist.Netlist, st *stage.Result, 
 	opt = opt.withDefaults()
 	defer opt.Obs.Span("delay-build-cached").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
+	m.snapshotNodes(nl)
 	forced := forcedMap(nl, opt)
+	c.scratch = newGraph(nl, p, m.Caps, forced, c.scratch)
 
 	stages := st.Stages
 	shards := make([]shard, len(stages))
@@ -108,7 +114,7 @@ func BuildWithCache(ctx context.Context, nl *netlist.Netlist, st *stage.Result, 
 	}
 	sp.End()
 	sp = opt.Obs.Span("shard-build")
-	err := buildShards(ctx, nl, st, p, opt, m.Caps, forced, shards, todo)
+	err := buildShards(ctx, c.scratch, st, opt, shards, todo)
 	sp.End()
 	if err != nil {
 		return nil, BuildStats{}, err

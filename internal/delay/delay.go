@@ -24,6 +24,11 @@
 // Rise and fall are asymmetric (ratioed logic) and edges carry an Invert
 // flag: restoring stages invert (input rise causes output fall), pass
 // propagation does not.
+//
+// Edges reference nodes by index (Node.Index), not by pointer: the hot
+// relaxation loops downstream read only flat arrays, and the builder itself
+// walks an index-based snapshot (see graph.go) rather than the netlist's
+// pointer slices.
 package delay
 
 import (
@@ -31,7 +36,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -73,13 +78,16 @@ func clockMask(g *netlist.Node) uint8 {
 	return 0
 }
 
-// Edge is one directed timing arc.
+// Edge is one directed timing arc. From and To are node indices
+// (Node.Index) into the netlist the model was built from; the model's
+// NodeFlags/NodePhase arrays carry the node state the analyzer needs, so
+// relaxation never touches *netlist.Node.
 type Edge struct {
 	// From is the causing node (a gate input, clock, or pass-network
 	// upstream node).
-	From *netlist.Node
+	From int32
 	// To is the affected node.
-	To *netlist.Node
+	To int32
 	// DRise is the delay in ns from the causing transition of From to To
 	// rising; Inf if this edge cannot make To rise. For Invert edges the
 	// causing transition is From falling, otherwise From rising.
@@ -98,8 +106,13 @@ type Edge struct {
 	// transitions are caused by From rising; From falling causes
 	// nothing (the device merely turns off).
 	GateArc bool
-	// Via is a representative device for reporting.
-	Via *netlist.Transistor
+	// Via is the stable netlist ID (netlist.Transistor.ID, not the
+	// positional index) of a representative device for reporting. An ID
+	// instead of a pointer keeps the edge array pointer-free — the
+	// garbage collector never scans the model's largest allocation — and
+	// unlike an index it survives device removals, which renumber
+	// positions under the delay cache's reused shards.
+	Via int64
 }
 
 func (e Edge) String() string {
@@ -107,7 +120,7 @@ func (e Edge) String() string {
 	if e.Invert {
 		pol = "inv"
 	}
-	return fmt.Sprintf("%s -> %s [%s rise=%.4g fall=%.4g]", e.From, e.To, pol, e.DRise, e.DFall)
+	return fmt.Sprintf("#%d -> #%d [%s rise=%.4g fall=%.4g]", e.From, e.To, pol, e.DRise, e.DFall)
 }
 
 // Options tunes the edge builder.
@@ -164,9 +177,33 @@ type Model struct {
 	// Caps[i] is the total capacitance in pF seen at node index i
 	// (extracted wire cap + gate loading + diffusion loading).
 	Caps []float64
+	// NodeFlags[i] and NodePhase[i] snapshot node i's annotations and
+	// clock phase at build time. The analyzer reads node state from
+	// these packed arrays — the netlist stays the mutable pointer-based
+	// editing view, while analysis runs on this flat snapshot. Any edit
+	// that changes a flag the model depends on changes stage
+	// fingerprints and forces a rebuild, so the snapshot is never stale
+	// for the edges it accompanies.
+	NodeFlags []netlist.Flag
+	NodePhase []int32
 	// Truncated counts nodes whose GND-path enumeration hit MaxPaths and
 	// used the conservative fallback.
 	Truncated int
+}
+
+// IsClock reports whether node index i was annotated as a clock when the
+// model was built.
+func (m *Model) IsClock(i int32) bool { return m.NodeFlags[i]&netlist.FlagClock != 0 }
+
+// snapshotNodes fills the model's per-node flag/phase arrays from the
+// netlist's current state.
+func (m *Model) snapshotNodes(nl *netlist.Netlist) {
+	m.NodeFlags = make([]netlist.Flag, len(nl.Nodes))
+	m.NodePhase = make([]int32, len(nl.Nodes))
+	for i, n := range nl.Nodes {
+		m.NodeFlags[i] = n.Flags
+		m.NodePhase[i] = int32(n.Phase)
+	}
 }
 
 // NodeCap returns the total loading of one node in pF under params p:
@@ -221,15 +258,15 @@ type shard struct {
 // The context is polled once per shard: cancellation (or the
 // "delay.build.shard" fault point) aborts the build with the first error
 // and the caller must discard the partially filled shards.
-func buildShards(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options,
-	caps []float64, forced map[*netlist.Node]bool, shards []shard, todo []int) error {
+func buildShards(ctx context.Context, g *graph, st *stage.Result, opt Options,
+	shards []shard, todo []int) error {
 	stages := st.Stages
 	buildOne := func(b *builder, si int) {
-		b.edges = nil
+		b.beginShard()
 		b.truncated = 0
 		clear(b.merged)
 		b.stageEdges(stages[si])
-		shards[si] = shard{edges: b.edges, truncated: b.truncated}
+		shards[si] = shard{edges: b.finishShard(), truncated: b.truncated}
 	}
 	var (
 		stop     atomic.Bool
@@ -262,13 +299,14 @@ func buildShards(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p t
 		workers = len(todo)
 	}
 	if workers <= 1 {
-		b := newBuilder(nl, st, p, opt, caps, forced)
+		b := newBuilder(g, opt)
 		for _, si := range todo {
 			if !check() {
 				break
 			}
 			buildOne(b, si)
 		}
+		b.release()
 		return stopErr
 	}
 	var next atomic.Int64
@@ -277,7 +315,8 @@ func buildShards(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b := newBuilder(nl, st, p, opt, caps, forced)
+			b := newBuilder(g, opt)
+			defer b.release()
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(todo) || !check() {
@@ -295,42 +334,59 @@ func buildShards(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p t
 // applies the deterministic global sort.
 func mergeShards(m *Model, shards []shard) {
 	total := 0
-	for i := range shards {
-		total += len(shards[i].edges)
-	}
-	m.Edges = make([]Edge, 0, total)
 	m.Truncated = 0
 	for i := range shards {
-		m.Edges = append(m.Edges, shards[i].edges...)
+		total += len(shards[i].edges)
 		m.Truncated += shards[i].truncated
 	}
-	// Sort an index permutation instead of the Edge structs themselves:
-	// swapping 4-byte indices avoids moving pointer-bearing structs (and
-	// their write barriers) O(n log n) times, then one pass places each
-	// edge. The index tiebreak keeps the order stable, i.e. identical to
-	// the sort.SliceStable this replaces.
-	idx := make([]int32, len(m.Edges))
-	for i := range idx {
-		idx[i] = int32(i)
+	// The canonical order is (From, To, Invert, shard concatenation
+	// position). From is a dense node index, so a counting sort gets
+	// there in O(E + N): count per source node, prefix-sum into bucket
+	// starts, then scatter straight from the shard buffers into the
+	// final array — shards visited in stage order keeps the scatter
+	// stable, and no intermediate concatenation copy is needed. Each
+	// bucket is one node's out-arcs (a handful of edges), finished with
+	// a stable sort on (To, Invert). This replaces a global E·log E
+	// comparison sort with two linear passes.
+	nn := len(m.Caps)
+	start := make([]int32, nn+1)
+	for i := range shards {
+		for j := range shards[i].edges {
+			start[shards[i].edges[j].From+1]++
+		}
 	}
-	sort.Slice(idx, func(i, j int) bool {
-		a, c := &m.Edges[idx[i]], &m.Edges[idx[j]]
-		if a.From.Index != c.From.Index {
-			return a.From.Index < c.From.Index
-		}
-		if a.To.Index != c.To.Index {
-			return a.To.Index < c.To.Index
-		}
-		if a.Invert != c.Invert {
-			return !a.Invert
-		}
-		return idx[i] < idx[j]
-	})
-	sorted := make([]Edge, len(m.Edges))
-	for i, j := range idx {
-		sorted[i] = m.Edges[j]
+	for i := 0; i < nn; i++ {
+		start[i+1] += start[i]
 	}
-	m.Edges = sorted
+	edges := make([]Edge, total)
+	for i := range shards {
+		for j := range shards[i].edges {
+			e := &shards[i].edges[j]
+			edges[start[e.From]] = *e
+			start[e.From]++
+		}
+	}
+	// start[i] is now the end of bucket i.
+	lo := int32(0)
+	for i := 0; i < nn; i++ {
+		hi := start[i]
+		if hi-lo > 1 {
+			slices.SortStableFunc(edges[lo:hi], func(a, c Edge) int {
+				if a.To != c.To {
+					return int(a.To) - int(c.To)
+				}
+				if a.Invert != c.Invert {
+					if a.Invert {
+						return 1
+					}
+					return -1
+				}
+				return 0
+			})
+		}
+		lo = hi
+	}
+	m.Edges = edges
 }
 
 // Build computes the timing edges for the netlist. The netlist must be
@@ -360,13 +416,15 @@ func BuildCtx(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech
 	opt = opt.withDefaults()
 	defer opt.Obs.Span("delay-build").End()
 	m := &Model{Caps: ComputeCaps(nl, p)}
+	m.snapshotNodes(nl)
 	forced := forcedMap(nl, opt)
+	g := newGraph(nl, p, m.Caps, forced, nil)
 	shards := make([]shard, len(st.Stages))
 	todo := make([]int, len(st.Stages))
 	for i := range todo {
 		todo[i] = i
 	}
-	if err := buildShards(ctx, nl, st, p, opt, m.Caps, forced, shards, todo); err != nil {
+	if err := buildShards(ctx, g, st, opt, shards, todo); err != nil {
 		return nil, err
 	}
 	mergeShards(m, shards)
@@ -374,42 +432,129 @@ func BuildCtx(ctx context.Context, nl *netlist.Netlist, st *stage.Result, p tech
 }
 
 type edgeKey struct {
-	from, to           int
+	from, to           int32
 	invert, gateArc    bool
 	maskRise, maskFall uint8
 }
 
 // builder computes edges one stage at a time. Each worker owns one
-// builder: the netlist, stage partition, caps, and forced map are shared
-// read-only; edges, merged, and truncated are reset per stage.
+// builder: the graph snapshot is shared read-only; edges, merged, and
+// truncated are reset per stage. The index-keyed scratch arrays (source
+// memo, DFS visited stamps, path buffers) are sized to the node count and
+// recycled through builderPool across builds, so an incremental rebuild of
+// a handful of stages does not reallocate O(nodes) scratch.
 type builder struct {
-	nl   *netlist.Netlist
-	st   *stage.Result
-	p    tech.Params
-	opt  Options
-	caps []float64 // shared read-only node loading (Model.Caps)
+	g   *graph
+	opt Options
 	// edges and truncated accumulate the current stage's output.
 	edges     []Edge
 	truncated int
 	merged    map[edgeKey]int // key -> index into edges, this stage only
-	// forced maps case-analysis constants: node -> held value.
-	forced map[*netlist.Node]bool
-	// srcMemo caches sourceDelays results: [rise, fall]. Sound across
-	// stages (pass recursion never leaves a channel-connected component)
-	// but owned per worker.
-	srcMemo map[*netlist.Node][2]float64
-	// visiting guards sourceDelays recursion against pass-network
-	// cycles.
-	visiting map[*netlist.Node]bool
+	// Shard buffers are carved from slab so a million small stages cost
+	// dozens of allocations instead of one each. Shards hand their
+	// carved slices to the caller, so the slab is append-only: slabOff
+	// only advances, and a fresh slab replaces a full one.
+	slab    []Edge
+	slabOff int
+
+	// Source-delay memo: srcGen[u] == gen marks srcRise/srcFall[u] valid.
+	// Sound across stages (pass recursion never leaves a channel-connected
+	// component) but owned per worker; gen bumps per build.
+	gen              uint32
+	srcGen           []uint32
+	srcRise, srcFall []float64
+	// visiting guards sourceDelays recursion against pass-network cycles.
+	visiting []bool
+
+	// downstreamCap scratch: epoch-stamped visited array plus DFS stack.
+	epoch uint32
+	seen  []uint32
+	stack []int32
+
+	// gndPaths scratch: on-path marks, the current device path, and the
+	// flattened enumerated paths (pathDev sliced by pathEnd offsets).
+	onPath  []bool
+	cur     []int32
+	pathDev []int32
+	pathEnd []int32
+	steps   int
 }
 
-func newBuilder(nl *netlist.Netlist, st *stage.Result, p tech.Params,
-	opt Options, caps []float64, forced map[*netlist.Node]bool) *builder {
-	return &builder{nl: nl, st: st, p: p, opt: opt, caps: caps,
-		forced:   forced,
-		merged:   make(map[edgeKey]int),
-		srcMemo:  make(map[*netlist.Node][2]float64),
-		visiting: make(map[*netlist.Node]bool)}
+// builderPool recycles builder scratch across buildShards calls so the
+// incremental daemon's frequent small rebuilds stay allocation-light.
+var builderPool sync.Pool
+
+func newBuilder(g *graph, opt Options) *builder {
+	b, _ := builderPool.Get().(*builder)
+	if b == nil {
+		b = &builder{merged: make(map[edgeKey]int)}
+	}
+	b.g, b.opt = g, opt
+	nn := len(g.flags)
+	if cap(b.srcGen) < nn {
+		b.srcGen = make([]uint32, nn)
+		b.srcRise = make([]float64, nn)
+		b.srcFall = make([]float64, nn)
+		b.visiting = make([]bool, nn)
+		b.seen = make([]uint32, nn)
+		b.onPath = make([]bool, nn)
+		b.gen, b.epoch = 0, 0
+	} else {
+		b.srcGen = b.srcGen[:nn]
+		b.srcRise = b.srcRise[:nn]
+		b.srcFall = b.srcFall[:nn]
+		b.visiting = b.visiting[:nn]
+		b.seen = b.seen[:nn]
+		b.onPath = b.onPath[:nn]
+	}
+	b.gen++
+	if b.gen == 0 {
+		clear(b.srcGen)
+		b.gen = 1
+	}
+	return b
+}
+
+// release returns the builder's scratch to the pool. The graph reference
+// is dropped so a pooled builder never pins a netlist snapshot.
+func (b *builder) release() {
+	b.g = nil
+	b.edges = nil
+	// slab and slabOff survive pooling deliberately: earlier slab
+	// regions may be live in the shard cache, so the offset never
+	// rewinds — a pooled builder resumes carving from the unused tail.
+	clear(b.merged)
+	builderPool.Put(b)
+}
+
+// slabEdges is the edge-slab granularity: big enough that a
+// million-stage build allocates dozens of slabs instead of one buffer
+// per stage, small enough that a cached shard pinning its slab wastes
+// little.
+const slabEdges = 1 << 16
+
+// beginShard points b.edges at the slab's unused tail. Appends beyond
+// the tail fall back to a normal reallocation, which finishShard
+// detects.
+func (b *builder) beginShard() {
+	if b.slabOff == len(b.slab) {
+		b.slab = make([]Edge, slabEdges)
+		b.slabOff = 0
+	}
+	b.edges = b.slab[b.slabOff:b.slabOff:len(b.slab)]
+}
+
+// finishShard hands the accumulated edge buffer to the caller, claiming
+// the carved slab region when the buffer still lives there. A shard that
+// outgrew the tail owns its reallocated buffer and the tail stays free
+// for the next shard.
+func (b *builder) finishShard() []Edge {
+	e := b.edges
+	if len(e) > 0 && &e[0] == &b.slab[b.slabOff] {
+		b.slabOff += len(e)
+	}
+	b.edges = nil
+	return e
 }
 
 // sourceDelays returns the worst-case RC delay (rise, fall) in ns from
@@ -421,51 +566,59 @@ func newBuilder(nl *netlist.Netlist, st *stage.Result, p tech.Params,
 // this so that opening a pass transistor charges its load through the
 // real upstream resistance, matching (conservatively) what the
 // switch-level referee computes.
-func (b *builder) sourceDelays(u *netlist.Node) (rise, fall float64) {
-	if v, ok := b.srcMemo[u]; ok {
-		return v[0], v[1]
+func (b *builder) sourceDelays(u int32) (rise, fall float64) {
+	if b.srcGen[u] == b.gen {
+		return b.srcRise[u], b.srcFall[u]
 	}
-	if u.IsSupply() || u.IsClock() || u.Flags.Has(netlist.FlagInput) {
-		b.srcMemo[u] = [2]float64{0, 0}
+	g := b.g
+	if g.flags[u]&(netlist.FlagSupply|netlist.FlagClock|netlist.FlagInput) != 0 {
+		b.srcGen[u] = b.gen
+		b.srcRise[u], b.srcFall[u] = 0, 0
 		return 0, 0
 	}
 	if b.visiting[u] {
 		return Inf, Inf // cycle: no independent source along this branch
 	}
 	b.visiting[u] = true
-	rise, fall = Inf, Inf
 
 	// Own restoring structures.
 	rise = b.staticRiseDelay(u)
-	for _, t := range u.Terms {
-		if t.Role == netlist.RolePullup && t.Kind == netlist.Enh &&
-			!t.Gate.IsSupply() && !b.deviceOff(t) {
-			if d := b.deviceR(t) * b.downstreamCap(u, t); d < rise {
+	fall = Inf
+	for k := g.termStart[u]; k < g.termStart[u+1]; k++ {
+		di := g.termDev[k]
+		if g.role[di] == netlist.RolePullup && g.kind[di] == netlist.Enh &&
+			!g.isSupply(g.dgate[di]) && !g.off[di] {
+			if d := g.rEff[di] * b.downstreamCap(u, di); d < rise {
 				rise = d
 			}
 		}
 	}
-	if paths, _ := b.gndPaths(u); len(paths) > 0 {
+	if np, _ := b.gndPaths(u); np > 0 {
 		fall = 0
-		for _, path := range paths {
-			if d := b.pathFallDelay(u, path); d > fall {
+		start := int32(0)
+		for pi := 0; pi < np; pi++ {
+			end := b.pathEnd[pi]
+			if d := b.pathFallDelay(u, b.pathDev[start:end]); d > fall {
 				fall = d
 			}
+			start = end
 		}
 	}
 
 	// Upstream pass sources: worst case over the alternatives that have
-	// a source at all.
-	for _, t := range u.Terms {
-		if t.Role != netlist.RolePass || b.deviceOff(t) || !t.ConductsToward(u) {
+	// a source at all. (The GND paths above are fully consumed before
+	// this recursion reuses the shared path buffers.)
+	for k := g.termStart[u]; k < g.termStart[u+1]; k++ {
+		di := g.termDev[k]
+		if g.role[di] != netlist.RolePass || g.off[di] || !g.conductsToward(di, u) {
 			continue
 		}
-		w := t.Other(u)
-		if w == nil || w.IsSupply() {
+		w := g.other(di, u)
+		if g.isSupply(w) {
 			continue
 		}
 		wr, wf := b.sourceDelays(w)
-		step := b.deviceR(t) * b.downstreamCap(u, t)
+		step := g.rEff[di] * b.downstreamCap(u, di)
 		if cand := wr + step; !math.IsInf(wr, 1) && (math.IsInf(rise, 1) || cand > rise) {
 			rise = cand
 		}
@@ -474,39 +627,25 @@ func (b *builder) sourceDelays(u *netlist.Node) (rise, fall float64) {
 		}
 	}
 
-	delete(b.visiting, u)
-	b.srcMemo[u] = [2]float64{rise, fall}
+	b.visiting[u] = false
+	b.srcGen[u] = b.gen
+	b.srcRise[u], b.srcFall[u] = rise, fall
 	return rise, fall
-}
-
-// deviceOff reports whether case analysis holds the device permanently
-// non-conducting (an enhancement device gated by a forced-low node).
-func (b *builder) deviceOff(t *netlist.Transistor) bool {
-	if t.Kind != netlist.Enh {
-		return false
-	}
-	v, ok := b.forced[t.Gate]
-	return ok && !v
-}
-
-// isForced reports whether the node is held constant by case analysis.
-func (b *builder) isForced(n *netlist.Node) bool {
-	_, ok := b.forced[n]
-	return ok
 }
 
 // addEdge merges worst-case delays for duplicate (from,to,invert) arcs.
 func (b *builder) addEdge(e Edge) {
-	if e.From == e.To || e.From.IsSupply() {
+	g := b.g
+	if e.From == e.To || g.isSupply(e.From) {
 		return
 	}
-	if b.isForced(e.From) || b.isForced(e.To) {
+	if g.forcedState[e.From] != 0 || g.forcedState[e.To] != 0 {
 		return // constants neither launch nor receive transitions
 	}
 	if math.IsInf(e.DRise, 1) && math.IsInf(e.DFall, 1) {
 		return // an arc that can cause nothing
 	}
-	k := edgeKey{e.From.Index, e.To.Index, e.Invert, e.GateArc, e.MaskRise, e.MaskFall}
+	k := edgeKey{e.From, e.To, e.Invert, e.GateArc, e.MaskRise, e.MaskFall}
 	if i, ok := b.merged[k]; ok {
 		old := &b.edges[i]
 		old.DRise = mergeDelay(old.DRise, e.DRise)
@@ -549,146 +688,150 @@ func DeviceR(t *netlist.Transistor, p tech.Params) float64 {
 	}
 }
 
-func (b *builder) deviceR(t *netlist.Transistor) float64 { return DeviceR(t, b.p) }
-
 // downstreamCap returns the capacitance in pF at node v plus everything
 // reachable onward through conducting pass devices, excluding travel back
-// through device via. Visited tracking makes it safe on cyclic pass
-// structures (each node counted once — the tree-Elmore view).
-func (b *builder) downstreamCap(v *netlist.Node, via *netlist.Transistor) float64 {
-	seen := map[*netlist.Node]bool{v: true}
+// through device via (-1 for none). Epoch-stamped visited tracking makes
+// it safe on cyclic pass structures (each node counted once — the
+// tree-Elmore view) without clearing scratch between calls.
+func (b *builder) downstreamCap(v int32, via int32) float64 {
+	g := b.g
+	b.epoch++
+	if b.epoch == 0 {
+		clear(b.seen)
+		b.epoch = 1
+	}
+	b.seen[v] = b.epoch
 	total := 0.0
-	stack := []*netlist.Node{v}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		total += b.caps[n.Index]
-		for _, t := range n.Terms {
-			if t == via || t.Role != netlist.RolePass || b.deviceOff(t) {
+	b.stack = append(b.stack[:0], v)
+	for len(b.stack) > 0 {
+		n := b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+		total += g.caps[n]
+		for k := g.termStart[n]; k < g.termStart[n+1]; k++ {
+			di := g.termDev[k]
+			if di == via || g.role[di] != netlist.RolePass || g.off[di] {
 				continue
 			}
-			o := t.Other(n)
-			if o == nil || o.IsSupply() || seen[o] {
+			o := g.other(di, n)
+			if g.isSupply(o) || b.seen[o] == b.epoch {
 				continue
 			}
-			if !t.ConductsToward(o) {
+			if !g.conductsToward(di, o) {
 				continue
 			}
-			seen[o] = true
-			stack = append(stack, o)
+			b.seen[o] = b.epoch
+			b.stack = append(b.stack, o)
 		}
 	}
 	return total
 }
 
-// interestingNodes returns the stage nodes whose fall paths are worth
-// enumerating: anything observable (fans out to gates, primary output,
-// storage) or restored (has an attached pullup).
-func interestingNodes(s *stage.Stage) []*netlist.Node {
-	var out []*netlist.Node
-	for _, n := range s.Nodes {
-		if len(n.Gates) > 0 || n.Flags.Has(netlist.FlagOutput) ||
-			n.Flags.Has(netlist.FlagStorage) || hasPullup(n) {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-func hasPullup(n *netlist.Node) bool {
-	for _, t := range n.Terms {
-		if t.Role == netlist.RolePullup {
-			return true
-		}
-	}
-	return false
-}
-
 func (b *builder) stageEdges(s *stage.Stage) {
+	g := b.g
 	// Pass-propagation arcs: for every pass device and every allowed
 	// direction, node-to-node and gate-to-node arcs.
 	for _, t := range s.Trans {
-		if t.Role != netlist.RolePass || b.deviceOff(t) {
+		ti := int32(t.Index)
+		if g.role[ti] != netlist.RolePass || g.off[ti] {
 			continue
 		}
-		dirs := [][2]*netlist.Node{}
-		switch t.Flow {
+		var dirs [2][2]int32
+		nd := 0
+		switch g.flow[ti] {
 		case netlist.FlowAB:
-			dirs = append(dirs, [2]*netlist.Node{t.A, t.B})
+			dirs[0] = [2]int32{g.da[ti], g.db[ti]}
+			nd = 1
 		case netlist.FlowBA:
-			dirs = append(dirs, [2]*netlist.Node{t.B, t.A})
+			dirs[0] = [2]int32{g.db[ti], g.da[ti]}
+			nd = 1
 		default:
-			dirs = append(dirs,
-				[2]*netlist.Node{t.A, t.B},
-				[2]*netlist.Node{t.B, t.A})
+			dirs[0] = [2]int32{g.da[ti], g.db[ti]}
+			dirs[1] = [2]int32{g.db[ti], g.da[ti]}
+			nd = 2
 		}
-		mask := clockMask(t.Gate)
-		for _, d := range dirs {
-			u, v := d[0], d[1]
-			del := b.deviceR(t) * b.downstreamCap(v, t)
+		mask := g.gmask[ti]
+		for k := 0; k < nd; k++ {
+			u, v := dirs[k][0], dirs[k][1]
+			del := g.rEff[ti] * b.downstreamCap(v, ti)
 			b.addEdge(Edge{From: u, To: v, DRise: del, DFall: del,
-				MaskRise: mask, MaskFall: mask, Via: t})
+				MaskRise: mask, MaskFall: mask, Via: g.id[ti]})
 			// The gate opening the device also launches the value,
 			// which must re-establish through the upstream drivers:
 			// their source delay rides on top of this device's step.
 			ur, uf := b.sourceDelays(u)
-			b.addEdge(Edge{From: t.Gate, To: v,
+			b.addEdge(Edge{From: g.dgate[ti], To: v,
 				DRise: ur + del, DFall: uf + del,
-				MaskRise: mask, MaskFall: mask, GateArc: true, Via: t})
+				MaskRise: mask, MaskFall: mask, GateArc: true, Via: g.id[ti]})
 		}
 	}
 
-	// Restoring arcs per interesting node: rise via pullup, fall via
-	// enumerated GND paths. A stage with no GND connection at all (a
-	// pure pass network) has nothing to enumerate.
-	for _, o := range interestingNodes(s) {
+	// Restoring arcs per interesting node — anything observable (fans out
+	// to gates, primary output, storage) or restored (attached pullup):
+	// rise via pullup, fall via enumerated GND paths. A stage with no GND
+	// connection at all (a pure pass network) has nothing to enumerate.
+	for _, n := range s.Nodes {
+		o := int32(n.Index)
+		if g.gateCnt[o] == 0 && g.flags[o]&(netlist.FlagOutput|netlist.FlagStorage) == 0 &&
+			!g.hasPullup[o] {
+			continue
+		}
 		riseD := b.staticRiseDelay(o)
-		var paths [][]*netlist.Transistor
+		np := 0
 		if s.HasPulldown {
 			var truncated bool
-			paths, truncated = b.gndPaths(o)
+			np, truncated = b.gndPaths(o)
 			if truncated {
 				b.truncated++
 			}
 		}
-		for _, path := range paths {
+		start := int32(0)
+		for pi := 0; pi < np; pi++ {
+			end := b.pathEnd[pi]
+			path := b.pathDev[start:end]
+			start = end
 			dfall := b.pathFallDelay(o, path)
 			var pathMask uint8
-			for _, t := range path {
-				pathMask |= clockMask(t.Gate)
+			for _, di := range path {
+				pathMask |= g.gmask[di]
 			}
-			for _, t := range path {
-				if t.Gate.IsSupply() {
+			for _, di := range path {
+				gt := g.dgate[di]
+				if g.isSupply(gt) {
 					continue
 				}
 				b.addEdge(Edge{
-					From:     t.Gate,
+					From:     gt,
 					To:       o,
 					DRise:    riseD,
 					DFall:    dfall,
 					MaskFall: pathMask,
 					Invert:   true,
-					Via:      t,
+					Via:      g.id[di],
 				})
 			}
 		}
 		// Gated enhancement pullups (precharge devices and the like):
 		// a non-inverting rise-only arc from the gating signal.
-		for _, t := range o.Terms {
-			if t.Role != netlist.RolePullup || t.Kind != netlist.Enh || t.Gate.IsSupply() {
+		for k := g.termStart[o]; k < g.termStart[o+1]; k++ {
+			di := g.termDev[k]
+			if g.role[di] != netlist.RolePullup || g.kind[di] != netlist.Enh {
 				continue
 			}
-			if b.deviceOff(t) || b.isForced(t.Gate) {
+			gt := g.dgate[di]
+			if g.isSupply(gt) {
+				continue
+			}
+			if g.off[di] || g.forcedState[gt] != 0 {
 				continue // handled by staticRiseDelay when forced high
 			}
 			b.addEdge(Edge{
-				From:     t.Gate,
+				From:     gt,
 				To:       o,
-				DRise:    b.deviceR(t) * b.downstreamCap(o, t),
+				DRise:    g.rEff[di] * b.downstreamCap(o, di),
 				DFall:    Inf,
-				MaskRise: clockMask(t.Gate),
+				MaskRise: g.gmask[di],
 				GateArc:  true,
-				Via:      t,
+				Via:      g.id[di],
 			})
 		}
 	}
@@ -697,19 +840,21 @@ func (b *builder) stageEdges(s *stage.Stage) {
 // staticRiseDelay computes the rise delay of node o through its always-on
 // pullups (depletion loads, or enhancement devices gated by VDD). Inf if o
 // has no static pullup — dynamic nodes rise only through gated devices.
-func (b *builder) staticRiseDelay(o *netlist.Node) float64 {
+func (b *builder) staticRiseDelay(o int32) float64 {
+	g := b.g
 	d := Inf
-	for _, t := range o.Terms {
-		if t.Role != netlist.RolePullup {
+	for k := g.termStart[o]; k < g.termStart[o+1]; k++ {
+		di := g.termDev[k]
+		if g.role[di] != netlist.RolePullup {
 			continue
 		}
-		forcedHigh, forced := b.forced[t.Gate]
-		alwaysOn := t.Kind == netlist.Dep || t.Gate == b.nl.VDD ||
-			(forced && forcedHigh)
+		gt := g.dgate[di]
+		alwaysOn := g.kind[di] == netlist.Dep || gt == g.vdd ||
+			g.forcedState[gt] == 1
 		if !alwaysOn {
 			continue
 		}
-		if del := b.deviceR(t) * b.downstreamCap(o, t); del < d {
+		if del := g.rEff[di] * b.downstreamCap(o, di); del < d {
 			d = del
 		}
 	}
@@ -718,44 +863,47 @@ func (b *builder) staticRiseDelay(o *netlist.Node) float64 {
 
 // gndPaths enumerates simple conducting paths from node o to GND through
 // enhancement devices, respecting flow direction (steps move away from o).
-// It returns at most MaxPaths paths; if the bound is hit it returns the
-// enumerated prefix plus reports truncation (the caller then still has the
-// worst of the enumerated paths — in practice stages are small and
-// enumeration is exhaustive).
-func (b *builder) gndPaths(o *netlist.Node) (paths [][]*netlist.Transistor, truncated bool) {
-	var cur []*netlist.Transistor
-	steps := 0
-	onPath := map[*netlist.Node]bool{o: true}
-	var dfs func(n *netlist.Node, depth int) bool
-	dfs = func(n *netlist.Node, depth int) bool {
+// Paths are device-index sequences written into the builder's shared flat
+// buffers: path i is b.pathDev[b.pathEnd[i-1]:b.pathEnd[i]] (offset 0 for
+// i == 0), valid until the next gndPaths call. It records at most MaxPaths
+// paths; if the bound is hit it keeps the enumerated prefix plus reports
+// truncation (the caller then still has the worst of the enumerated paths
+// — in practice stages are small and enumeration is exhaustive).
+func (b *builder) gndPaths(o int32) (npaths int, truncated bool) {
+	g := b.g
+	b.cur = b.cur[:0]
+	b.pathDev = b.pathDev[:0]
+	b.pathEnd = b.pathEnd[:0]
+	b.steps = 0
+	b.onPath[o] = true
+	var dfs func(n int32, depth int) bool
+	dfs = func(n int32, depth int) bool {
 		if depth > b.opt.MaxDepth {
 			return true
 		}
-		if steps += len(n.Terms); steps > b.opt.MaxSteps {
+		ts, te := g.termStart[n], g.termStart[n+1]
+		if b.steps += int(te - ts); b.steps > b.opt.MaxSteps {
 			return false
 		}
-		for _, t := range n.Terms {
-			if t.Kind != netlist.Enh || b.deviceOff(t) {
+		for k := ts; k < te; k++ {
+			di := g.termDev[k]
+			if g.kind[di] != netlist.Enh || g.off[di] {
 				continue
 			}
-			if t.Role == netlist.RolePullup {
+			if g.role[di] == netlist.RolePullup {
 				continue
 			}
-			other := t.Other(n)
-			if other == nil {
-				continue
-			}
-			if other == b.nl.GND {
-				path := make([]*netlist.Transistor, len(cur)+1)
-				copy(path, cur)
-				path[len(cur)] = t
-				paths = append(paths, path)
-				if len(paths) >= b.opt.MaxPaths {
+			other := g.other(di, n)
+			if other == g.gnd {
+				b.pathDev = append(b.pathDev, b.cur...)
+				b.pathDev = append(b.pathDev, di)
+				b.pathEnd = append(b.pathEnd, int32(len(b.pathDev)))
+				if len(b.pathEnd) >= b.opt.MaxPaths {
 					return false
 				}
 				continue
 			}
-			if other.IsSupply() || onPath[other] {
+			if g.isSupply(other) || b.onPath[other] {
 				continue
 			}
 			// Never continue *through* a node that has its own pullup
@@ -764,21 +912,21 @@ func (b *builder) gndPaths(o *netlist.Node) (paths [][]*netlist.Transistor, trun
 			// paths — that driver's own fall plus pass propagation
 			// models them. Stack intermediates have no pullup and pass
 			// freely.
-			if hasPullup(other) {
+			if g.hasPullup[other] {
 				continue
 			}
 			// Orientation prunes walking upstream into another driver's
 			// pass network (whose discharge is modeled as that driver
 			// falling and propagating through the pass arc instead). A
 			// device oriented strictly toward n means other is upstream.
-			if t.Role == netlist.RolePass && t.Flow != netlist.FlowBoth && t.ConductsToward(n) {
+			if g.role[di] == netlist.RolePass && g.flow[di] != netlist.FlowBoth && g.conductsToward(di, n) {
 				continue
 			}
-			cur = append(cur, t)
-			onPath[other] = true
+			b.cur = append(b.cur, di)
+			b.onPath[other] = true
 			ok := dfs(other, depth+1)
-			delete(onPath, other)
-			cur = cur[:len(cur)-1]
+			b.onPath[other] = false
+			b.cur = b.cur[:len(b.cur)-1]
 			if !ok {
 				return false
 			}
@@ -786,20 +934,29 @@ func (b *builder) gndPaths(o *netlist.Node) (paths [][]*netlist.Transistor, trun
 		return true
 	}
 	complete := dfs(o, 0)
-	return paths, !complete
+	b.onPath[o] = false
+	return len(b.pathEnd), !complete
 }
 
 // pathFallDelay computes the Elmore discharge delay of node o through the
-// given path (ordered from o toward GND): Σ over path nodes of that node's
-// capacitance times the total resistance between it and GND. Node o itself
-// carries its full downstream load.
-func (b *builder) pathFallDelay(o *netlist.Node, path []*netlist.Transistor) float64 {
+// given path (device indices ordered from o toward GND): Σ over path nodes
+// of that node's capacitance times the total resistance between it and
+// GND. Node o itself carries its full downstream load.
+func (b *builder) pathFallDelay(o int32, path []int32) float64 {
+	g := b.g
 	// Total path resistance first.
 	total := 0.0
-	for _, t := range path {
-		total += b.deviceR(t)
+	for _, di := range path {
+		total += g.rEff[di]
 	}
-	d := total * b.downstreamCapExcludingPath(o, path)
+	via := int32(-1)
+	if len(path) > 0 {
+		// Never traverse the first path device (discharge current leaves
+		// o through it; the load hanging the other way off o still must
+		// discharge through the path).
+		via = path[0]
+	}
+	d := total * b.downstreamCap(o, via)
 	// Intermediate nodes: walk from o; after traversing device i the
 	// remaining resistance to GND shrinks.
 	n := o
@@ -808,24 +965,13 @@ func (b *builder) pathFallDelay(o *netlist.Node, path []*netlist.Transistor) flo
 	if last < 0 {
 		last = 0
 	}
-	for _, t := range path[:last] {
-		remaining -= b.deviceR(t)
-		n = t.Other(n)
-		if n == nil || n.IsSupply() {
+	for _, di := range path[:last] {
+		remaining -= g.rEff[di]
+		n = g.other(di, n)
+		if g.isSupply(n) {
 			break
 		}
-		d += remaining * b.caps[n.Index]
+		d += remaining * g.caps[n]
 	}
 	return d
-}
-
-// downstreamCapExcludingPath is downstreamCap but never traverses the first
-// path device (discharge current leaves o through it; the load hanging the
-// other way off o still must discharge through the path).
-func (b *builder) downstreamCapExcludingPath(o *netlist.Node, path []*netlist.Transistor) float64 {
-	var via *netlist.Transistor
-	if len(path) > 0 {
-		via = path[0]
-	}
-	return b.downstreamCap(o, via)
 }

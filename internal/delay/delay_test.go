@@ -23,7 +23,7 @@ func buildModel(b *gen.B, opt Options) (*netlist.Netlist, *Model) {
 func findEdges(m *Model, from, to *netlist.Node) []Edge {
 	var out []Edge
 	for _, e := range m.Edges {
-		if e.From == from && e.To == to {
+		if int(e.From) == from.Index && int(e.To) == to.Index {
 			out = append(out, e)
 		}
 	}
@@ -132,9 +132,9 @@ func TestPassChainMatchesRCElmore(t *testing.T) {
 
 	// Sum the stepwise pass-arc delays along the chain.
 	total := 0.0
-	cur := in
-	for cur != end {
-		var next *netlist.Node
+	cur := int32(in.Index)
+	for cur != int32(end.Index) {
+		next := int32(-1)
 		var d float64
 		for _, e := range m.Edges {
 			if e.From == cur && !e.Invert && !e.GateArc && e.To != cur {
@@ -143,7 +143,7 @@ func TestPassChainMatchesRCElmore(t *testing.T) {
 				break
 			}
 		}
-		if next == nil {
+		if next < 0 {
 			t.Fatal("chain arc missing")
 		}
 		total += d
@@ -153,18 +153,18 @@ func TestPassChainMatchesRCElmore(t *testing.T) {
 	// Reference: an rc.Tree with the same per-node caps.
 	tree := rc.New(0)
 	parent := 0
-	cur = in
+	curN := in
 	rPass := p.RPassDevice(4, 4)
 	for i := 0; i < k; i++ {
 		// Find the next chain node by walking the netlist.
 		var next *netlist.Node
-		for _, tr := range cur.Terms {
-			if tr.Role == netlist.RolePass && tr.ConductsToward(tr.Other(cur)) {
-				next = tr.Other(cur)
+		for _, tr := range curN.Terms {
+			if tr.Role == netlist.RolePass && tr.ConductsToward(tr.Other(curN)) {
+				next = tr.Other(curN)
 			}
 		}
 		parent = tree.Add(parent, rPass, NodeCap(next, p))
-		cur = next
+		curN = next
 	}
 	want := tree.Elmore(parent)
 	if math.Abs(total-want) > 1e-9 {
@@ -386,7 +386,7 @@ func TestEdgesDeterministic(t *testing.T) {
 	}
 	for i := range a.Edges {
 		ea, eb := a.Edges[i], c.Edges[i]
-		if ea.From.Name != eb.From.Name || ea.To.Name != eb.To.Name ||
+		if ea.From != eb.From || ea.To != eb.To ||
 			ea.DRise != eb.DRise || ea.DFall != eb.DFall {
 			t.Fatalf("edge %d differs between identical builds", i)
 		}

@@ -132,7 +132,10 @@ func Distances(nl *netlist.Netlist) []int {
 	for i := range dist {
 		dist[i] = unreached
 	}
-	var queue []*netlist.Node
+	// Most nodes enter the queue exactly once (re-pushes need a distance
+	// improvement), so one node-sized block absorbs the BFS without
+	// doubling through growth copies.
+	queue := make([]*netlist.Node, 0, len(nl.Nodes))
 	push := func(n *netlist.Node, d int) {
 		if d < dist[n.Index] {
 			dist[n.Index] = d

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"fmt"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// TiledChipConfig parameterizes the million-transistor benchmark: an
+// array of identical datapath tiles under one broadcast control PLA, the
+// structure of a bit-sliced array processor or a multi-lane SIMD unit.
+type TiledChipConfig struct {
+	// TargetTransistors is the device-count floor: tiles are added until
+	// the chip reaches it (always at least one tile).
+	TargetTransistors int
+	// Tile is the per-tile datapath shape.
+	Tile DatapathConfig
+}
+
+// DefaultTiledChip returns the standard tiled configuration for a given
+// device-count target: default datapath tiles (~5k transistors each).
+func DefaultTiledChip(targetTransistors int) TiledChipConfig {
+	return TiledChipConfig{TargetTransistors: targetTransistors, Tile: DefaultDatapath()}
+}
+
+// TiledChip composes the scaling benchmark. Global signals — the two
+// clock phases, the read-port addresses, carry-in, and the opcode-decoded
+// one-hot shift controls from a single PLA — broadcast to every tile;
+// each tile is otherwise an independent copy of the MIPS-like datapath
+// (two register-file read ports, operand latches, ripple-carry ALU,
+// barrel shifter, precharged result bus). Tiles share no channel-
+// connected structure, so stage extraction, delay build, and the
+// wavefront walk all scale linearly in the tile count and parallelize
+// across tiles — which is exactly what the T8 throughput experiment
+// measures.
+func TiledChip(p tech.Params, cfg TiledChipConfig) *netlist.Netlist {
+	tile := cfg.Tile
+	if tile.Bits <= 0 || tile.Words <= 0 || tile.ShiftAmounts <= 0 {
+		panic("gen: TiledChip tile config fields must be positive")
+	}
+	if tile.ShiftAmounts > tile.Bits {
+		tile.ShiftAmounts = tile.Bits
+	}
+	b := New(fmt.Sprintf("tiled%d_r%d", tile.Bits, tile.Words), p)
+	phi1 := b.Clock("phi1", 1)
+	phi2 := b.Clock("phi2", 2)
+
+	// Broadcast read-port addresses.
+	addrBits := 0
+	for 1<<addrBits < tile.Words {
+		addrBits++
+	}
+	addr := func(port string) []*netlist.Node {
+		a := make([]*netlist.Node, addrBits)
+		for i := range a {
+			a[i] = b.Input(fmt.Sprintf("%saddr%d", port, i))
+		}
+		return a
+	}
+	addrA, addrB := addr("a"), addr("b")
+	cin := b.Input("cin")
+
+	// One control PLA decodes the opcode into one-hot shift controls
+	// broadcast to every tile's barrel shifter.
+	opBits := 0
+	for 1<<opBits < tile.ShiftAmounts {
+		opBits++
+	}
+	if opBits == 0 {
+		opBits = 1
+	}
+	opcode := make([]*netlist.Node, opBits)
+	for i := range opcode {
+		opcode[i] = b.Input(fmt.Sprintf("op%d", i))
+	}
+	andPlane := make([][]int, tile.ShiftAmounts)
+	orPlane := make([][]int, tile.ShiftAmounts)
+	for k := 0; k < tile.ShiftAmounts; k++ {
+		row := make([]int, opBits)
+		for i := 0; i < opBits; i++ {
+			if k&(1<<i) != 0 {
+				row[i] = 1
+			} else {
+				row[i] = -1
+			}
+		}
+		andPlane[k] = row
+		orPlane[k] = []int{k}
+	}
+	shiftCtl := b.PLA(opcode, andPlane, orPlane)
+	b.ExclusiveGroup(shiftCtl...)
+
+	for ti := 0; ti == 0 || len(b.NL.Trans) < cfg.TargetTransistors; ti++ {
+		b.datapathTile(ti, tile, phi1, phi2, addrA, addrB, cin, shiftCtl)
+	}
+	return b.Finish()
+}
+
+// datapathTile instantiates one datapath tile: the MIPSDatapath pipeline
+// minus the (shared) control PLA, with outputs named t<ti>_res<i>.
+func (b *B) datapathTile(ti int, cfg DatapathConfig, phi1, phi2 *netlist.Node, addrA, addrB []*netlist.Node, cin *netlist.Node, shiftCtl []*netlist.Node) {
+	makePort := func(addr []*netlist.Node) []*netlist.Node {
+		words := b.Decoder(addr)
+		bitLines, _ := b.registerFileWith(words[:cfg.Words], cfg.Bits, phi2)
+		return bitLines
+	}
+	latchOps := func(bl []*netlist.Node) []*netlist.Node {
+		ops := make([]*netlist.Node, len(bl))
+		for i, n := range bl {
+			_, qbar := b.Latch(phi1, n)
+			ops[i] = b.Inverter(qbar)
+		}
+		return ops
+	}
+	opA := latchOps(makePort(addrA))
+	opB := latchOps(makePort(addrB))
+
+	sums, cout := b.RippleAdder(opA, opB, cin)
+	b.Output(cout)
+
+	shifted := b.BarrelShifter(sums, shiftCtl)
+
+	for i, s := range shifted {
+		dyn := b.PrechargedNode(phi1)
+		dyn.Cap += 0.05
+		b.DischargeBranch(dyn, phi2, s)
+		_, q := b.Latch(phi2, dyn)
+		out := b.Named(fmt.Sprintf("t%d_res%d", ti, i))
+		b.pulldown(q, out)
+		b.pullup(out)
+		b.Output(out)
+	}
+}

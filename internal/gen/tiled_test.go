@@ -1,0 +1,41 @@
+package gen
+
+import (
+	"testing"
+
+	"nmostv/internal/netlist"
+	"nmostv/internal/tech"
+)
+
+// TestTiledChipReachesTarget pins the generator contract: the chip meets
+// the device-count floor, stays within one tile of it, and every tile is
+// a full datapath (outputs present, supplies and clocks shared).
+func TestTiledChipReachesTarget(t *testing.T) {
+	p := tech.Default()
+	one := TiledChip(p, TiledChipConfig{TargetTransistors: 1, Tile: DefaultDatapath()})
+	perTile := len(one.Trans)
+	if perTile < 1000 {
+		t.Fatalf("single tile only %d transistors; tile generator lost structure", perTile)
+	}
+
+	target := 4 * perTile
+	nl := TiledChip(p, TiledChipConfig{TargetTransistors: target, Tile: DefaultDatapath()})
+	if len(nl.Trans) < target {
+		t.Fatalf("chip has %d transistors, want >= %d", len(nl.Trans), target)
+	}
+	if len(nl.Trans) >= target+perTile {
+		t.Fatalf("chip overshot: %d transistors for target %d (tile is %d)",
+			len(nl.Trans), target, perTile)
+	}
+
+	// Shared control, per-tile results.
+	if nl.Lookup("op0") == nil || nl.Lookup("aaddr0") == nil {
+		t.Fatal("broadcast control inputs missing")
+	}
+	for ti := 0; ti < 4; ti++ {
+		res := nl.Lookup("t" + string(rune('0'+ti)) + "_res0")
+		if res == nil || !res.Flags.Has(netlist.FlagOutput) {
+			t.Fatalf("tile %d result output missing", ti)
+		}
+	}
+}

@@ -125,6 +125,13 @@ type Session struct {
 	model   *delay.Model
 	res     *core.Result
 
+	// arena is the session's reusable analysis scratch: the session is
+	// single-writer (admission control serializes Apply/runFull), which is
+	// exactly the one-analysis-at-a-time contract core.Arena requires.
+	// SelfCheck's reference run deliberately does NOT use it, so its
+	// scratch usage cannot perturb the arena-backed production path.
+	arena core.Arena
+
 	applied int
 	last    Stats
 	// cacheHits and cacheMisses accumulate the delay shard-cache totals
@@ -163,6 +170,15 @@ func (s *Session) delayOpt() delay.Options {
 	}
 }
 
+// coreOpt is the session's analysis options with the session arena
+// attached. Only the serialized production analyses use it; concurrent
+// reference runs (SelfCheck) take s.opt.Core verbatim.
+func (s *Session) coreOpt() core.Options {
+	opt := s.opt.Core
+	opt.Arena = &s.arena
+	return opt
+}
+
 // runFull re-derives everything from scratch (but still primes the shard
 // cache for subsequent deltas). Callers hold the write lock, except New.
 // An abort leaves the published model and result untouched: the netlist is
@@ -184,7 +200,7 @@ func (s *Session) runFull(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	res, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.opt.Core)
+	res, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.coreOpt())
 	if err != nil {
 		return Stats{}, err
 	}
@@ -354,7 +370,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 			// The device's stage may vanish entirely (no surviving
 			// device generates arcs into its nodes), so no rebuilt-stage
 			// seed would cover them: seed the old stage's nodes now.
-			if st := s.stages.ByTrans[t]; st != nil {
+			if st := s.stages.ByTrans(t); st != nil {
 				for _, nd := range st.Nodes {
 					seedIdx[nd.Index] = true
 				}
@@ -444,7 +460,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		rollback()
 		return Stats{}, fmt.Errorf("incr: apply: %w", err)
 	}
-	res, dstats, err := core.AnalyzeIncremental(ctx, s.nl, model, s.opt.Sched, s.opt.Core, s.res, seed)
+	res, dstats, err := core.AnalyzeIncremental(ctx, s.nl, model, s.opt.Sched, s.coreOpt(), s.res, seed)
 	if err != nil {
 		rollback()
 		return Stats{}, err
@@ -459,7 +475,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 	}
 	for i, rel := range dstats.Relaxed {
 		if rel {
-			if stg := s.stages.ByNode[s.nl.Nodes[i]]; stg != nil {
+			if stg := s.stages.ByNode(s.nl.Nodes[i]); stg != nil {
 				cone[stg.Index] = true
 			}
 		}

@@ -263,13 +263,32 @@ type Netlist struct {
 	VDD, GND *Node
 
 	byName map[string]*Node
+	byID   map[int64]*Transistor
 	nextID int64
+
+	// Node and Transistor structs are placed in fixed-capacity slab
+	// chunks instead of being allocated one object at a time: a
+	// million-device netlist becomes a few hundred heap objects rather
+	// than millions, which is the difference the garbage collector's
+	// mark phase sees while scanning a live design. Chunks never grow
+	// (growth would move the structs), so handed-out pointers are
+	// stable; a full chunk is simply replaced by a fresh one, kept
+	// alive by the pointers into it.
+	nodeSlab  []Node
+	transSlab []Transistor
 }
+
+// slabChunk is the number of structs per allocation chunk.
+const slabChunk = 4096
 
 // New returns an empty netlist containing only the two supply nodes, named
 // "vdd" and "gnd".
 func New(name string) *Netlist {
-	nl := &Netlist{Name: name, byName: make(map[string]*Node)}
+	nl := &Netlist{
+		Name:   name,
+		byName: make(map[string]*Node),
+		byID:   make(map[int64]*Transistor),
+	}
 	nl.VDD = nl.Node("vdd")
 	nl.VDD.Flags |= FlagSupply
 	nl.GND = nl.Node("gnd")
@@ -296,7 +315,11 @@ func (nl *Netlist) Node(name string) *Node {
 			return nl.GND
 		}
 	}
-	n := &Node{Name: name, Index: len(nl.Nodes)}
+	if len(nl.nodeSlab) == cap(nl.nodeSlab) {
+		nl.nodeSlab = make([]Node, 0, slabChunk)
+	}
+	nl.nodeSlab = append(nl.nodeSlab, Node{Name: name, Index: len(nl.Nodes)})
+	n := &nl.nodeSlab[len(nl.nodeSlab)-1]
 	nl.Nodes = append(nl.Nodes, n)
 	nl.byName[name] = n
 	return n
@@ -311,7 +334,10 @@ func (nl *Netlist) Lookup(name string) *Node {
 // returns it. Role assignment happens in Finalize.
 func (nl *Netlist) AddTransistor(k Kind, gate, a, b *Node, w, l float64) *Transistor {
 	nl.nextID++
-	t := &Transistor{
+	if len(nl.transSlab) == cap(nl.transSlab) {
+		nl.transSlab = make([]Transistor, 0, slabChunk)
+	}
+	nl.transSlab = append(nl.transSlab, Transistor{
 		Index: len(nl.Trans),
 		ID:    nl.nextID,
 		Kind:  k,
@@ -320,8 +346,10 @@ func (nl *Netlist) AddTransistor(k Kind, gate, a, b *Node, w, l float64) *Transi
 		B:     b,
 		W:     w,
 		L:     l,
-	}
+	})
+	t := &nl.transSlab[len(nl.transSlab)-1]
 	nl.Trans = append(nl.Trans, t)
+	nl.byID[t.ID] = t
 	return t
 }
 
@@ -340,6 +368,7 @@ func (nl *Netlist) RemoveTransistor(t *Transistor) bool {
 		nl.Trans[j].Index = j
 	}
 	t.Index = -1
+	delete(nl.byID, t.ID)
 	return true
 }
 
@@ -362,6 +391,7 @@ func (nl *Netlist) RestoreTransistor(t *Transistor, at int) {
 	for j := at; j < len(nl.Trans); j++ {
 		nl.Trans[j].Index = j
 	}
+	nl.byID[t.ID] = t
 }
 
 // TruncateNodes discards every node with Index >= n, unwinding node
@@ -381,15 +411,12 @@ func (nl *Netlist) TruncateNodes(n int) {
 	nl.Nodes = nl.Nodes[:n]
 }
 
-// TransByID returns the device with the given stable ID, or nil. Linear
-// scan: callers that address devices repeatedly should keep their own map.
+// TransByID returns the device with the given stable ID, or nil. Backed
+// by a map maintained across adds, removes, and restores: timing-arc
+// reporting resolves representative devices by stable ID on every path
+// query, so this must be O(1).
 func (nl *Netlist) TransByID(id int64) *Transistor {
-	for _, t := range nl.Trans {
-		if t.ID == id {
-			return t
-		}
-	}
-	return nil
+	return nl.byID[id]
 }
 
 // Finalize computes derived structure: per-node device lists and per-device

@@ -210,12 +210,12 @@ func (s *Sim) wakeNode(idx int) {
 	n := s.nl.Nodes[idx]
 	seen := map[*stage.Stage]bool{}
 	for _, t := range n.Gates {
-		if st := s.st.ByTrans[t]; st != nil && !seen[st] {
+		if st := s.st.ByTrans(t); st != nil && !seen[st] {
 			seen[st] = true
 			s.evalStage(st)
 		}
 	}
-	if st := s.st.ByNode[n]; st != nil && !seen[st] {
+	if st := s.st.ByNode(n); st != nil && !seen[st] {
 		s.evalStage(st)
 	}
 }

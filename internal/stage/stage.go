@@ -10,6 +10,7 @@ package stage
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"nmostv/internal/netlist"
@@ -48,29 +49,59 @@ func (s *Stage) String() string {
 type Result struct {
 	// Stages lists every stage.
 	Stages []*Stage
-	// ByNode maps each non-supply channel node to its (unique) stage.
-	// Nodes that touch no transistor channel are absent.
-	ByNode map[*netlist.Node]*Stage
-	// ByTrans maps each transistor to its stage.
-	ByTrans map[*netlist.Transistor]*Stage
+	// NodeStage maps each node index to the index of its (unique) owning
+	// stage, -1 for supplies and nodes that touch no transistor channel.
+	NodeStage []int32
+	// TransStage maps each transistor index to its stage's index.
+	TransStage []int32
+}
+
+// ByNode returns the stage owning node n's channel, nil if none (supplies
+// and nodes that touch no transistor channel).
+func (r *Result) ByNode(n *netlist.Node) *Stage {
+	if n == nil || n.Index >= len(r.NodeStage) {
+		return nil
+	}
+	si := r.NodeStage[n.Index]
+	if si < 0 {
+		return nil
+	}
+	return r.Stages[si]
+}
+
+// ByTrans returns the stage of transistor t, nil if t is not a member of
+// the partitioned netlist.
+func (r *Result) ByTrans(t *netlist.Transistor) *Stage {
+	if t == nil || t.Index < 0 || t.Index >= len(r.TransStage) {
+		return nil
+	}
+	return r.Stages[r.TransStage[t.Index]]
 }
 
 // Extract partitions the netlist. Finalize must have been called.
+//
+// The union-find runs over device indices with a single pass over the
+// device array (firstDev remembers the first device seen on each channel
+// node), so partitioning never walks the per-node Node.Terms pointer
+// slices. Roots keep the smallest member index, which makes the first
+// occurrence order of roots in device order identical to sorted root
+// order — stages come out numbered exactly as the map-and-sort
+// implementation this replaces produced them.
 func Extract(nl *netlist.Netlist) *Result {
-	n := len(nl.Trans)
-	parent := make([]int, n)
+	nt := len(nl.Trans)
+	nn := len(nl.Nodes)
+	parent := make([]int32, nt)
 	for i := range parent {
-		parent[i] = i
+		parent[i] = int32(i)
 	}
-	var find func(int) int
-	find = func(x int) int {
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b int) {
+	union := func(a, b int32) {
 		ra, rb := find(a), find(b)
 		if ra != rb {
 			if ra > rb {
@@ -80,67 +111,139 @@ func Extract(nl *netlist.Netlist) *Result {
 		}
 	}
 
-	for _, node := range nl.Nodes {
-		if node.IsSupply() || len(node.Terms) < 2 {
-			continue
-		}
-		first := node.Terms[0].Index
-		for _, t := range node.Terms[1:] {
-			union(first, t.Index)
+	firstDev := make([]int32, nn)
+	for i := range firstDev {
+		firstDev[i] = -1
+	}
+	for i, t := range nl.Trans {
+		for _, term := range [2]*netlist.Node{t.A, t.B} {
+			if term.IsSupply() {
+				continue
+			}
+			if v := term.Index; firstDev[v] < 0 {
+				firstDev[v] = int32(i)
+			} else {
+				union(firstDev[v], int32(i))
+			}
 		}
 	}
-
-	// Path-compress fully so roots are final before grouping.
-	groups := make(map[int][]*netlist.Transistor)
-	var roots []int
-	for _, t := range nl.Trans {
-		r := find(t.Index)
-		if _, ok := groups[r]; !ok {
-			roots = append(roots, r)
-		}
-		groups[r] = append(groups[r], t)
-	}
-	sort.Ints(roots)
 
 	res := &Result{
-		ByNode:  make(map[*netlist.Node]*Stage),
-		ByTrans: make(map[*netlist.Transistor]*Stage),
+		NodeStage:  make([]int32, nn),
+		TransStage: make([]int32, nt),
 	}
-	for _, r := range roots {
-		s := &Stage{Index: len(res.Stages), Trans: groups[r]}
-		nodeSet := make(map[*netlist.Node]bool)
-		gateSet := make(map[*netlist.Node]bool)
-		for _, t := range s.Trans {
-			res.ByTrans[t] = s
-			for _, term := range []*netlist.Node{t.A, t.B} {
-				if term.IsSupply() {
-					if term.Name == "vdd" {
-						s.HasPullup = true
-					} else {
-						s.HasPulldown = true
-					}
-					continue
-				}
-				if !nodeSet[term] {
-					nodeSet[term] = true
-					s.Nodes = append(s.Nodes, term)
-					res.ByNode[term] = s
-				}
+	for i := range res.NodeStage {
+		res.NodeStage[i] = -1
+	}
+	// stageOf maps a component root to its stage index; gateMark dedupes
+	// gate inputs per stage (a node may gate devices in many stages).
+	stageOf := make([]int32, nt)
+	for i := range stageOf {
+		stageOf[i] = -1
+	}
+	gateMark := make([]int32, nn)
+	for i := range gateMark {
+		gateMark[i] = -1
+	}
+
+	// Pass 1: number the stages (first-device order, exactly as the
+	// incremental append version did) and size every per-stage member
+	// list, so pass 2 fills exact flat arrays — a handful of block
+	// allocations instead of three growing slices per stage.
+	var devCnt, nodeCnt, gateCnt []int32
+	for i, t := range nl.Trans {
+		r := find(int32(i))
+		si := stageOf[r]
+		if si < 0 {
+			si = int32(len(devCnt))
+			stageOf[r] = si
+			devCnt = append(devCnt, 0)
+			nodeCnt = append(nodeCnt, 0)
+			gateCnt = append(gateCnt, 0)
+		}
+		res.TransStage[i] = si
+		devCnt[si]++
+		for _, term := range [2]*netlist.Node{t.A, t.B} {
+			if term.IsSupply() {
+				continue
 			}
-			if !t.Gate.IsSupply() && !gateSet[t.Gate] {
-				gateSet[t.Gate] = true
-				s.GateInputs = append(s.GateInputs, t.Gate)
+			if res.NodeStage[term.Index] != si {
+				res.NodeStage[term.Index] = si
+				nodeCnt[si]++
 			}
 		}
+		if !t.Gate.IsSupply() && gateMark[t.Gate.Index] != si {
+			gateMark[t.Gate.Index] = si
+			gateCnt[si]++
+		}
+	}
+
+	nc := int32(len(devCnt))
+	stageSlab := make([]Stage, nc)
+	res.Stages = make([]*Stage, nc)
+	totNodes, totGates := int32(0), int32(0)
+	for si := int32(0); si < nc; si++ {
+		totNodes += nodeCnt[si]
+		totGates += gateCnt[si]
+	}
+	transFlat := make([]*netlist.Transistor, nt)
+	nodesFlat := make([]*netlist.Node, totNodes)
+	gatesFlat := make([]*netlist.Node, totGates)
+	var tp, np, gp int32
+	for si := int32(0); si < nc; si++ {
+		s := &stageSlab[si]
+		s.Index = int(si)
+		s.Trans = transFlat[tp:tp:tp+devCnt[si]]
+		tp += devCnt[si]
+		s.Nodes = nodesFlat[np:np:np+nodeCnt[si]]
+		np += nodeCnt[si]
+		s.GateInputs = gatesFlat[gp:gp:gp+gateCnt[si]]
+		gp += gateCnt[si]
+		res.Stages[si] = s
+	}
+
+	// Pass 2: fill. NodeStage already holds the final assignment, so node
+	// dedup re-marks gateMark-style with an offset (si+nc is disjoint
+	// from every pass-1 value); the appends land inside the carved flat
+	// regions.
+	nodeMark := make([]int32, nn)
+	for i := range nodeMark {
+		nodeMark[i] = -1
+	}
+	for i, t := range nl.Trans {
+		si := res.TransStage[i]
+		s := res.Stages[si]
+		s.Trans = append(s.Trans, t)
+		for _, term := range [2]*netlist.Node{t.A, t.B} {
+			if term.IsSupply() {
+				if term == nl.VDD {
+					s.HasPullup = true
+				} else {
+					s.HasPulldown = true
+				}
+				continue
+			}
+			if nodeMark[term.Index] != si {
+				nodeMark[term.Index] = si
+				s.Nodes = append(s.Nodes, term)
+			}
+		}
+		if !t.Gate.IsSupply() && gateMark[t.Gate.Index] != si+nc {
+			gateMark[t.Gate.Index] = si + nc
+			s.GateInputs = append(s.GateInputs, t.Gate)
+		}
+	}
+	for _, s := range res.Stages {
 		sortNodes(s.Nodes)
 		sortNodes(s.GateInputs)
-		res.Stages = append(res.Stages, s)
 	}
 	return res
 }
 
 func sortNodes(nodes []*netlist.Node) {
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
+	// Generic, non-reflective sort: this runs once per stage, and a
+	// million-device design has hundreds of thousands of stages.
+	slices.SortFunc(nodes, func(a, b *netlist.Node) int { return a.Index - b.Index })
 }
 
 // Fingerprint hashes everything the delay model reads from this stage:
@@ -220,12 +323,20 @@ func (h *fnv64) word(w uint64) {
 // FanoutStages returns the stages that node n feeds as a gate input, in
 // stage index order without duplicates.
 func (r *Result) FanoutStages(n *netlist.Node) []*Stage {
-	seen := make(map[*Stage]bool)
 	var out []*Stage
 	for _, t := range n.Gates {
-		s := r.ByTrans[t]
-		if s != nil && !seen[s] {
-			seen[s] = true
+		s := r.ByTrans(t)
+		if s == nil {
+			continue
+		}
+		dup := false
+		for _, x := range out {
+			if x == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, s)
 		}
 	}

@@ -26,7 +26,7 @@ func TestInverterIsOneStage(t *testing.T) {
 	if !s.IsRestoring() {
 		t.Error("inverter stage must be restoring")
 	}
-	if r.ByNode[out] != s {
+	if r.ByNode(out) != s {
 		t.Error("output node must map to the stage")
 	}
 	if len(s.GateInputs) != 2 { // "in" gates the pulldown, "out" gates its own load
@@ -133,7 +133,7 @@ func TestPartitionProperty(t *testing.T) {
 				seenTrans[tr] = si
 			}
 			for _, n := range s.Nodes {
-				if n.IsSupply() || r.ByNode[n] != s {
+				if n.IsSupply() || r.ByNode(n) != s {
 					return false
 				}
 			}
@@ -142,7 +142,7 @@ func TestPartitionProperty(t *testing.T) {
 			return false
 		}
 		for _, tr := range nl.Trans {
-			if r.ByTrans[tr] == nil {
+			if r.ByTrans(tr) == nil {
 				return false
 			}
 		}
@@ -152,9 +152,9 @@ func TestPartitionProperty(t *testing.T) {
 			if n.IsSupply() || len(n.Terms) < 2 {
 				continue
 			}
-			first := r.ByTrans[n.Terms[0]]
+			first := r.ByTrans(n.Terms[0])
 			for _, tr := range n.Terms[1:] {
-				if r.ByTrans[tr] != first {
+				if r.ByTrans(tr) != first {
 					return false
 				}
 			}
