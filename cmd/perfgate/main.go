@@ -14,6 +14,14 @@
 //
 // Usage:
 //
+// When the baseline carries a corner_target_transistors entry, the gate
+// also measures the 3-corner MCMM sweep at that size (bench T9) and
+// fails unless the sweep's per-corner throughput clears corner_ratio_floor
+// times the single-corner rate, its live heap stays under the T9 memory
+// ceiling, and its outputs match independent per-corner runs bit for bit.
+//
+// Usage:
+//
 //	perfgate                      # gate against testdata/perf_baseline.json
 //	perfgate -tol 0.30            # allowed fractional regression
 //	perfgate -out BENCH_T5.json   # also persist the measurement as JSON
@@ -32,7 +40,12 @@ type baseline struct {
 	Target      int     `json:"target_transistors"`
 	Workers     int     `json:"workers"`
 	TransPerSec float64 `json:"transistors_per_sec"`
-	Note        string  `json:"note,omitempty"`
+	// CornerTarget, when positive, adds the multi-corner gate: a 3-corner
+	// sweep at this size must keep per-corner throughput at or above
+	// CornerRatioFloor × the single-corner rate (0 = the T9 default).
+	CornerTarget     int     `json:"corner_target_transistors,omitempty"`
+	CornerRatioFloor float64 `json:"corner_ratio_floor,omitempty"`
+	Note             string  `json:"note,omitempty"`
 }
 
 type gateResult struct {
@@ -41,6 +54,10 @@ type gateResult struct {
 	Floor      float64        `json:"floor_trans_per_sec"`
 	Pass       bool           `json:"pass"`
 	Sample     bench.T8Sample `json:"sample"`
+	// CornerFloor and CornerSample are present when the baseline enables
+	// the multi-corner gate.
+	CornerFloor  float64         `json:"corner_ratio_floor,omitempty"`
+	CornerSample *bench.T9Sample `json:"corner_sample,omitempty"`
 }
 
 func main() {
@@ -73,8 +90,25 @@ func main() {
 	fmt.Printf("perfgate: baseline %.0f trans/s, tolerance %.0f%% -> floor %.0f trans/s\n",
 		b.TransPerSec, *tol*100, floor)
 
+	var cornerSample *bench.T9Sample
+	cornerFloor := b.CornerRatioFloor
+	cornerPass := true
+	if b.CornerTarget > 0 {
+		if cornerFloor <= 0 {
+			cornerFloor = bench.T9ThroughputFloor
+		}
+		cs := bench.MeasureCornerSweep(b.CornerTarget, b.Workers)
+		cornerSample = &cs
+		cornerPass = cs.BitIdentical && cs.PerCornerRatio >= cornerFloor &&
+			cs.MemRatio < bench.T9MemCeiling
+		fmt.Printf("perfgate: %d-corner sweep at %d transistors: %.2f× per-corner throughput (floor %.2f), %.2f× memory (ceiling %.2g), bit-identical %v\n",
+			cs.Corners, cs.Transistors, cs.PerCornerRatio, cornerFloor, cs.MemRatio, bench.T9MemCeiling, cs.BitIdentical)
+	}
+
 	if *out != "" {
-		res := gateResult{Experiment: "perf-smoke", Baseline: b, Floor: floor, Pass: pass, Sample: sample}
+		res := gateResult{Experiment: "perf-smoke", Baseline: b, Floor: floor,
+			Pass: pass && cornerPass, Sample: sample,
+			CornerFloor: cornerFloor, CornerSample: cornerSample}
 		blob, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perfgate: marshal: %v\n", err)
@@ -89,6 +123,10 @@ func main() {
 
 	if !pass {
 		fmt.Fprintf(os.Stderr, "perfgate: FAIL — throughput regressed more than %.0f%% below baseline\n", *tol*100)
+		os.Exit(1)
+	}
+	if !cornerPass {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL — multi-corner sweep missed its throughput, memory, or bit-identity budget\n")
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: PASS")

@@ -14,6 +14,12 @@
 //	-noflow         disable signal-flow analysis (pessimistic)
 //	-nodes          print per-node settle times
 //	-checks n       print the n worst checks (default 10)
+//	-slack n        print the n worst-slack transitions (default 10,
+//	                0 disables); slack = required − arrival per node
+//	-corners list   multi-corner (MCMM) sweep: comma-separated builtin
+//	                names (slow, typ, fast) or name:rscale:cscale
+//	                derates; prints per-corner summaries and the merged
+//	                worst-slack-per-node report
 //	-input name=t   input arrival override, repeatable
 //	-sethigh a,b    nodes held high for case analysis
 //	-setlow a,b     nodes held low for case analysis
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -74,6 +81,8 @@ func main() {
 	noFlow := flag.Bool("noflow", false, "disable signal-flow analysis")
 	nodes := flag.Bool("nodes", false, "print per-node settle times")
 	nChecks := flag.Int("checks", 10, "number of worst checks to print")
+	nSlack := flag.Int("slack", 10, "number of worst-slack transitions to print (0 = none)")
+	cornerSpec := flag.String("corners", "", "comma-separated PVT corners for a multi-corner sweep")
 	runERC := flag.Bool("erc", false, "run electrical rule checks")
 	runCharge := flag.Bool("charge", false, "run charge-sharing analysis")
 	setHigh := flag.String("sethigh", "", "comma-separated nodes held high (case analysis)")
@@ -234,6 +243,31 @@ func main() {
 	fmt.Println("critical path:")
 	fmt.Print(nmostv.FormatPath(res.CriticalPath()))
 
+	if *nSlack > 0 {
+		req, err := res.Required(context.Background(), opt)
+		if err != nil {
+			fatal(err)
+		}
+		rows := slackRows(res.SlackRanking(req, *nSlack), "")
+		if len(rows) > 0 {
+			fmt.Println()
+			fmt.Print(report.SlackTable("worst slack (required − arrival):", rows).String())
+		}
+	}
+
+	cornerFail := false
+	if *cornerSpec != "" {
+		corners, err := nmostv.ParseCorners(*cornerSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sw, err := d.AnalyzeCorners(res.Sched, corners, opt)
+		if err != nil {
+			fatal(err)
+		}
+		cornerFail = printCorners(sw, *nSlack)
+	}
+
 	ruleFail := false
 	if *runERC {
 		fmt.Println()
@@ -268,9 +302,57 @@ func main() {
 	}
 
 	finish()
-	if len(viol) > 0 || ruleFail {
+	if len(viol) > 0 || ruleFail || cornerFail {
 		os.Exit(1)
 	}
+}
+
+// slackRows converts a core slack ranking to report rows, tagging each
+// with the given corner name ("" for single-corner output).
+func slackRows(ranked []nmostv.SlackEntry, corner string) []report.SlackRow {
+	rows := make([]report.SlackRow, len(ranked))
+	for i, e := range ranked {
+		rows[i] = report.SlackRow{
+			Node: e.Node.Name, Corner: corner, Pol: e.Pol.String(),
+			Arrival: e.Arrival, Required: e.Required, Slack: e.Slack,
+		}
+	}
+	return rows
+}
+
+// printCorners renders the multi-corner section: one summary line per
+// corner, then the merged worst-slack-per-node ranking with the corner
+// that set each row. Returns whether any corner has violations.
+func printCorners(sw *nmostv.CornerSweep, nSlack int) (fail bool) {
+	fmt.Println()
+	sum := report.NewTable("corner summary:", "corner", "r-scale", "c-scale", "worst slack (ns)", "violations")
+	for _, cr := range sw.Corners {
+		worst := "+inf"
+		if sl, ok := cr.Res.MinSlack(); ok {
+			worst = report.SignedSlack(sl)
+		}
+		viol := len(cr.Res.Violations())
+		if viol > 0 {
+			fail = true
+		}
+		sum.Add(cr.Corner.Name, cr.Corner.RScale, cr.Corner.CScale, worst, viol)
+	}
+	fmt.Print(sum.String())
+
+	if nSlack > 0 {
+		var rows []report.SlackRow
+		for _, e := range sw.Ranking(nSlack) {
+			rows = append(rows, report.SlackRow{
+				Node: e.Node.Name, Corner: e.Corner, Pol: e.Pol.String(),
+				Arrival: e.Arrival, Required: e.Required, Slack: e.Slack,
+			})
+		}
+		if len(rows) > 0 {
+			fmt.Println()
+			fmt.Print(report.SlackTable("merged worst slack per node (all corners):", rows).String())
+		}
+	}
+	return fail
 }
 
 func printSettles(res *nmostv.Result) {

@@ -10,6 +10,11 @@
 //	-addr host:port  listen address (default :8077)
 //	-period ns       clock period (default 1000)
 //	-active frac     per-phase active fraction (default 0.8)
+//	-corners list    analyze every design at these PVT corners alongside
+//	                 the base process: comma-separated builtin names
+//	                 (slow, typ, fast) or name:rscale:cscale derates;
+//	                 enables per-corner /slack, /critical?corner=, and
+//	                 the /corners route
 //	-preload f.sim   load a design at startup, repeatable; the design
 //	                 name is the file basename without extension
 //	-j n             worker goroutines for model build and propagation
@@ -113,6 +118,7 @@ func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	period := flag.Float64("period", 1000, "clock period in ns")
 	active := flag.Float64("active", 0.8, "per-phase active fraction")
+	cornerSpec := flag.String("corners", "", "comma-separated PVT corners to analyze alongside the base process")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent analysis requests before shedding with 503 (0 = default, negative disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline on analysis routes (0 = default, negative disables)")
@@ -140,11 +146,16 @@ func main() {
 	if err := armFaultPoints(logger); err != nil {
 		logger.Fatalf("fault points: %v", err)
 	}
+	corners, err := tech.ParseCorners(*cornerSpec)
+	if err != nil {
+		logger.Fatalf("-corners: %v", err)
+	}
 	o := obs.NewObs()
 	cfg := server.Config{
 		Params:         tech.Default(),
 		Sched:          clocks.TwoPhase(*period, *active),
 		Workers:        *jobs,
+		Corners:        corners,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxDesigns:     *maxDesigns,

@@ -65,6 +65,11 @@ type Options struct {
 	// analysis at a time) to make repeated AnalyzeIncremental calls
 	// allocation-stable; nil allocates fresh scratch per call.
 	Arena *Arena
+	// Plan supplies a precomputed propagation plan to share across
+	// analyses of structurally identical models — the per-corner models
+	// delay.ScaleModel derives from one base. Ignored when it does not
+	// match the model's node/arc counts; nil computes a fresh plan.
+	Plan *Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -278,7 +283,11 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, model *delay.Model, sched
 	a.initMetrics()
 	defer opt.Obs.Span("analyze").End()
 	sp := opt.Obs.Span("wave-plan")
-	a.wave = newWaveSchedule(n, model, a.arena)
+	if opt.Plan.fits(n, len(model.Edges)) {
+		a.wave = opt.Plan.ws
+	} else {
+		a.wave = newWaveSchedule(n, model, a.arena)
+	}
 	sp.End()
 	sp = opt.Obs.Span("sources+storage")
 	a.initSources()

@@ -84,6 +84,13 @@ func AnalyzeIncremental(ctx context.Context, nl *netlist.Netlist, model *delay.M
 	if model == prev.Model && n == len(prev.wave.compOf) {
 		r.wave = prev.wave
 		stats.ReusedWave = true
+	} else if opt.Plan.fits(n, len(model.Edges)) {
+		// A shared per-corner plan: the model was rebuilt (new edge
+		// indices) but its structure matches the supplied plan, so the
+		// plan is reused and only the predecessor records remap.
+		r.wave = opt.Plan.ws
+		stats.ReusedWave = true
+		remapPreds(r, prev)
 	} else {
 		r.wave = newWaveSchedule(n, model, a.arena)
 		remapPreds(r, prev)

@@ -147,75 +147,127 @@ const minParallelLevel = 8
 const abortStride = 64
 
 func (a *analysis) forEachComp(fn func(ci int32)) {
-	tr := a.opt.Obs.Tracer()
 	for li, lvl := range a.wave.levels {
-		if !a.checkpoint() {
+		if !a.runLevel(li, lvl, fn) {
 			return
 		}
-		a.mLevels.Inc()
-		a.mComps.Add(int64(len(lvl)))
-		var lsp *obs.Span
-		if tr != nil {
-			lsp = tr.Start(fmt.Sprintf("level %d (%d comps)", li, len(lvl)))
+	}
+}
+
+// forEachCompReverse runs fn over every component in reverse wavefront
+// order — highest level first — with the same per-level barrier and
+// parallelism as forEachComp. Every arc between two components crosses
+// levels forward, so by the time fn sees a component, everything
+// reachable through its outgoing arcs is final: the order the backward
+// (required-time) pass needs.
+func (a *analysis) forEachCompReverse(fn func(ci int32)) {
+	for li := len(a.wave.levels) - 1; li >= 0; li-- {
+		if !a.runLevel(li, a.wave.levels[li], fn) {
+			return
 		}
-		workers := a.opt.Workers
-		if workers > len(lvl) {
-			workers = len(lvl)
-		}
-		if workers <= 1 || len(lvl) < minParallelLevel {
-			for k, ci := range lvl {
-				if a.stopped.Load() {
+	}
+}
+
+// runLevel relaxes one wavefront level, serially or fanned out, and
+// reports whether the walk should continue (false = aborted).
+func (a *analysis) runLevel(li int, lvl []int32, fn func(ci int32)) bool {
+	tr := a.opt.Obs.Tracer()
+	if !a.checkpoint() {
+		return false
+	}
+	a.mLevels.Inc()
+	a.mComps.Add(int64(len(lvl)))
+	var lsp *obs.Span
+	if tr != nil {
+		lsp = tr.Start(fmt.Sprintf("level %d (%d comps)", li, len(lvl)))
+	}
+	workers := a.opt.Workers
+	if workers > len(lvl) {
+		workers = len(lvl)
+	}
+	if workers <= 1 || len(lvl) < minParallelLevel {
+		for k, ci := range lvl {
+			if a.stopped.Load() {
+				break
+			}
+			if k%abortStride == abortStride-1 {
+				if err := a.ctx.Err(); err != nil {
+					a.abort(err)
 					break
+				}
+			}
+			fn(ci)
+		}
+		lsp.End()
+		return !a.stopped.Load()
+	}
+	// The loop variables are passed as arguments, not captured: a
+	// captured per-iteration variable would be heap-allocated every
+	// level even when this parallel path is never taken, breaking the
+	// zero-alloc guarantee of the serial walk.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w, li int, lvl []int32) {
+			defer wg.Done()
+			var wsp *obs.Span
+			if tr != nil {
+				wsp = tr.StartTID(fmt.Sprintf("level %d worker", li), int64(w+1))
+			}
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(lvl) || a.stopped.Load() {
+					wsp.End()
+					return
 				}
 				if k%abortStride == abortStride-1 {
 					if err := a.ctx.Err(); err != nil {
 						a.abort(err)
-						break
 					}
 				}
-				fn(ci)
+				fn(lvl[k])
 			}
-			lsp.End()
-			if a.stopped.Load() {
-				return
-			}
-			continue
-		}
-		// The loop variables are passed as arguments, not captured: a
-		// captured per-iteration variable would be heap-allocated every
-		// level even when this parallel path is never taken, breaking the
-		// zero-alloc guarantee of the serial walk.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w, li int, lvl []int32) {
-				defer wg.Done()
-				var wsp *obs.Span
-				if tr != nil {
-					wsp = tr.StartTID(fmt.Sprintf("level %d worker", li), int64(w+1))
-				}
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(lvl) || a.stopped.Load() {
-						wsp.End()
-						return
-					}
-					if k%abortStride == abortStride-1 {
-						if err := a.ctx.Err(); err != nil {
-							a.abort(err)
-						}
-					}
-					fn(lvl[k])
-				}
-			}(w, li, lvl)
-		}
-		wg.Wait()
-		lsp.End()
-		if a.stopped.Load() {
-			return
-		}
+		}(w, li, lvl)
 	}
+	wg.Wait()
+	lsp.End()
+	return !a.stopped.Load()
+}
+
+// Plan is an opaque shareable handle to a propagation plan (adjacency,
+// SCC condensation, levelization). The plan depends only on a model's
+// edge *structure* — arc endpoints and which delays are infinite are what
+// shape adjacency and reachability — so analyses of models derived by
+// delay.ScaleModel (same arcs, delays uniformly rescaled) can share one
+// plan instead of recomputing it per corner: pass it via Options.Plan.
+// The plan is read-only during propagation and safe for concurrent
+// analyses.
+type Plan struct {
+	ws *waveSchedule
+}
+
+// fits reports whether the plan matches a model with n nodes and m arcs;
+// deeper structural identity (same endpoints per arc index) is the
+// caller's contract — delay.ScaleModel guarantees it.
+func (p *Plan) fits(n, m int) bool {
+	return p != nil && p.ws != nil && len(p.ws.compOf) == n && len(p.ws.outEdge) == m
+}
+
+// Plan returns the completed analysis's propagation plan for reuse by
+// analyses of structurally identical models (per-corner scaled models).
+func (r *Result) Plan() *Plan {
+	if r.wave == nil {
+		return nil
+	}
+	return &Plan{ws: r.wave}
+}
+
+// NewPlan computes a propagation plan for a model without running an
+// analysis. The corner sweep builds the plan once up front so every
+// corner — including the first — analyzes against the shared plan.
+func NewPlan(n int, m *delay.Model) *Plan {
+	return &Plan{ws: newWaveSchedule(n, m, &Arena{})}
 }
 
 // propagate computes the longest-path fixpoint of arrival times. The arc

@@ -1,0 +1,359 @@
+package core
+
+// The backward pass. The forward passes answer "when does each node
+// settle"; this file answers the dual question — "when must it have
+// settled" — by seeding required arrival times (RATs) from the same
+// clock-edge constraints runChecks verifies and propagating them against
+// the arc direction in reverse wavefront order. slack = RAT − AT per node
+// and polarity then localizes every endpoint constraint onto the nodes of
+// the paths feeding it: a negative slack names exactly the nodes that
+// must speed up, and the slack-ordered ranking replaces a flat
+// latest-arrival report with one sorted by how close each node runs to
+// its deadline.
+//
+// Seeds mirror runChecks arc for arc:
+//
+//   - a masked arc (through a clock-gated device) requires its cause to
+//     launch early enough that cause + delay meets the governing clock's
+//     fall: RAT(From, causePol) ≤ deadline − d, with the same φ1
+//     wraparound rule runChecks applies to storage writes across the
+//     cycle boundary; a cause that already missed the window entirely is
+//     held to the window itself (slack then equals the missed-window
+//     check's deadline − cause);
+//   - a primary output requires both of its transitions inside the cycle:
+//     RAT ≤ Period.
+//
+// Propagation is the min-plus dual of the forward max-plus relaxation:
+// RAT(From, causePol) ≤ RAT(To, pol) − d over every arc that transmits in
+// the forward pass — the same storage filter (data arcs into clocked
+// storage are checks, not propagation) and the same window-miss
+// exclusions, so the backward graph is exactly the forward one reversed.
+// Launch clamping is deliberately absent from the dual: a clamped
+// transition launches at the clock edge no matter how early its cause
+// arrived, so the cause can slip later without moving anything downstream
+// — the clamp widens slack upstream of a latch rather than propagating
+// tension through it. A masked arc whose relief (RAT(To) − d) is no
+// earlier than its window deadline imposes nothing beyond the window seed
+// already applied.
+//
+// Like the forward walk, singleton components are pure functions of
+// already-settled levels (here: later levels) and cyclic components
+// iterate to a bounded fixpoint inside one worker, so the backward pass
+// is bit-identical at every worker count. min, like max, is exact in
+// floating point regardless of evaluation order.
+
+import (
+	"context"
+	"math"
+	"slices"
+
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+)
+
+// Required holds the backward-pass products for one analysis: per-node
+// required arrival times and slacks, per polarity. +Inf RAT means the
+// transition is unconstrained (no clocked or output endpoint downstream);
+// slack is exactly RAT − AT in IEEE arithmetic, so an unconstrained or
+// static (AT = −Inf) transition has +Inf slack.
+type Required struct {
+	// RiseRAT and FallRAT are per-node-index required times in ns.
+	RiseRAT, FallRAT []float64
+	// SlackRise and SlackFall are RAT − AT per node index; negative means
+	// the node settles too late for some downstream deadline.
+	SlackRise, SlackFall []float64
+}
+
+// RAT returns the required time of one transition.
+func (q *Required) RAT(idx int, pol Polarity) float64 {
+	if pol == Rise {
+		return q.RiseRAT[idx]
+	}
+	return q.FallRAT[idx]
+}
+
+// Slack returns the slack of one transition.
+func (q *Required) Slack(idx int, pol Polarity) float64 {
+	if pol == Rise {
+		return q.SlackRise[idx]
+	}
+	return q.SlackFall[idx]
+}
+
+// NodeSlack returns the worse of a node's rise and fall slacks.
+func (q *Required) NodeSlack(idx int) float64 {
+	return math.Min(q.SlackRise[idx], q.SlackFall[idx])
+}
+
+// WorstSlack returns the minimum finite slack over all nodes and its
+// location; ok=false when every transition is unconstrained.
+func (q *Required) WorstSlack() (idx int, pol Polarity, slack float64, ok bool) {
+	idx, pol, slack = -1, Rise, math.Inf(1)
+	for i := range q.SlackRise {
+		if q.SlackRise[i] < slack {
+			idx, pol, slack, ok = i, Rise, q.SlackRise[i], true
+		}
+		if q.SlackFall[i] < slack {
+			idx, pol, slack, ok = i, Fall, q.SlackFall[i], true
+		}
+	}
+	return idx, pol, slack, ok
+}
+
+// Required runs the backward pass over this result's propagation plan and
+// returns per-node required times and slacks. The result's arrivals are
+// read but never written, so concurrent calls on one Result are safe.
+// opt supplies Workers, SCCIterBound, and Obs; the context aborts the
+// reverse walk between levels like the forward passes.
+func (r *Result) Required(ctx context.Context, opt Options) (*Required, error) {
+	opt = opt.withDefaults()
+	n := len(r.NL.Nodes)
+	q := &Required{}
+	block := make([]float64, 4*n)
+	q.RiseRAT = block[0*n : 1*n : 1*n]
+	q.FallRAT = block[1*n : 2*n : 2*n]
+	q.SlackRise = block[2*n : 3*n : 3*n]
+	q.SlackFall = block[3*n : 4*n : 4*n]
+	fillFloat(q.RiseRAT, PosInf)
+	fillFloat(q.FallRAT, PosInf)
+
+	a := &analysis{Result: r, opt: opt, ctx: orBackground(ctx)}
+	a.initMetrics()
+	defer opt.Obs.Span("required").End()
+	b := &backward{analysis: a, q: q}
+	sp := opt.Obs.Span("required-seeds")
+	b.seedRequired()
+	sp.End()
+	sp = opt.Obs.Span("required-propagate")
+	b.propagateRequired()
+	sp.End()
+	if err := a.abortErr(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		q.SlackRise[i] = q.RiseRAT[i] - r.RiseAt[i]
+		q.SlackFall[i] = q.FallRAT[i] - r.FallAt[i]
+	}
+	return q, nil
+}
+
+type backward struct {
+	*analysis
+	q *Required
+}
+
+func (b *backward) rat(idx int32, pol Polarity) float64 {
+	if pol == Rise {
+		return b.q.RiseRAT[idx]
+	}
+	return b.q.FallRAT[idx]
+}
+
+// lowerRAT tightens one transition's required time; reports change.
+func (b *backward) lowerRAT(idx int32, pol Polarity, t float64) bool {
+	if pol == Rise {
+		if t < b.q.RiseRAT[idx] {
+			b.q.RiseRAT[idx] = t
+			return true
+		}
+		return false
+	}
+	if t < b.q.FallRAT[idx] {
+		b.q.FallRAT[idx] = t
+		return true
+	}
+	return false
+}
+
+// phaseOfMask maps a single-phase mask to its clock phase number.
+func phaseOfMask(mask uint8) int {
+	if mask == delay.MaskPhi2 {
+		return 2
+	}
+	return 1
+}
+
+// seedRequired applies the endpoint constraints: one per masked arc whose
+// cause transitions (mirroring runChecks' latch/missed-window rules,
+// including the φ1 cross-cycle wrap) and one per primary-output
+// transition (the cycle boundary).
+func (b *backward) seedRequired() {
+	for i := range b.Model.Edges {
+		e := &b.Model.Edges[i]
+		for _, pol := range bothPols {
+			var d float64
+			var mask uint8
+			if pol == Rise {
+				d, mask = e.DRise, e.MaskRise
+			} else {
+				d, mask = e.DFall, e.MaskFall
+			}
+			if mask == 0 || isInfPos(d) {
+				continue
+			}
+			_, deadline, _, alive := b.maskWindow(mask)
+			if !alive {
+				continue // dead path: never conducts, no requirement
+			}
+			fromPol := causePol(e, pol)
+			cause := b.arrival(int(e.From), fromPol)
+			if isInfNeg(cause) {
+				continue // cause never transitions: nothing to require
+			}
+			if cause > deadline && phaseOfMask(mask) == 1 && b.clockedStorage[e.To] {
+				deadline += b.Sched.Period
+			}
+			req := deadline - d
+			if cause > deadline {
+				// Missed the window entirely: the requirement collapses to
+				// the window itself, so slack = deadline − cause matches
+				// the missed-window check.
+				req = deadline
+			}
+			b.lowerRAT(e.From, fromPol, req)
+		}
+	}
+	for _, nd := range b.NL.Nodes {
+		if !nd.Flags.Has(netlist.FlagOutput) {
+			continue
+		}
+		idx := int32(nd.Index)
+		if !isInfNeg(b.RiseAt[idx]) {
+			b.lowerRAT(idx, Rise, b.Sched.Period)
+		}
+		if !isInfNeg(b.FallAt[idx]) {
+			b.lowerRAT(idx, Fall, b.Sched.Period)
+		}
+	}
+}
+
+// propagateRequired computes the min-fixpoint of required times in
+// reverse wavefront order. Cyclic components iterate with the same bound
+// as the forward pass; a non-converging loop keeps its (finite, bounded)
+// partial values — its nodes are already flagged CheckLoop by the forward
+// pass.
+func (b *backward) propagateRequired() {
+	ws := b.wave
+	b.forEachCompReverse(func(ci int32) {
+		comp := ws.comp(ci)
+		if !ws.cyclic[ci] {
+			b.relaxNodeRequired(comp[0], ws.out(comp[0]))
+			return
+		}
+		bound := b.opt.SCCIterBound*len(comp) + 8
+		for iter := 0; iter < bound; iter++ {
+			changed := false
+			for _, idx := range comp {
+				if b.relaxNodeRequired(idx, ws.out(idx)) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	})
+}
+
+// relaxNodeRequired tightens both polarities of node idx from its
+// outgoing arcs — the exact reversal of relaxNode's arc transmission
+// rules; see the file comment for why clamping is absent. Returns true if
+// either RAT decreased.
+func (b *backward) relaxNodeRequired(idx int32, outgoing []int32) bool {
+	changed := false
+	for _, ei := range outgoing {
+		e := &b.Model.Edges[ei]
+		if b.clockedStorage[e.To] && !b.Model.IsClock(e.From) {
+			// Data arc into clocked storage: a setup check (seeded), not
+			// propagation — forward relaxNode skips it identically.
+			continue
+		}
+		for _, pol := range bothPols {
+			var d float64
+			var mask uint8
+			if pol == Rise {
+				d, mask = e.DRise, e.MaskRise
+			} else {
+				d, mask = e.DFall, e.MaskFall
+			}
+			if isInfPos(d) {
+				continue
+			}
+			rat := b.rat(e.To, pol)
+			if isInfPos(rat) {
+				continue
+			}
+			_, deadline, constrained, alive := b.maskWindow(mask)
+			if !alive {
+				continue
+			}
+			fromPol := causePol(e, pol)
+			cause := b.arrival(int(e.From), fromPol)
+			if isInfNeg(cause) {
+				continue // edge never fires forward; transmits nothing back
+			}
+			if constrained {
+				if cause > deadline && phaseOfMask(mask) == 1 && b.clockedStorage[e.To] {
+					deadline += b.Sched.Period
+				}
+				if cause > deadline {
+					continue // missed window: excluded forward, excluded here
+				}
+				if rat-d >= deadline {
+					continue // the window deadline dominates; already seeded
+				}
+			}
+			if b.lowerRAT(e.From, fromPol, rat-d) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// SlackEntry is one row of the slack-ordered critical ranking.
+type SlackEntry struct {
+	Node *netlist.Node
+	Pol  Polarity
+	// Arrival, Required, Slack in ns; Slack = Required − Arrival.
+	Arrival, Required, Slack float64
+}
+
+// SlackRanking returns the k most critical node transitions — smallest
+// slack first — over the given required times. Unconstrained transitions
+// (+Inf slack) and supply/clock nodes are omitted; k ≤ 0 returns every
+// constrained transition. Ties order by node index then polarity, so the
+// ranking is deterministic.
+func (r *Result) SlackRanking(q *Required, k int) []SlackEntry {
+	var out []SlackEntry
+	for _, nd := range r.NL.Nodes {
+		if nd.IsSupply() || nd.IsClock() {
+			continue
+		}
+		i := nd.Index
+		if !math.IsInf(q.SlackRise[i], 1) {
+			out = append(out, SlackEntry{Node: nd, Pol: Rise,
+				Arrival: r.RiseAt[i], Required: q.RiseRAT[i], Slack: q.SlackRise[i]})
+		}
+		if !math.IsInf(q.SlackFall[i], 1) {
+			out = append(out, SlackEntry{Node: nd, Pol: Fall,
+				Arrival: r.FallAt[i], Required: q.FallRAT[i], Slack: q.SlackFall[i]})
+		}
+	}
+	slices.SortFunc(out, func(a, c SlackEntry) int {
+		if a.Slack != c.Slack {
+			if a.Slack < c.Slack {
+				return -1
+			}
+			return 1
+		}
+		if a.Node.Index != c.Node.Index {
+			return a.Node.Index - c.Node.Index
+		}
+		return int(a.Pol) - int(c.Pol)
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/delay"
+	"nmostv/internal/flow"
+	"nmostv/internal/gen"
+	"nmostv/internal/netlist"
+	"nmostv/internal/stage"
+	"nmostv/internal/tech"
+)
+
+func analyzeFor(t *testing.T, nl *netlist.Netlist, m *delay.Model, period float64, workers int) *Result {
+	t.Helper()
+	r, err := Analyze(context.Background(), nl, m, clocks.TwoPhase(period, 0.8), Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func requiredFor(t *testing.T, r *Result, workers int) *Required {
+	t.Helper()
+	q, err := r.Required(context.Background(), Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestSlackEqualsRATMinusAT pins the defining identity of the slack
+// arrays: for every node and polarity, slack is exactly RAT − AT in IEEE
+// arithmetic — including the infinite cases (+Inf RAT ⇒ +Inf slack,
+// −Inf AT ⇒ +Inf slack), never a NaN.
+func TestSlackEqualsRATMinusAT(t *testing.T) {
+	nl, m := datapathModel(gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+	for _, period := range []float64{2000, 40} {
+		r := analyzeFor(t, nl, m, period, 1)
+		q := requiredFor(t, r, 1)
+		finite, negative := 0, 0
+		for i := range nl.Nodes {
+			wantR := q.RiseRAT[i] - r.RiseAt[i]
+			wantF := q.FallRAT[i] - r.FallAt[i]
+			if math.Float64bits(q.SlackRise[i]) != math.Float64bits(wantR) ||
+				math.Float64bits(q.SlackFall[i]) != math.Float64bits(wantF) {
+				t.Fatalf("period %g node %d: slack != RAT − AT", period, i)
+			}
+			if math.IsNaN(q.SlackRise[i]) || math.IsNaN(q.SlackFall[i]) {
+				t.Fatalf("period %g node %d: NaN slack", period, i)
+			}
+			if !math.IsInf(q.SlackRise[i], 1) {
+				finite++
+				if q.SlackRise[i] < 0 {
+					negative++
+				}
+			}
+		}
+		if finite == 0 {
+			t.Fatalf("period %g: no finite slack anywhere — seeds missing", period)
+		}
+		if period == 40 && negative == 0 {
+			t.Fatal("period 40: a starved clock must produce negative slack")
+		}
+	}
+}
+
+func assertRequiredIdentical(t *testing.T, workers int, base, q *Required) {
+	t.Helper()
+	arrays := []struct {
+		name       string
+		want, have []float64
+	}{
+		{"RiseRAT", base.RiseRAT, q.RiseRAT},
+		{"FallRAT", base.FallRAT, q.FallRAT},
+		{"SlackRise", base.SlackRise, q.SlackRise},
+		{"SlackFall", base.SlackFall, q.SlackFall},
+	}
+	for _, arr := range arrays {
+		if len(arr.want) != len(arr.have) {
+			t.Fatalf("workers=%d: %s length %d, serial %d", workers, arr.name, len(arr.have), len(arr.want))
+		}
+		for i := range arr.want {
+			if math.Float64bits(arr.want[i]) != math.Float64bits(arr.have[i]) {
+				t.Fatalf("workers=%d: %s[%d] = %v, serial %v",
+					workers, arr.name, i, arr.have[i], arr.want[i])
+			}
+		}
+	}
+}
+
+// TestRequiredWorkersBitIdentical extends the engine's golden-equality
+// guarantee to the backward pass: required times and slacks are
+// bit-identical serial vs. every parallel worker count.
+func TestRequiredWorkersBitIdentical(t *testing.T) {
+	nl, m := datapathModel(gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+	r := analyzeFor(t, nl, m, 2000, 1)
+	base := requiredFor(t, r, 1)
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		assertRequiredIdentical(t, w, base, requiredFor(t, r, w))
+	}
+	// The backward pass must also be independent of which worker count
+	// produced the forward arrivals.
+	rp := analyzeFor(t, nl, m, 2000, runtime.GOMAXPROCS(0)+1)
+	assertRequiredIdentical(t, -1, base, requiredFor(t, rp, runtime.GOMAXPROCS(0)))
+}
+
+// TestRequiredCyclicComponent runs the backward pass over a design with a
+// genuine cyclic SCC (cross-coupled NOR pair): the bounded min-iteration
+// must terminate and stay bit-identical across worker counts.
+func TestRequiredCyclicComponent(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("latchring", p)
+	in := b.Input("in")
+	q := b.Fresh("q")
+	qb := b.Fresh("qb")
+	b.NL.AddTransistor(netlist.Dep, q, b.NL.VDD, q, 4, 8)
+	b.NL.AddTransistor(netlist.Enh, in, q, b.NL.GND, 8, 4)
+	b.NL.AddTransistor(netlist.Enh, qb, q, b.NL.GND, 8, 4)
+	b.NL.AddTransistor(netlist.Dep, qb, b.NL.VDD, qb, 4, 8)
+	b.NL.AddTransistor(netlist.Enh, q, qb, b.NL.GND, 8, 4)
+	for i := 0; i < 32; i++ {
+		b.Output(b.Inverter(in))
+	}
+	nl := b.Finish()
+	st := stage.Extract(nl)
+	flow.Analyze(nl)
+	m := delay.Build(nl, st, p, delay.Options{Workers: 1})
+	r := analyzeFor(t, nl, m, 500, 1)
+	base := requiredFor(t, r, 1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		assertRequiredIdentical(t, w, base, requiredFor(t, r, w))
+	}
+}
+
+// oracleRAT is an independent O(N·E) reference for required times: seeds
+// recomputed from first principles and a Bellman-Ford-style sweep over
+// the whole edge list until fixpoint, no wave plan, no level order. On a
+// converging design the downward min-iteration has a unique fixpoint, so
+// any relaxation order lands on the same values bit for bit.
+func oracleRAT(t *testing.T, r *Result) (rise, fall []float64) {
+	t.Helper()
+	n := len(r.NL.Nodes)
+	rise = make([]float64, n)
+	fall = make([]float64, n)
+	for i := range rise {
+		rise[i], fall[i] = math.Inf(1), math.Inf(1)
+	}
+	// Clocked-storage classification, recomputed rather than borrowed.
+	cs := make([]bool, n)
+	for i := range r.Model.Edges {
+		e := &r.Model.Edges[i]
+		if r.Model.NodeFlags[e.To]&netlist.FlagStorage != 0 &&
+			r.Model.NodeFlags[e.From]&netlist.FlagClock != 0 {
+			cs[e.To] = true
+		}
+	}
+	at := func(i int32, pol Polarity) float64 {
+		if pol == Rise {
+			return r.RiseAt[i]
+		}
+		return r.FallAt[i]
+	}
+	rat := func(i int32, pol Polarity) *float64 {
+		if pol == Rise {
+			return &rise[i]
+		}
+		return &fall[i]
+	}
+	// One edge-transition visit: delay, cause polarity, effective window.
+	type visit struct {
+		d, deadline float64
+		fromPol     Polarity
+		cause       float64
+		constrained bool
+		transmits   bool // fires forward (in window, cause finite)
+		seeded      bool // masked with live window and finite cause
+	}
+	look := func(e *delay.Edge, pol Polarity) (v visit, ok bool) {
+		v.d = e.DRise
+		mask := e.MaskRise
+		if pol == Fall {
+			v.d, mask = e.DFall, e.MaskFall
+		}
+		if math.IsInf(v.d, 1) {
+			return v, false
+		}
+		switch {
+		case e.GateArc:
+			v.fromPol = Rise
+		case e.Invert:
+			v.fromPol = 1 - pol
+		default:
+			v.fromPol = pol
+		}
+		v.cause = at(e.From, v.fromPol)
+		if math.IsInf(v.cause, -1) {
+			return v, false
+		}
+		phase := 0
+		switch mask {
+		case 0:
+		case delay.MaskPhi1:
+			phase = 1
+		case delay.MaskPhi2:
+			phase = 2
+		default:
+			return v, false // dead path
+		}
+		if phase != 0 {
+			v.constrained = true
+			v.deadline = r.Sched.Fall(phase)
+			if v.cause > v.deadline && phase == 1 && cs[e.To] {
+				v.deadline += r.Sched.Period
+			}
+			v.seeded = true
+			v.transmits = v.cause <= v.deadline
+		} else {
+			v.transmits = true
+		}
+		return v, true
+	}
+	// Seeds: masked arcs and primary outputs.
+	for i := range r.Model.Edges {
+		e := &r.Model.Edges[i]
+		for _, pol := range []Polarity{Rise, Fall} {
+			v, ok := look(e, pol)
+			if !ok || !v.seeded {
+				continue
+			}
+			req := v.deadline - v.d
+			if !v.transmits {
+				req = v.deadline
+			}
+			if p := rat(e.From, v.fromPol); req < *p {
+				*p = req
+			}
+		}
+	}
+	for _, nd := range r.NL.Nodes {
+		if !nd.Flags.Has(netlist.FlagOutput) {
+			continue
+		}
+		i := int32(nd.Index)
+		if !math.IsInf(r.RiseAt[i], -1) && r.Sched.Period < rise[i] {
+			rise[i] = r.Sched.Period
+		}
+		if !math.IsInf(r.FallAt[i], -1) && r.Sched.Period < fall[i] {
+			fall[i] = r.Sched.Period
+		}
+	}
+	// Full-edge sweeps to fixpoint.
+	for iter := 0; ; iter++ {
+		if iter > 2*n+4 {
+			t.Fatal("oracle did not converge — test circuit unsuitable (diverging cycle)")
+		}
+		changed := false
+		for i := range r.Model.Edges {
+			e := &r.Model.Edges[i]
+			if cs[e.To] && r.Model.NodeFlags[e.From]&netlist.FlagClock == 0 {
+				continue
+			}
+			for _, pol := range []Polarity{Rise, Fall} {
+				v, ok := look(e, pol)
+				if !ok || !v.transmits {
+					continue
+				}
+				tr := *rat(e.To, pol)
+				if math.IsInf(tr, 1) {
+					continue
+				}
+				relief := tr - v.d
+				if v.constrained && relief >= v.deadline {
+					continue
+				}
+				if p := rat(e.From, v.fromPol); relief < *p {
+					*p = relief
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return rise, fall
+}
+
+// TestRequiredMatchesOracle checks the engine's levelized backward pass
+// against the brute-force reference on a spread of small circuits: latch
+// pipelines, restoring chains, dynamic (precharged) logic, and pass
+// networks.
+func TestRequiredMatchesOracle(t *testing.T) {
+	p := tech.Default()
+	circuits := []struct {
+		name  string
+		build func() *netlist.Netlist
+	}{
+		{"shift-register", func() *netlist.Netlist {
+			b := gen.New("sr", p)
+			phi1 := b.Clock("phi1", 1)
+			phi2 := b.Clock("phi2", 2)
+			b.Output(b.ShiftRegister(b.Input("in"), phi1, phi2, 4))
+			return b.Finish()
+		}},
+		{"inv-chain", func() *netlist.Netlist {
+			b := gen.New("chain", p)
+			b.Output(b.InvChain(b.Input("in"), 7))
+			return b.Finish()
+		}},
+		{"dynamic-gate", func() *netlist.Netlist {
+			b := gen.New("dyn", p)
+			phi1 := b.Clock("phi1", 1)
+			a := b.Input("a")
+			c := b.Input("c")
+			dyn := b.PrechargedNode(phi1)
+			b.DischargeBranch(dyn, a, c)
+			b.Output(b.Inverter(dyn))
+			return b.Finish()
+		}},
+		{"pass-latch", func() *netlist.Netlist {
+			b := gen.New("pl", p)
+			phi1 := b.Clock("phi1", 1)
+			chain := b.PassChain(b.Input("in"), b.Input("ctl"), 3)
+			_, qbar := b.Latch(phi1, chain)
+			b.Output(b.Inverter(qbar))
+			return b.Finish()
+		}},
+	}
+	for _, tc := range circuits {
+		for _, period := range []float64{400, 30} {
+			nl := tc.build()
+			st := stage.Extract(nl)
+			flow.Analyze(nl)
+			m := delay.Build(nl, st, p, delay.Options{Workers: 1})
+			r := analyzeFor(t, nl, m, period, 1)
+			for _, c := range r.Checks {
+				if c.Kind == CheckLoop {
+					t.Fatalf("%s: oracle circuits must be loop-free", tc.name)
+				}
+			}
+			q := requiredFor(t, r, 1)
+			wantRise, wantFall := oracleRAT(t, r)
+			for i := range wantRise {
+				if math.Float64bits(q.RiseRAT[i]) != math.Float64bits(wantRise[i]) ||
+					math.Float64bits(q.FallRAT[i]) != math.Float64bits(wantFall[i]) {
+					t.Fatalf("%s period %g: node %d (%s): engine RAT (%v, %v), oracle (%v, %v)",
+						tc.name, period, i, nl.Nodes[i].Name,
+						q.RiseRAT[i], q.FallRAT[i], wantRise[i], wantFall[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOutputSlackMatchesCheck anchors the slack arrays to the check
+// report where they must coincide: on an unclamped combinational chain,
+// the worst node slack is exactly the output check's slack.
+func TestOutputSlackMatchesCheck(t *testing.T) {
+	p := tech.Default()
+	b := gen.New("chain", p)
+	out := b.Output(b.InvChain(b.Input("in"), 9))
+	nl := b.Finish()
+	st := stage.Extract(nl)
+	flow.Analyze(nl)
+	m := delay.Build(nl, st, p, delay.Options{Workers: 1})
+	r := analyzeFor(t, nl, m, 100, 1)
+	q := requiredFor(t, r, 1)
+	var checkSlack float64
+	found := false
+	for _, c := range r.Checks {
+		if c.Kind == CheckOutput && c.Node == out {
+			checkSlack, found = c.Slack, true
+		}
+	}
+	if !found {
+		t.Fatal("no output check produced")
+	}
+	_, _, worst, ok := q.WorstSlack()
+	if !ok {
+		t.Fatal("no finite slack")
+	}
+	if math.Float64bits(worst) != math.Float64bits(checkSlack) {
+		t.Fatalf("worst node slack %v != output check slack %v", worst, checkSlack)
+	}
+}
+
+// TestSlackRanking pins the report contract: worst slack first,
+// deterministic tiebreak, k truncation, no supply or clock rows.
+func TestSlackRanking(t *testing.T) {
+	nl, m := datapathModel(gen.DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
+	r := analyzeFor(t, nl, m, 800, 1)
+	q := requiredFor(t, r, 1)
+	all := r.SlackRanking(q, 0)
+	if len(all) == 0 {
+		t.Fatal("empty ranking")
+	}
+	for i, e := range all {
+		if e.Node.IsSupply() || e.Node.IsClock() {
+			t.Fatalf("entry %d is a supply/clock node %s", i, e.Node.Name)
+		}
+		if math.Float64bits(e.Slack) != math.Float64bits(q.Slack(e.Node.Index, e.Pol)) {
+			t.Fatalf("entry %d slack mismatch vs Required", i)
+		}
+		if math.IsInf(e.Slack, 1) {
+			t.Fatalf("entry %d unconstrained (+Inf) slack in ranking", i)
+		}
+		if i > 0 && all[i-1].Slack > e.Slack {
+			t.Fatalf("ranking not sorted at %d: %v then %v", i, all[i-1].Slack, e.Slack)
+		}
+	}
+	if top := r.SlackRanking(q, 5); len(top) != 5 {
+		t.Fatalf("k=5 returned %d entries", len(top))
+	} else {
+		for i := range top {
+			if top[i] != all[i] {
+				t.Fatalf("k-truncation changed entry %d", i)
+			}
+		}
+	}
+}
+
+// TestAnalyzeSharedPlanBitIdentical proves plan sharing is an identity:
+// analyzing a corner-scaled model against the base model's plan produces
+// exactly the result of analyzing it with a freshly computed plan.
+func TestAnalyzeSharedPlanBitIdentical(t *testing.T) {
+	nl, m := datapathModel(gen.DatapathConfig{Bits: 8, Words: 8, ShiftAmounts: 4})
+	s := clocks.TwoPhase(2000, 0.8)
+	base, err := Analyze(context.Background(), nl, m, s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := tech.Slow()
+	sm := delay.ScaleModel(m, slow.RScale, slow.CScale)
+	fresh, err := Analyze(context.Background(), nl, sm, s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Analyze(context.Background(), nl, sm, s, Options{Workers: 1, Plan: base.Plan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, 1, fresh, shared)
+	qf := requiredFor(t, fresh, 1)
+	qs := requiredFor(t, shared, 1)
+	assertRequiredIdentical(t, 1, qf, qs)
+	// A non-matching plan must be ignored, not trusted.
+	tiny := gen.New("tiny", tech.Default())
+	tiny.Output(tiny.Inverter(tiny.Input("in")))
+	tnl := tiny.Finish()
+	tst := stage.Extract(tnl)
+	flow.Analyze(tnl)
+	tm := delay.Build(tnl, tst, tech.Default(), delay.Options{Workers: 1})
+	mis, err := Analyze(context.Background(), tnl, tm, s, Options{Workers: 1, Plan: base.Plan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.wave == base.wave {
+		t.Fatal("mismatched plan was adopted")
+	}
+}
+
+// TestRequiredCanceled: a canceled context aborts the reverse walk.
+func TestRequiredCanceled(t *testing.T) {
+	nl, m := datapathModel(gen.DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
+	r := analyzeFor(t, nl, m, 800, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Required(ctx, Options{Workers: 1}); err == nil {
+		t.Fatal("pre-canceled context must abort the backward pass")
+	}
+}

@@ -1,0 +1,87 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"nmostv/internal/gen"
+	"nmostv/internal/tech"
+)
+
+// cornerTestModel builds a model with a representative arc mix: clocked
+// latch masks, precharge gate arcs, inverting restoring arcs, and pass
+// propagation.
+func cornerTestModel(t *testing.T) *Model {
+	t.Helper()
+	b := gen.New("corner", tech.Default())
+	phi1 := b.Clock("phi1", 1)
+	d := b.Input("d")
+	_, qbar := b.Latch(phi1, d)
+	inv := b.Inverter(qbar)
+	b.Output(b.Inverter(inv))
+	_, m := buildModel(b, Options{})
+	if len(m.Edges) == 0 {
+		t.Fatal("corner test model has no edges")
+	}
+	return m
+}
+
+func TestScaleModelStructureShared(t *testing.T) {
+	base := cornerTestModel(t)
+	c := tech.Slow()
+	m := ScaleModel(base, c.RScale, c.CScale)
+	if m == base {
+		t.Fatal("non-unit scaling must derive a new model")
+	}
+	if len(m.Edges) != len(base.Edges) {
+		t.Fatalf("scaled model has %d edges, want %d", len(m.Edges), len(base.Edges))
+	}
+	ds := c.DelayScale()
+	for i := range base.Edges {
+		be, se := &base.Edges[i], &m.Edges[i]
+		if se.From != be.From || se.To != be.To || se.MaskRise != be.MaskRise ||
+			se.MaskFall != be.MaskFall || se.Invert != be.Invert ||
+			se.GateArc != be.GateArc || se.Via != be.Via {
+			t.Fatalf("edge %d: structure differs from base: %+v vs %+v", i, se, be)
+		}
+		if math.Float64bits(se.DRise) != math.Float64bits(be.DRise*ds) ||
+			math.Float64bits(se.DFall) != math.Float64bits(be.DFall*ds) {
+			t.Fatalf("edge %d: delays not scaled by exactly %g", i, ds)
+		}
+		if math.IsInf(be.DRise, 1) != math.IsInf(se.DRise, 1) ||
+			math.IsInf(be.DFall, 1) != math.IsInf(se.DFall, 1) {
+			t.Fatalf("edge %d: scaling changed impossibility", i)
+		}
+	}
+	for i, c0 := range base.Caps {
+		if math.Float64bits(m.Caps[i]) != math.Float64bits(c0*c.CScale) {
+			t.Fatalf("cap %d not scaled by CScale", i)
+		}
+	}
+	// The structural snapshots are shared, not copied.
+	if &m.NodeFlags[0] != &base.NodeFlags[0] || &m.NodePhase[0] != &base.NodePhase[0] {
+		t.Error("NodeFlags/NodePhase must be shared with the base model")
+	}
+	if m.Truncated != base.Truncated {
+		t.Error("Truncated must carry over")
+	}
+}
+
+func TestScaleModelUnitReturnsBase(t *testing.T) {
+	base := cornerTestModel(t)
+	if ScaleModel(base, 1, 1) != base {
+		t.Error("unit scaling must return the base model itself")
+	}
+}
+
+func TestScaleModelLeavesBaseIntact(t *testing.T) {
+	base := cornerTestModel(t)
+	before := make([]Edge, len(base.Edges))
+	copy(before, base.Edges)
+	_ = ScaleModel(base, 1.3, 1.1)
+	for i := range before {
+		if base.Edges[i] != before[i] {
+			t.Fatalf("edge %d of the base model mutated by ScaleModel", i)
+		}
+	}
+}

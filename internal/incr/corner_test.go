@@ -1,0 +1,286 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"nmostv/internal/core"
+	"nmostv/internal/faultpoint"
+	"nmostv/internal/gen"
+	"nmostv/internal/tech"
+	"nmostv/internal/tverr"
+)
+
+func newCornerSession(t *testing.T, workers int) *Session {
+	t.Helper()
+	nl := gen.MIPSDatapath(tech.Default(), gen.DatapathConfig{Bits: 4, Words: 4, ShiftAmounts: 2})
+	s, err := New(context.Background(), "mc", nl, Options{
+		Params:  tech.Default(),
+		Sched:   testSchedule(),
+		Core:    core.Options{Workers: workers},
+		Corners: tech.Corners(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// TestCornerSessionSelfCheck: a multi-corner session satisfies the
+// extended bit-identity invariant — every corner equal to a from-scratch
+// analysis at that corner, forward and backward pass — after the initial
+// load and after every kind of delta.
+func TestCornerSessionSelfCheck(t *testing.T) {
+	ctx := context.Background()
+	s := newCornerSession(t, 1)
+	if err := s.SelfCheck(ctx); err != nil {
+		t.Fatalf("SelfCheck after load: %v", err)
+	}
+	if st := s.LastStats(); st.Corners != len(tech.Corners()) {
+		t.Fatalf("stats report %d corners, want %d", st.Corners, len(tech.Corners()))
+	}
+	if _, err := s.Apply(ctx, structuralBatch(s)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := s.SelfCheck(ctx); err != nil {
+		t.Fatalf("SelfCheck after structural batch: %v", err)
+	}
+	// The typical corner aliases the base analysis outright.
+	for _, cs := range s.corners {
+		if cs.corner.IsTypical() {
+			if cs.res != s.res || cs.model != s.model {
+				t.Fatal("typical corner does not alias the base analysis")
+			}
+		} else if cs.res == s.res {
+			t.Fatalf("corner %s aliases the base result", cs.corner.Name)
+		}
+	}
+}
+
+// TestCornerCacheHitMiss pins the per-corner model-reuse accounting: a
+// batch that leaves the timing model untouched reuses every corner model
+// (hit), a batch that rebuilds arcs re-derives them (miss).
+func TestCornerCacheHitMiss(t *testing.T) {
+	ctx := context.Background()
+	s := newCornerSession(t, 1)
+	infos := s.Corners()
+	if len(infos) != 3 {
+		t.Fatalf("%d corner infos, want 3", len(infos))
+	}
+	for _, ci := range infos {
+		// The initial full run derives every model: one miss, no hits.
+		if ci.CacheHits != 0 || ci.CacheMisses != 1 {
+			t.Fatalf("corner %s after load: hits=%d misses=%d, want 0/1", ci.Name, ci.CacheHits, ci.CacheMisses)
+		}
+	}
+
+	// A no-op resize changes no stage fingerprint and no cap: the base
+	// model is reused by pointer, so every corner model is too.
+	t0 := s.nl.Trans[0]
+	if _, err := s.Apply(ctx, []Delta{{Op: "resize", ID: t0.ID, W: t0.W, L: t0.L}}); err != nil {
+		t.Fatalf("no-op resize: %v", err)
+	}
+	for _, ci := range s.Corners() {
+		if ci.CacheHits != 1 || ci.CacheMisses != 1 {
+			t.Fatalf("corner %s after no-op batch: hits=%d misses=%d, want 1/1", ci.Name, ci.CacheHits, ci.CacheMisses)
+		}
+		if ci.CacheHitRate != 0.5 {
+			t.Fatalf("corner %s hit rate %v, want 0.5", ci.Name, ci.CacheHitRate)
+		}
+	}
+
+	// A real resize rebuilds the touched stage: corner models re-derive.
+	if _, err := s.Apply(ctx, []Delta{{Op: "resize", ID: t0.ID, W: t0.W * 3}}); err != nil {
+		t.Fatalf("resize: %v", err)
+	}
+	for _, ci := range s.Corners() {
+		if ci.CacheHits != 1 || ci.CacheMisses != 2 {
+			t.Fatalf("corner %s after resize: hits=%d misses=%d, want 1/2", ci.Name, ci.CacheHits, ci.CacheMisses)
+		}
+	}
+	if err := s.SelfCheck(ctx); err != nil {
+		t.Fatalf("SelfCheck: %v", err)
+	}
+}
+
+// TestCornerRollback: an abort after the base pass but before the corner
+// sweep rolls the whole batch back — the published base and per-corner
+// results are the exact same objects, the netlist is restored, and the
+// extended SelfCheck still holds.
+func TestCornerRollback(t *testing.T) {
+	defer faultpoint.Reset()
+	ctx := context.Background()
+	s := newCornerSession(t, 1)
+	snap := snapshot(s)
+	resBefore := s.Result()
+	cornersBefore := make([]*core.Result, len(s.corners))
+	for i, cs := range s.corners {
+		cornersBefore[i] = cs.res
+	}
+	batch := structuralBatch(s)
+
+	faultpoint.Arm("incr.apply.corner", faultpoint.Action{Err: faultpoint.ErrInjected})
+	if _, err := s.Apply(ctx, batch); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("Apply = %v, want injected fault", err)
+	}
+	faultpoint.Reset()
+
+	if s.Result() != resBefore {
+		t.Fatal("aborted Apply republished the base result")
+	}
+	for i, cs := range s.corners {
+		if cs.res != cornersBefore[i] {
+			t.Fatalf("aborted Apply republished corner %s", cs.corner.Name)
+		}
+	}
+	checkRestored(t, s, snap)
+	if err := s.SelfCheck(ctx); err != nil {
+		t.Fatalf("SelfCheck after corner rollback: %v", err)
+	}
+	if _, err := s.Apply(ctx, batch); err != nil {
+		t.Fatalf("Apply after rollback: %v", err)
+	}
+	if err := s.SelfCheck(ctx); err != nil {
+		t.Fatalf("SelfCheck after recovered Apply: %v", err)
+	}
+}
+
+// TestSlackQueries covers the merged and per-corner slack views and the
+// corner-resolved critical path query.
+func TestSlackQueries(t *testing.T) {
+	s := newCornerSession(t, 1)
+
+	merged, err := s.Slack(0, "")
+	if err != nil {
+		t.Fatalf("merged slack: %v", err)
+	}
+	if len(merged) == 0 {
+		t.Fatal("empty merged ranking")
+	}
+	perCorner := map[string][]SlackInfo{}
+	for _, c := range tech.Corners() {
+		rows, err := s.Slack(0, c.Name)
+		if err != nil {
+			t.Fatalf("slack at %s: %v", c.Name, err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("empty ranking at %s", c.Name)
+		}
+		for _, r := range rows {
+			if r.Corner != c.Name {
+				t.Fatalf("row at %s labeled %q", c.Name, r.Corner)
+			}
+		}
+		perCorner[c.Name] = rows
+	}
+	// Each merged row carries the minimum of that node's per-corner node
+	// slacks, labeled with the corner that set it.
+	nodeSlack := map[string]map[string]float64{} // corner -> node -> slack
+	for name, rows := range perCorner {
+		nodeSlack[name] = map[string]float64{}
+		for _, r := range rows {
+			if cur, ok := nodeSlack[name][r.Node]; !ok || r.Slack < cur {
+				nodeSlack[name][r.Node] = r.Slack
+			}
+		}
+	}
+	for i, r := range merged {
+		if i > 0 && merged[i-1].Slack > r.Slack {
+			t.Fatalf("merged ranking unsorted at %d", i)
+		}
+		want := math.Inf(1)
+		for _, byNode := range nodeSlack {
+			if sl, ok := byNode[r.Node]; ok && sl < want {
+				want = sl
+			}
+		}
+		if math.Float64bits(r.Slack) != math.Float64bits(want) {
+			t.Fatalf("merged slack for %s = %v, want min over corners %v", r.Node, r.Slack, want)
+		}
+		if sl, ok := nodeSlack[r.Corner][r.Node]; !ok || math.Float64bits(sl) != math.Float64bits(r.Slack) {
+			t.Fatalf("merged row %s labeled %s, which has slack %v not %v", r.Node, r.Corner, sl, r.Slack)
+		}
+	}
+	// The slow corner dominates a max-delay view's worst row.
+	if merged[0].Corner != "slow" {
+		t.Errorf("worst merged row at %q, want slow", merged[0].Corner)
+	}
+
+	if _, err := s.Slack(0, "warm"); tverr.KindOf(err) != tverr.NotFound {
+		t.Fatalf("unknown corner: %v, want NotFound", err)
+	}
+	if top := func() []SlackInfo {
+		rows, err := s.Slack(3, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}(); len(top) != 3 {
+		t.Fatalf("k=3 gave %d rows", len(top))
+	}
+
+	paths, err := s.CriticalAt("slow", 3)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("CriticalAt(slow) = %d paths, err %v", len(paths), err)
+	}
+	if _, err := s.CriticalAt("warm", 3); tverr.KindOf(err) != tverr.NotFound {
+		t.Fatalf("CriticalAt unknown corner: %v, want NotFound", err)
+	}
+
+	info := s.Info()
+	if info.Corners != 3 || len(info.PerCorner) != 3 {
+		t.Fatalf("Info corners %d/%d, want 3/3", info.Corners, len(info.PerCorner))
+	}
+}
+
+// TestSlackSingleCorner: sessions without configured corners answer the
+// merged query from the base analysis and reject corner names.
+func TestSlackSingleCorner(t *testing.T) {
+	b := gen.New("chain", tech.Default())
+	b.Output(b.InvChain(b.Input("in"), 8))
+	s := newTestSession(t, "chain", b.Finish(), 1)
+	rows, err := s.Slack(0, "")
+	if err != nil {
+		t.Fatalf("Slack: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty base ranking")
+	}
+	for _, r := range rows {
+		if r.Corner != "" {
+			t.Fatalf("single-corner row labeled %q", r.Corner)
+		}
+	}
+	if _, err := s.Slack(0, "slow"); tverr.KindOf(err) != tverr.NotFound {
+		t.Fatalf("corner on single-corner session: %v, want NotFound", err)
+	}
+	if s.Corners() != nil {
+		t.Fatal("single-corner session reports corner infos")
+	}
+	if info := s.Info(); info.Corners != 0 || info.PerCorner != nil {
+		t.Fatal("single-corner Info reports corners")
+	}
+}
+
+// TestCornerValidation: bad corner lists are rejected at session creation
+// with a typed Invalid error.
+func TestCornerValidation(t *testing.T) {
+	for _, corners := range [][]tech.Corner{
+		{tech.Slow(), tech.Slow()},
+		{{Name: "", RScale: 1, CScale: 1}},
+		{{Name: "neg", RScale: -1, CScale: 1}},
+	} {
+		b := gen.New("chain", tech.Default())
+		b.Output(b.InvChain(b.Input("in"), 4))
+		_, err := New(context.Background(), "chain", b.Finish(), Options{
+			Params:  tech.Default(),
+			Sched:   testSchedule(),
+			Corners: corners,
+		})
+		if tverr.KindOf(err) != tverr.Invalid {
+			t.Fatalf("corners %v: err %v, want Invalid", corners, err)
+		}
+	}
+}

@@ -85,6 +85,8 @@ type Stats struct {
 	// ReusedWave reports that the timing-arc model was unchanged and the
 	// propagation plan was reused outright.
 	ReusedWave bool `json:"reused_wave,omitempty"`
+	// Corners counts the PVT corners re-analyzed alongside the base.
+	Corners int `json:"corners,omitempty"`
 	// AddedIDs are the stable IDs of devices created by add deltas, in
 	// batch order.
 	AddedIDs []int64 `json:"added_ids,omitempty"`
@@ -103,6 +105,12 @@ type Options struct {
 	Core core.Options
 	// MaxPaths and MaxDepth bound GND-path enumeration (delay.Options).
 	MaxPaths, MaxDepth int
+	// Corners are the PVT corners to analyze alongside the base process.
+	// Empty keeps the session single-corner (exactly the base analysis).
+	// Each corner shares the session's netlist, partition, and plan; its
+	// results update atomically with every batch and are held to the same
+	// bit-identity invariant by SelfCheck.
+	Corners []tech.Corner
 	// Obs receives phase spans, cache counters, and per-design gauges
 	// from every (re-)analysis; it is also handed down to the delay
 	// builder and the core analyzer (unless Core.Obs is already set).
@@ -132,6 +140,11 @@ type Session struct {
 	// scratch usage cannot perturb the arena-backed production path.
 	arena core.Arena
 
+	// corners is the per-corner published state (nil when single-corner);
+	// baseReq lazily caches the base analysis's backward pass.
+	corners []*cornerState
+	baseReq requiredCache
+
 	applied int
 	last    Stats
 	// cacheHits and cacheMisses accumulate the delay shard-cache totals
@@ -147,11 +160,17 @@ func New(ctx context.Context, name string, nl *netlist.Netlist, opt Options) (*S
 	if opt.Obs != nil && opt.Core.Obs == nil {
 		opt.Core.Obs = opt.Obs
 	}
+	if err := validateCorners(opt.Corners); err != nil {
+		return nil, err
+	}
 	s := &Session{
 		name:  name,
 		nl:    nl,
 		opt:   opt,
 		cache: delay.NewCache(),
+	}
+	for _, c := range opt.Corners {
+		s.corners = append(s.corners, &cornerState{corner: c})
 	}
 	if _, err := s.runFull(ctx); err != nil {
 		return nil, err
@@ -204,13 +223,19 @@ func (s *Session) runFull(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	pend, err := s.analyzeCornersFull(ctx, model, res)
+	if err != nil {
+		return Stats{}, err
+	}
 	s.model, s.res = model, res
+	s.commitCorners(pend)
 	st := Stats{
 		Full:          true,
 		StagesTotal:   len(s.stages.Stages),
 		StagesRebuilt: len(s.stages.Stages),
 		ConeStages:    len(s.stages.Stages),
 		Nodes:         len(s.nl.Nodes),
+		Corners:       len(s.corners),
 		Elapsed:       time.Since(start),
 	}
 	s.last = st
@@ -465,7 +490,20 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		rollback()
 		return Stats{}, err
 	}
+	if err := faultpoint.Hit("incr.apply.corner"); err != nil {
+		rollback()
+		return Stats{}, fmt.Errorf("incr: apply: %w", err)
+	}
+	// Corners re-analyze against the staged base result; nothing commits
+	// until every corner succeeds, so an abort mid-sweep rolls the whole
+	// batch back with the published per-corner state untouched.
+	pend, err := s.analyzeCornersDelta(ctx, model, s.model, res, seed)
+	if err != nil {
+		rollback()
+		return Stats{}, err
+	}
 	s.model, s.res = model, res
+	s.commitCorners(pend)
 	rollback = nil // committed: a later panic must not unwind the batch
 	s.applied += len(deltas)
 
@@ -490,6 +528,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		NodesRelaxed:  dstats.NodesRelaxed,
 		Nodes:         len(s.nl.Nodes),
 		ReusedWave:    dstats.ReusedWave,
+		Corners:       len(s.corners),
 		Elapsed:       time.Since(start),
 	}
 	if addedIDs != nil {
@@ -566,7 +605,10 @@ func (s *Session) SelfCheck(ctx context.Context) error {
 				i, s.model.Edges[i], model.Edges[i])
 		}
 	}
-	return compareResults(s.res, ref)
+	if err := compareResults(s.res, ref); err != nil {
+		return err
+	}
+	return s.selfCheckCorners(ctx, model)
 }
 
 // compareResults asserts bit-identical arrivals and semantically identical

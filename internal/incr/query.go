@@ -74,6 +74,10 @@ type Info struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Corners counts the configured PVT corners; PerCorner carries each
+	// corner's model-reuse hit rate and signoff summary.
+	Corners   int          `json:"corners,omitempty"`
+	PerCorner []CornerInfo `json:"per_corner,omitempty"`
 	// Last reports the most recent (re-)analysis, including the dirty
 	// cone size (cone_stages) and how much was recomputed.
 	Last Stats `json:"last"`
@@ -146,7 +150,13 @@ func (s *Session) NodeTiming(name string) (NodeTiming, bool) {
 func (s *Session) Critical(k int) []CriticalEntry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ranked := s.res.TopPaths(k)
+	return criticalEntries(s.res, k)
+}
+
+// criticalEntries converts one result's ranked paths to the serializable
+// form. Callers hold a session lock.
+func criticalEntries(res *core.Result, k int) []CriticalEntry {
+	ranked := res.TopPaths(k)
 	out := make([]CriticalEntry, 0, len(ranked))
 	for _, rp := range ranked {
 		e := CriticalEntry{Check: checkInfo(rp.Check)}
@@ -184,6 +194,8 @@ func (s *Session) Info() Info {
 	if total := s.cacheHits + s.cacheMisses; total > 0 {
 		info.CacheHitRate = float64(s.cacheHits) / float64(total)
 	}
+	info.Corners = len(s.corners)
+	info.PerCorner = s.cornerInfos()
 	info.Violations = len(s.res.Violations())
 	if ms, ok := s.res.MinSlack(); ok {
 		info.MinSlack = &ms

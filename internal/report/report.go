@@ -93,6 +93,56 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// SignedSlack formats a slack with an explicit sign — "+1.23" reads as
+// margin, "-0.45" as violation — matching signoff-report convention.
+func SignedSlack(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%+.4g", v)
+}
+
+// SlackRow is one line of a slack-ordered critical report: plain strings
+// and numbers so callers in any layer can fill it without importing the
+// analyzer types.
+type SlackRow struct {
+	Node string
+	// Corner names the PVT corner that set the slack; empty for a
+	// single-corner report (the column is omitted when all rows agree).
+	Corner string
+	Pol    string
+	// Arrival, Required, Slack in ns.
+	Arrival, Required, Slack float64
+}
+
+// SlackTable renders a slack ranking, worst first, with a signed slack
+// column. The corner column appears only when some row names a corner.
+func SlackTable(title string, rows []SlackRow) *Table {
+	withCorner := false
+	for _, r := range rows {
+		if r.Corner != "" {
+			withCorner = true
+			break
+		}
+	}
+	headers := []string{"node", "pol", "arrival (ns)", "required (ns)", "slack (ns)"}
+	if withCorner {
+		headers = []string{"node", "pol", "corner", "arrival (ns)", "required (ns)", "slack (ns)"}
+	}
+	tab := NewTable(title, headers...)
+	for _, r := range rows {
+		if withCorner {
+			tab.Add(r.Node, r.Pol, r.Corner, r.Arrival, r.Required, SignedSlack(r.Slack))
+		} else {
+			tab.Add(r.Node, r.Pol, r.Arrival, r.Required, SignedSlack(r.Slack))
+		}
+	}
+	return tab
+}
+
 // Histogram renders values as an ASCII histogram with the given number of
 // bins over [min, max] of the data.
 func Histogram(title string, values []float64, bins int) string {

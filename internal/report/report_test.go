@@ -139,3 +139,43 @@ func TestPlotUnionOfX(t *testing.T) {
 		t.Errorf("x values not sorted:\n%s", out)
 	}
 }
+
+func TestSignedSlack(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.234, "+1.234"},
+		{-0.45, "-0.45"},
+		{0, "+0"},
+		{math.Inf(1), "+inf"},
+		{math.Inf(-1), "-inf"},
+	}
+	for _, c := range cases {
+		if got := SignedSlack(c.in); got != c.want {
+			t.Errorf("SignedSlack(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSlackTableCornerColumn(t *testing.T) {
+	single := SlackTable("t", []SlackRow{
+		{Node: "a", Pol: "rise", Arrival: 1, Required: 2, Slack: 1},
+	})
+	if len(single.Headers) != 5 {
+		t.Fatalf("single-corner headers = %v", single.Headers)
+	}
+	if out := single.String(); !strings.Contains(out, "+1") {
+		t.Fatalf("missing signed slack:\n%s", out)
+	}
+	multi := SlackTable("t", []SlackRow{
+		{Node: "a", Pol: "rise", Corner: "slow", Arrival: 1, Required: 0.5, Slack: -0.5},
+		{Node: "b", Pol: "fall", Corner: "fast", Arrival: 1, Required: 3, Slack: 2},
+	})
+	if len(multi.Headers) != 6 || multi.Headers[2] != "corner" {
+		t.Fatalf("multi-corner headers = %v", multi.Headers)
+	}
+	if out := multi.String(); !strings.Contains(out, "-0.5") || !strings.Contains(out, "slow") {
+		t.Fatalf("bad multi-corner table:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/incr"
+	"nmostv/internal/tech"
+)
+
+func newCornerServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Params:  tech.Default(),
+		Sched:   clocks.TwoPhase(1000, 0.8),
+		Workers: 1,
+		Corners: tech.Corners(),
+	})
+	f, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := s.Load(context.Background(), "tutorial", f); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestSlackAndCornerRoutes: the corner-aware query surface end to end —
+// /corners enumerates the configured set, /slack serves merged and
+// per-corner rankings, /critical resolves paths at a corner, and /stats
+// carries the per-corner cache hit rates.
+func TestSlackAndCornerRoutes(t *testing.T) {
+	_, ts := newCornerServer(t)
+
+	var corners []incr.CornerInfo
+	getJSON(t, ts.URL+"/corners", http.StatusOK, &corners)
+	if len(corners) != 3 {
+		t.Fatalf("/corners = %+v, want 3 entries", corners)
+	}
+	for _, ci := range corners {
+		if ci.CacheMisses != 1 || ci.CacheHits != 0 {
+			t.Fatalf("corner %s after load: hits=%d misses=%d, want 0/1", ci.Name, ci.CacheHits, ci.CacheMisses)
+		}
+	}
+
+	var merged []incr.SlackInfo
+	getJSON(t, ts.URL+"/slack", http.StatusOK, &merged)
+	if len(merged) == 0 {
+		t.Fatal("/slack returned no rows")
+	}
+	for i, row := range merged {
+		if row.Corner == "" {
+			t.Fatalf("merged row %d has no corner label: %+v", i, row)
+		}
+		if i > 0 && merged[i-1].Slack > row.Slack {
+			t.Fatal("/slack rows not worst-first")
+		}
+	}
+
+	var slow []incr.SlackInfo
+	getJSON(t, ts.URL+"/slack?corner=slow&k=3", http.StatusOK, &slow)
+	if len(slow) == 0 || len(slow) > 3 {
+		t.Fatalf("/slack?corner=slow&k=3 = %d rows", len(slow))
+	}
+	for _, row := range slow {
+		if row.Corner != "slow" {
+			t.Fatalf("slow row labeled %q", row.Corner)
+		}
+	}
+	getJSON(t, ts.URL+"/slack?corner=warm", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/slack?k=zero", http.StatusBadRequest, nil)
+
+	var crit []incr.CriticalEntry
+	getJSON(t, ts.URL+"/critical?k=2&corner=fast", http.StatusOK, &crit)
+	if len(crit) == 0 || len(crit[0].Steps) == 0 {
+		t.Fatalf("/critical at fast = %+v", crit)
+	}
+	getJSON(t, ts.URL+"/critical?corner=warm", http.StatusNotFound, nil)
+
+	var stats statsBody
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	info, ok := stats.PerDesign["tutorial"]
+	if !ok || info.Corners != 3 || len(info.PerCorner) != 3 {
+		t.Fatalf("/stats per-design corner info = %+v", info)
+	}
+
+	// A verify over the corner-extended invariant must still pass.
+	var vb verifyBody
+	getJSON(t, ts.URL+"/verify", http.StatusOK, &vb)
+	if !vb.OK {
+		t.Fatalf("/verify = %+v", vb)
+	}
+}
+
+// TestSlackRoutesSingleCorner: a server without corners still serves the
+// routes — base-analysis slacks and an empty corner list.
+func TestSlackRoutesSingleCorner(t *testing.T) {
+	_, ts := newTestServer(t)
+	var corners []incr.CornerInfo
+	getJSON(t, ts.URL+"/corners", http.StatusOK, &corners)
+	if len(corners) != 0 {
+		t.Fatalf("/corners = %+v, want empty", corners)
+	}
+	var rows []incr.SlackInfo
+	getJSON(t, ts.URL+"/slack?k=5", http.StatusOK, &rows)
+	if len(rows) == 0 {
+		t.Fatal("/slack returned no rows")
+	}
+	for _, row := range rows {
+		if row.Corner != "" {
+			t.Fatalf("single-corner row labeled %q", row.Corner)
+		}
+	}
+	getJSON(t, ts.URL+"/slack?corner=slow", http.StatusNotFound, nil)
+}

@@ -11,6 +11,12 @@
 //	POST /full?design=N    from-scratch re-analysis (escape hatch)
 //	GET  /node/{name}      per-node settle/early times, slack, checks
 //	GET  /critical?k=N     k most constrained endpoints with paths
+//	                       (&corner=name resolves them at one PVT corner)
+//	GET  /slack?k=N        slack-ordered ranking, worst first; ?corner=
+//	                       selects one corner, default is the merged
+//	                       worst-slack-per-node view across all corners
+//	GET  /corners          configured PVT corners with per-corner model
+//	                       hit rates and signoff summaries
 //	GET  /devices          device list with stable IDs (delta targets)
 //	GET  /verify           re-derive from scratch, compare bit-for-bit
 //	GET  /stats            daemon + per-design counters
@@ -70,6 +76,9 @@ type Config struct {
 	Sched clocks.Schedule
 	// Workers bounds analysis parallelism (0 = one per CPU).
 	Workers int
+	// Corners are the PVT corners every design is analyzed at alongside
+	// the base process (incr.Options.Corners). Empty = single-corner.
+	Corners []tech.Corner
 	// MaxInflight bounds concurrently running analysis requests (load,
 	// delta, full, verify); excess requests are shed with 503 +
 	// Retry-After instead of queueing behind the session locks. 0 means
@@ -179,10 +188,11 @@ func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Se
 		return nil, err
 	}
 	sess, err := incr.New(ctx, name, nl, incr.Options{
-		Params: s.cfg.Params,
-		Sched:  s.cfg.Sched,
-		Core:   core.Options{Workers: s.cfg.Workers},
-		Obs:    s.cfg.Obs,
+		Params:  s.cfg.Params,
+		Sched:   s.cfg.Sched,
+		Core:    core.Options{Workers: s.cfg.Workers},
+		Corners: s.cfg.Corners,
+		Obs:     s.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -271,6 +281,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /verify", s.heavy(s.handleVerify))
 	mux.HandleFunc("GET /node/{name}", s.handleNode)
 	mux.HandleFunc("GET /critical", s.handleCritical)
+	mux.HandleFunc("GET /slack", s.handleSlack)
+	mux.HandleFunc("GET /corners", s.handleCorners)
 	mux.HandleFunc("GET /devices", s.handleDevices)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -505,7 +517,50 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, sess.Critical(k))
+	entries, err := sess.CriticalAt(r.URL.Query().Get("corner"), k)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	k := 10
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		k, err = strconv.Atoi(kq)
+		if err != nil || k <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	rows, err := sess.Slack(k, r.URL.Query().Get("corner"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if rows == nil {
+		rows = []incr.SlackInfo{}
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	corners := sess.Corners()
+	if corners == nil {
+		corners = []incr.CornerInfo{}
+	}
+	writeJSON(w, http.StatusOK, corners)
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {

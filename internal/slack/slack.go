@@ -1,0 +1,275 @@
+// Package slack is the multi-corner (MCMM) analysis layer: it runs the
+// forward and backward timing passes at every requested PVT corner
+// concurrently over one shared netlist, stage partition, and propagation
+// plan, and merges the per-corner slacks into a worst-slack-per-node
+// signoff view.
+//
+// The sharing is what makes N corners affordable: a corner differs from
+// the typical process only by uniform R/C derates (tech.Corner), so its
+// timing model is the base model with delays rescaled (delay.ScaleModel —
+// same arcs, same masks, same structure) and its analysis can run against
+// the base plan (core.Options.Plan). Per corner, only the delay values
+// and the arrival/required/slack arrays are distinct; the netlist, stage
+// partition, flow orientation, adjacency, SCC condensation, and
+// levelization are computed once. Because every corner's inputs are
+// deterministic and the engine is bit-identical at any worker count, the
+// merged view equals running each corner independently, bit for bit.
+package slack
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/core"
+	"nmostv/internal/delay"
+	"nmostv/internal/netlist"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+// Options tunes a corner sweep.
+type Options struct {
+	// Sched is the clock schedule every corner is analyzed against.
+	Sched clocks.Schedule
+	// Core is passed through to each corner's analysis (workers, input
+	// times, SCC bound). Its Plan field is overwritten with the shared
+	// plan; its Arena must be nil — corners run concurrently and the
+	// arena contract is single-analysis-at-a-time.
+	Core core.Options
+	// Obs receives the per-corner analysis-latency histogram and sweep
+	// counters; nil disables instrumentation.
+	Obs *obs.Obs
+}
+
+// CornerResult is one corner's complete analysis.
+type CornerResult struct {
+	Corner tech.Corner
+	// Model is the corner's timing model: the base for a typical corner,
+	// a delay.ScaleModel derivation otherwise.
+	Model *delay.Model
+	// Res holds arrivals and checks at this corner.
+	Res *core.Result
+	// Req holds required times and slacks at this corner.
+	Req *core.Required
+}
+
+// Sweep is a completed multi-corner analysis.
+type Sweep struct {
+	// Corners holds every corner's analysis, in the order requested.
+	Corners []CornerResult
+	// WorstSlack[i] is the minimum over corners of node i's slack
+	// (+Inf = unconstrained at every corner).
+	WorstSlack []float64
+	// WorstCorner[i] is the index into Corners of the corner that set
+	// WorstSlack[i]; -1 when unconstrained everywhere. Ties keep the
+	// earliest corner in request order, so the merge is deterministic.
+	WorstCorner []int32
+}
+
+// Analyze runs every corner concurrently over the shared plan. The base
+// model must have been built from nl at the typical (unscaled) process;
+// an empty corner list analyzes just the typical corner. The context
+// aborts all corners; the first error wins.
+func Analyze(ctx context.Context, nl *netlist.Netlist, base *delay.Model, corners []tech.Corner, opt Options) (*Sweep, error) {
+	if len(corners) == 0 {
+		corners = []tech.Corner{tech.Typical()}
+	}
+	seen := make(map[string]bool, len(corners))
+	for _, c := range corners {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("slack: corner %q listed twice", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if err := opt.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	opt.Core.Arena = nil // corners run concurrently; no shared scratch
+	defer opt.Obs.Span("corner-sweep").End()
+
+	sp := opt.Obs.Span("shared-plan")
+	plan := core.NewPlan(len(nl.Nodes), base)
+	sp.End()
+
+	sw := &Sweep{Corners: make([]CornerResult, len(corners))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(corners))
+	for i, c := range corners {
+		wg.Add(1)
+		go func(i int, c tech.Corner) {
+			defer wg.Done()
+			cr, err := analyzeCorner(ctx, nl, base, plan, c, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("slack: corner %s: %w", c.Name, err)
+				return
+			}
+			sw.Corners[i] = cr
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sw.merge(len(nl.Nodes))
+	return sw, nil
+}
+
+// Merge assembles a Sweep from per-corner analyses computed elsewhere —
+// typically an incremental session's published corner state — and builds
+// the merged worst-slack view. The corners must all describe the same
+// netlist; the merge itself is the same deterministic min-fold Analyze
+// performs.
+func Merge(corners []CornerResult) (*Sweep, error) {
+	if len(corners) == 0 {
+		return nil, fmt.Errorf("slack: no corner results to merge")
+	}
+	nl := corners[0].Res.NL
+	for _, cr := range corners[1:] {
+		if cr.Res.NL != nl {
+			return nil, fmt.Errorf("slack: corner %s analyzed a different netlist", cr.Corner.Name)
+		}
+	}
+	sw := &Sweep{Corners: corners}
+	sw.merge(len(nl.Nodes))
+	return sw, nil
+}
+
+// analyzeCorner derives one corner's model and runs both timing passes
+// against the shared plan.
+func analyzeCorner(ctx context.Context, nl *netlist.Netlist, base *delay.Model, plan *core.Plan, c tech.Corner, opt Options) (CornerResult, error) {
+	start := time.Now()
+	copt := opt.Core
+	copt.Plan = plan
+	model := delay.ScaleModel(base, c.RScale, c.CScale)
+	res, err := core.Analyze(ctx, nl, model, opt.Sched, copt)
+	if err != nil {
+		return CornerResult{}, err
+	}
+	req, err := res.Required(ctx, copt)
+	if err != nil {
+		return CornerResult{}, err
+	}
+	lbl := obs.Label{Key: "corner", Val: c.Name}
+	opt.Obs.Counter("slack_corner_analyses_total",
+		"completed per-corner analyses (forward + backward pass)", lbl).Inc()
+	opt.Obs.Histogram("slack_corner_analysis_seconds",
+		"wall time of one corner's forward + backward analysis", nil, lbl).
+		Observe(time.Since(start).Seconds())
+	return CornerResult{Corner: c, Model: model, Res: res, Req: req}, nil
+}
+
+// merge computes the worst-slack-per-node view. min is exact in floating
+// point and ties keep the earliest corner, so the merged arrays are a
+// pure deterministic function of the per-corner results.
+func (sw *Sweep) merge(n int) {
+	sw.WorstSlack = make([]float64, n)
+	sw.WorstCorner = make([]int32, n)
+	for i := 0; i < n; i++ {
+		best, bc := math.Inf(1), int32(-1)
+		for ci := range sw.Corners {
+			if s := sw.Corners[ci].Req.NodeSlack(i); s < best {
+				best, bc = s, int32(ci)
+			}
+		}
+		sw.WorstSlack[i] = best
+		sw.WorstCorner[i] = bc
+	}
+}
+
+// Corner returns the analysis of the named corner.
+func (sw *Sweep) Corner(name string) (CornerResult, bool) {
+	for _, cr := range sw.Corners {
+		if cr.Corner.Name == name {
+			return cr, true
+		}
+	}
+	return CornerResult{}, false
+}
+
+// Entry is one row of the merged slack ranking: the worst transition of
+// one node across all corners.
+type Entry struct {
+	Node   *netlist.Node
+	Corner string
+	Pol    core.Polarity
+	// Arrival, Required, Slack at the worst corner, in ns.
+	Arrival, Required, Slack float64
+}
+
+// Ranking returns the k most critical nodes in the merged view, worst
+// slack first (k ≤ 0 = all constrained nodes). Each node appears once,
+// at its worst corner and polarity; supplies and clocks are omitted.
+func (sw *Sweep) Ranking(k int) []Entry {
+	if len(sw.Corners) == 0 {
+		return nil
+	}
+	nl := sw.Corners[0].Res.NL
+	var out []Entry
+	for _, nd := range nl.Nodes {
+		if nd.IsSupply() || nd.IsClock() {
+			continue
+		}
+		ci := sw.WorstCorner[nd.Index]
+		if ci < 0 {
+			continue
+		}
+		cr := &sw.Corners[ci]
+		pol := core.Rise
+		if cr.Req.SlackFall[nd.Index] < cr.Req.SlackRise[nd.Index] {
+			pol = core.Fall
+		}
+		at := cr.Res.RiseAt[nd.Index]
+		if pol == core.Fall {
+			at = cr.Res.FallAt[nd.Index]
+		}
+		out = append(out, Entry{
+			Node: nd, Corner: cr.Corner.Name, Pol: pol,
+			Arrival: at, Required: cr.Req.RAT(nd.Index, pol),
+			Slack: sw.WorstSlack[nd.Index],
+		})
+	}
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Slack != b.Slack {
+			if a.Slack < b.Slack {
+				return -1
+			}
+			return 1
+		}
+		return a.Node.Index - b.Node.Index
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// WorstOverall returns the single worst merged slack and where it
+// occurs, over the same node population the ranking reports (supplies
+// and clocks excluded); ok=false when nothing is constrained.
+func (sw *Sweep) WorstOverall() (nd *netlist.Node, corner string, slack float64, ok bool) {
+	slack = math.Inf(1)
+	bi := -1
+	nl := sw.Corners[0].Res.NL
+	for _, n := range nl.Nodes {
+		if n.IsSupply() || n.IsClock() {
+			continue
+		}
+		if s := sw.WorstSlack[n.Index]; s < slack {
+			slack, bi = s, n.Index
+		}
+	}
+	if bi < 0 || math.IsInf(slack, 1) {
+		return nil, "", slack, false
+	}
+	return nl.Nodes[bi], sw.Corners[sw.WorstCorner[bi]].Corner.Name, slack, true
+}

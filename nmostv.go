@@ -32,6 +32,7 @@ import (
 	"nmostv/internal/netlist"
 	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
+	"nmostv/internal/slack"
 	"nmostv/internal/stage"
 	"nmostv/internal/tech"
 )
@@ -66,6 +67,16 @@ type (
 	ERCFinding = erc.Finding
 	// ChargeFinding is one charge-sharing exposure report.
 	ChargeFinding = charge.Finding
+	// Corner is a named PVT corner (uniform R/C derates).
+	Corner = tech.Corner
+	// Required holds per-node required times and slacks (backward pass).
+	Required = core.Required
+	// SlackEntry is one row of a slack-ordered critical ranking.
+	SlackEntry = core.SlackEntry
+	// CornerSweep is a completed multi-corner analysis.
+	CornerSweep = slack.Sweep
+	// CornerResult is one corner's analysis within a sweep.
+	CornerResult = slack.CornerResult
 )
 
 // Transition polarities.
@@ -85,6 +96,13 @@ func TwoPhase(period, activeFrac float64) Schedule {
 
 // FormatPath renders a critical path listing.
 func FormatPath(steps []Step) string { return core.FormatPath(steps) }
+
+// ParseCorners parses a comma-separated corner spec — builtin names
+// (slow, typ, fast) or name:rscale:cscale triples.
+func ParseCorners(spec string) ([]Corner, error) { return tech.ParseCorners(spec) }
+
+// Corners returns the builtin corner set: slow, typ, fast.
+func Corners() []Corner { return tech.Corners() }
 
 // Design is a prepared circuit: staged, flow-analyzed, with timing arcs
 // built — everything Analyze needs, reusable across schedules.
@@ -164,6 +182,15 @@ func (d *Design) Analyze(sched Schedule, opt AnalyzeOptions) (*Result, error) {
 // the context and an aborted analysis returns its error with no result.
 func (d *Design) AnalyzeContext(ctx context.Context, sched Schedule, opt AnalyzeOptions) (*Result, error) {
 	return core.Analyze(ctx, d.NL, d.Model, sched, opt)
+}
+
+// AnalyzeCorners runs forward and backward timing passes at every corner
+// concurrently over the design's shared propagation plan and merges the
+// per-corner slacks into a worst-slack-per-node view. An empty corner
+// list analyzes just the typical corner.
+func (d *Design) AnalyzeCorners(sched Schedule, corners []Corner, opt AnalyzeOptions) (*CornerSweep, error) {
+	return slack.Analyze(context.Background(), d.NL, d.Model, corners,
+		slack.Options{Sched: sched, Core: opt, Obs: opt.Obs})
 }
 
 // MinPeriod searches for the smallest passing clock period in [lo, hi] ns
