@@ -16,6 +16,9 @@
 //	-checks n       print the n worst checks (default 10)
 //	-slack n        print the n worst-slack transitions (default 10,
 //	                0 disables); slack = required − arrival per node
+//	-paths k        print the k worst ranked paths with full hop
+//	                sequences, streamed lazily from the path generator
+//	                (0 disables)
 //	-corners list   multi-corner (MCMM) sweep: comma-separated builtin
 //	                names (slow, typ, fast) or name:rscale:cscale
 //	                derates; prints per-corner summaries and the merged
@@ -48,6 +51,7 @@ import (
 
 	"nmostv"
 	"nmostv/internal/obs"
+	"nmostv/internal/paths"
 	"nmostv/internal/report"
 	"nmostv/internal/simfile"
 )
@@ -82,6 +86,7 @@ func main() {
 	nodes := flag.Bool("nodes", false, "print per-node settle times")
 	nChecks := flag.Int("checks", 10, "number of worst checks to print")
 	nSlack := flag.Int("slack", 10, "number of worst-slack transitions to print (0 = none)")
+	nPaths := flag.Int("paths", 0, "number of worst ranked paths to print (0 = none)")
 	cornerSpec := flag.String("corners", "", "comma-separated PVT corners for a multi-corner sweep")
 	runERC := flag.Bool("erc", false, "run electrical rule checks")
 	runCharge := flag.Bool("charge", false, "run charge-sharing analysis")
@@ -255,6 +260,10 @@ func main() {
 		}
 	}
 
+	if *nPaths > 0 {
+		printPaths(res, *nPaths)
+	}
+
 	cornerFail := false
 	if *cornerSpec != "" {
 		corners, err := nmostv.ParseCorners(*cornerSpec)
@@ -318,6 +327,47 @@ func slackRows(ranked []nmostv.SlackEntry, corner string) []report.SlackRow {
 		}
 	}
 	return rows
+}
+
+// printPaths streams the k worst ranked paths from the lazy generator:
+// a header line per path (endpoint, check kind, arrival/required/slack),
+// then the hop sequence source-first with per-hop delays and the
+// representative device that drives each arc.
+func printPaths(res *nmostv.Result, k int) {
+	fmt.Println()
+	fmt.Printf("worst %d paths:\n", k)
+	g := paths.New(res)
+	printed := 0
+	for ; printed < k; printed++ {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		wrap := ""
+		if p.Wrapped {
+			wrap = " wrapped"
+		}
+		fmt.Printf("#%d  %s %s (%s φ%d%s)  arrival %.4g  required %.4g  slack %s\n",
+			p.Rank, res.NL.Nodes[p.Node].Name, p.Pol, p.Kind, p.Phase, wrap,
+			p.Arrival, p.Required, report.SignedSlack(p.Slack))
+		for _, s := range p.Steps {
+			via := ""
+			if s.Arc >= 0 {
+				if tr := res.NL.TransByID(res.Model.Edges[s.Arc].Via); tr != nil && tr.Gate != nil {
+					via = "  via " + tr.Gate.Name
+				}
+			}
+			clamp := ""
+			if s.Clamped {
+				clamp = "  (clock-clamped)"
+			}
+			fmt.Printf("    %-20s %-4s @ %-10.4g +%.4g%s%s\n",
+				res.NL.Nodes[s.Node].Name, s.Pol, s.Arrival, s.Delay, via, clamp)
+		}
+	}
+	if printed == 0 {
+		fmt.Println("  (no ranked paths)")
+	}
 }
 
 // printCorners renders the multi-corner section: one summary line per

@@ -28,6 +28,9 @@
 //	-max-designs n   design registry cap; loading past it evicts the
 //	                 least-recently-used design (default 16, negative
 //	                 disables eviction)
+//	-history n       retained analysis versions per design, the window
+//	                 GET /diff and /versions can reach back over
+//	                 (default 4; 1 keeps only the latest)
 //	-drain-timeout d how long SIGINT/SIGTERM waits for in-flight
 //	                 requests before forcing exit (default 10s)
 //	-metrics-addr    also serve GET /metrics on a dedicated listener;
@@ -123,6 +126,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "concurrent analysis requests before shedding with 503 (0 = default, negative disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline on analysis routes (0 = default, negative disables)")
 	maxDesigns := flag.Int("max-designs", 0, "design registry cap with LRU eviction (0 = default, negative disables)")
+	history := flag.Int("history", 0, "retained analysis versions per design for /diff and /versions (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	metricsAddr := flag.String("metrics-addr", "", "also serve /metrics (and -pprof) on this dedicated address; pprof then stays off the main address")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof (exposes internals; only enable on a trusted interface)")
@@ -159,6 +163,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxDesigns:     *maxDesigns,
+		HistoryDepth:   *history,
 		Logf:           logger.Printf,
 		Obs:            o,
 	}

@@ -507,16 +507,7 @@ func (a *analysis) isFixed(idx int, pol Polarity) bool {
 // phase mask: ok=false when the mask requires both phases (dead path).
 // A zero mask imposes no constraint.
 func (a *analysis) maskWindow(mask uint8) (clampRise, deadline float64, constrained, ok bool) {
-	switch mask {
-	case 0:
-		return 0, 0, false, true
-	case delay.MaskPhi1:
-		return a.Sched.Rise(1), a.Sched.Fall(1), true, true
-	case delay.MaskPhi2:
-		return a.Sched.Rise(2), a.Sched.Fall(2), true, true
-	default:
-		return 0, 0, false, false
-	}
+	return MaskWindow(a.Sched, mask)
 }
 
 // relaxEdge computes the candidate arrival contributed by edge ei for the

@@ -85,6 +85,13 @@ type Stats struct {
 	// ReusedWave reports that the timing-arc model was unchanged and the
 	// propagation plan was reused outright.
 	ReusedWave bool `json:"reused_wave,omitempty"`
+	// Version is the session's publish sequence number: it increments on
+	// every committed (re-)analysis and names this result for Diff.
+	Version int64 `json:"version"`
+	// ChangedNodes counts the nodes whose published arrivals differ
+	// bitwise from the previous version (new nodes included) — the
+	// batch's "what did this change" headline.
+	ChangedNodes int `json:"changed_nodes"`
 	// Corners counts the PVT corners re-analyzed alongside the base.
 	Corners int `json:"corners,omitempty"`
 	// AddedIDs are the stable IDs of devices created by add deltas, in
@@ -111,6 +118,12 @@ type Options struct {
 	// results update atomically with every batch and are held to the same
 	// bit-identity invariant by SelfCheck.
 	Corners []tech.Corner
+	// HistoryDepth bounds the version ring: how many published results
+	// the session retains for Diff queries (each retained version pins
+	// its immutable Result, so memory grows with depth × design size).
+	// 0 means DefaultHistoryDepth; 1 keeps only the latest (disabling
+	// diffs against earlier versions).
+	HistoryDepth int
 	// Obs receives phase spans, cache counters, and per-design gauges
 	// from every (re-)analysis; it is also handed down to the delay
 	// builder and the core analyzer (unless Core.Obs is already set).
@@ -144,6 +157,11 @@ type Session struct {
 	// baseReq lazily caches the base analysis's backward pass.
 	corners []*cornerState
 	baseReq requiredCache
+
+	// history is the version ring of retained published results (latest
+	// last); seq is the monotone publish counter. See debug.go.
+	history []*version
+	seq     int64
 
 	applied int
 	last    Stats
@@ -238,6 +256,7 @@ func (s *Session) runFull(ctx context.Context) (Stats, error) {
 		Corners:       len(s.corners),
 		Elapsed:       time.Since(start),
 	}
+	s.record(&st)
 	s.last = st
 	s.publish(st, bstats)
 	return st, nil
@@ -534,6 +553,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 	if addedIDs != nil {
 		st.AddedIDs = *addedIDs
 	}
+	s.record(&st)
 	s.last = st
 	s.publish(st, bstats)
 	return st, nil

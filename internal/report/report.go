@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -118,26 +119,57 @@ type SlackRow struct {
 	Arrival, Required, Slack float64
 }
 
-// SlackTable renders a slack ranking, worst first, with a signed slack
-// column. The corner column appears only when some row names a corner.
+// SortSlackRows orders rows under the report's total order: slack
+// ascending (worst margin first), then node name, then polarity, then
+// corner. The analyzer's own rankings order by slack alone, so rows
+// whose slacks tie exactly — common in symmetric structures like
+// register files, where many bit slices share one delay — would
+// otherwise render in an order that depends on traversal internals.
+// The name keys break every tie deterministically: no two rows share
+// (node, pol, corner), so equal-slack rows always print, and number,
+// the same way.
+func SortSlackRows(rows []SlackRow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Slack != b.Slack {
+			return a.Slack < b.Slack
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Pol != b.Pol {
+			return a.Pol < b.Pol
+		}
+		return a.Corner < b.Corner
+	})
+}
+
+// SlackTable renders a slack ranking, worst first, with a 1-based rank
+// column and a signed slack column. Rows are re-sorted under the
+// SortSlackRows total order (the caller's slice is left untouched), so
+// tied slacks get stable ranks regardless of input permutation. The
+// corner column appears only when some row names a corner.
 func SlackTable(title string, rows []SlackRow) *Table {
+	sorted := make([]SlackRow, len(rows))
+	copy(sorted, rows)
+	SortSlackRows(sorted)
 	withCorner := false
-	for _, r := range rows {
+	for _, r := range sorted {
 		if r.Corner != "" {
 			withCorner = true
 			break
 		}
 	}
-	headers := []string{"node", "pol", "arrival (ns)", "required (ns)", "slack (ns)"}
+	headers := []string{"#", "node", "pol", "arrival (ns)", "required (ns)", "slack (ns)"}
 	if withCorner {
-		headers = []string{"node", "pol", "corner", "arrival (ns)", "required (ns)", "slack (ns)"}
+		headers = []string{"#", "node", "pol", "corner", "arrival (ns)", "required (ns)", "slack (ns)"}
 	}
 	tab := NewTable(title, headers...)
-	for _, r := range rows {
+	for i, r := range sorted {
 		if withCorner {
-			tab.Add(r.Node, r.Pol, r.Corner, r.Arrival, r.Required, SignedSlack(r.Slack))
+			tab.Add(i+1, r.Node, r.Pol, r.Corner, r.Arrival, r.Required, SignedSlack(r.Slack))
 		} else {
-			tab.Add(r.Node, r.Pol, r.Arrival, r.Required, SignedSlack(r.Slack))
+			tab.Add(i+1, r.Node, r.Pol, r.Arrival, r.Required, SignedSlack(r.Slack))
 		}
 	}
 	return tab

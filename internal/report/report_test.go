@@ -1,6 +1,7 @@
 package report
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -162,7 +163,7 @@ func TestSlackTableCornerColumn(t *testing.T) {
 	single := SlackTable("t", []SlackRow{
 		{Node: "a", Pol: "rise", Arrival: 1, Required: 2, Slack: 1},
 	})
-	if len(single.Headers) != 5 {
+	if len(single.Headers) != 6 || single.Headers[0] != "#" {
 		t.Fatalf("single-corner headers = %v", single.Headers)
 	}
 	if out := single.String(); !strings.Contains(out, "+1") {
@@ -172,10 +173,65 @@ func TestSlackTableCornerColumn(t *testing.T) {
 		{Node: "a", Pol: "rise", Corner: "slow", Arrival: 1, Required: 0.5, Slack: -0.5},
 		{Node: "b", Pol: "fall", Corner: "fast", Arrival: 1, Required: 3, Slack: 2},
 	})
-	if len(multi.Headers) != 6 || multi.Headers[2] != "corner" {
+	if len(multi.Headers) != 7 || multi.Headers[3] != "corner" {
 		t.Fatalf("multi-corner headers = %v", multi.Headers)
 	}
 	if out := multi.String(); !strings.Contains(out, "-0.5") || !strings.Contains(out, "slow") {
 		t.Fatalf("bad multi-corner table:\n%s", out)
+	}
+}
+
+// TestSlackTableStableTiebreak pins the rank tiebreak: rows whose
+// slacks tie exactly (as symmetric bit slices do) must render in the
+// documented (slack, node, pol, corner) total order — the same table,
+// byte for byte, from any input permutation — and the caller's slice
+// must not be reordered.
+func TestSlackTableStableTiebreak(t *testing.T) {
+	rows := []SlackRow{
+		{Node: "alu.b3", Pol: "rise", Corner: "slow", Arrival: 4, Required: 3, Slack: -1},
+		{Node: "alu.b1", Pol: "rise", Corner: "slow", Arrival: 4, Required: 3, Slack: -1},
+		{Node: "alu.b1", Pol: "fall", Corner: "slow", Arrival: 4, Required: 3, Slack: -1},
+		{Node: "alu.b1", Pol: "fall", Corner: "fast", Arrival: 4, Required: 3, Slack: -1},
+		{Node: "alu.b2", Pol: "rise", Corner: "slow", Arrival: 5, Required: 3, Slack: -2},
+	}
+	want := SlackTable("ties", rows).String()
+
+	// The worst (unique) slack leads, then the tied group in name order.
+	lines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	if len(lines) != 8 { // title, header, rule, 5 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), want)
+	}
+	for i, prefix := range []string{"1  alu.b2", "2  alu.b1  fall  fast", "3  alu.b1  fall  slow",
+		"4  alu.b1  rise", "5  alu.b3"} {
+		if !strings.HasPrefix(lines[3+i], prefix) {
+			t.Fatalf("row %d = %q, want prefix %q\nfull table:\n%s", i+1, lines[3+i], prefix, want)
+		}
+	}
+
+	// Every permutation renders the identical table.
+	perm := []SlackRow{rows[4], rows[2], rows[0], rows[3], rows[1]}
+	before := fmt.Sprint(perm)
+	if got := SlackTable("ties", perm).String(); got != want {
+		t.Fatalf("permuted input changed the table:\n%s\nvs\n%s", got, want)
+	}
+	if fmt.Sprint(perm) != before {
+		t.Fatal("SlackTable reordered the caller's slice")
+	}
+}
+
+func TestSortSlackRowsTotalOrder(t *testing.T) {
+	rows := []SlackRow{
+		{Node: "b", Pol: "rise", Slack: 1},
+		{Node: "a", Pol: "rise", Slack: 1},
+		{Node: "a", Pol: "fall", Slack: 1},
+		{Node: "c", Pol: "fall", Slack: 0},
+	}
+	SortSlackRows(rows)
+	got := ""
+	for _, r := range rows {
+		got += r.Node + r.Pol + " "
+	}
+	if got != "cfall afall arise brise " {
+		t.Fatalf("order = %q", got)
 	}
 }

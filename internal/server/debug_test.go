@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/incr"
+	"nmostv/internal/tech"
+)
+
+// readNDJSON decodes an application/x-ndjson body into paths.
+func readNDJSON(t *testing.T, body io.Reader) []incr.PathInfo {
+	t.Helper()
+	var out []incr.PathInfo
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var p incr.PathInfo
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPathsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/paths?k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /paths = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := readNDJSON(t, resp.Body)
+	if len(got) == 0 || len(got) > 5 {
+		t.Fatalf("got %d paths for k=5", len(got))
+	}
+	for i, p := range got {
+		if p.Rank != i+1 {
+			t.Fatalf("path %d has rank %d", i, p.Rank)
+		}
+		if len(p.Steps) == 0 || p.Steps[len(p.Steps)-1].Node == "" {
+			t.Fatalf("path %d has no steps: %+v", i, p)
+		}
+		if i > 0 && p.Slack < got[i-1].Slack-1e-9 {
+			t.Fatalf("paths not worst-first: %v after %v", p.Slack, got[i-1].Slack)
+		}
+	}
+
+	// The top path's cause transition must agree with /why on the same
+	// node: same arrival, bit for bit, through two independent walks.
+	top := got[0]
+	cause := top.Steps[len(top.Steps)-1]
+	if top.Kind == "latch-settle" && len(top.Steps) >= 2 {
+		cause = top.Steps[len(top.Steps)-2]
+	}
+	var why incr.WhyInfo
+	getJSON(t, ts.URL+"/why?node="+cause.Node+"&pol="+cause.Pol, http.StatusOK, &why)
+	if why.Arrival != cause.Arrival {
+		t.Fatalf("/why arrival %v != top path cause arrival %v", why.Arrival, cause.Arrival)
+	}
+	if len(why.Hops) == 0 || why.Hops[0].Launch != why.Hops[0].Arrival {
+		t.Fatalf("why trace malformed: %+v", why.Hops)
+	}
+
+	// Parameter taxonomy.
+	getJSON(t, ts.URL+"/paths?k=0", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/paths?k=banana", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/paths?corner=cryogenic", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/why", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/why?node=no-such-node", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/why?node="+cause.Node+"&pol=sideways", http.StatusBadRequest, nil)
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// One version only: the default diff has nothing earlier to compare.
+	getJSON(t, ts.URL+"/diff", http.StatusNotFound, nil)
+
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices", http.StatusOK, &devs)
+	var st incr.Stats
+	postJSON(t, ts.URL+"/delta", `[{"op":"resize","id":`+jsonID(devs[0].ID)+`,"w":11}]`,
+		http.StatusOK, &st)
+	if st.Version < 2 || st.ChangedNodes == 0 {
+		t.Fatalf("delta stats lack version/changed: %+v", st)
+	}
+
+	var d incr.DiffInfo
+	getJSON(t, ts.URL+"/diff", http.StatusOK, &d)
+	if d.From != st.Version-1 || d.To != st.Version {
+		t.Fatalf("default diff range %d..%d, want %d..%d", d.From, d.To, st.Version-1, st.Version)
+	}
+	if d.ChangedCount == 0 || len(d.Changed) == 0 {
+		t.Fatalf("resize diff is empty: %+v", d)
+	}
+	// The diff also includes slack-only moves (required times shift when
+	// arc delays do), so its count is a superset of the arrival-bitwise
+	// Stats.ChangedNodes headline.
+	if d.ChangedCount < st.ChangedNodes {
+		t.Fatalf("diff count %d < Stats.ChangedNodes %d", d.ChangedCount, st.ChangedNodes)
+	}
+
+	var vs []incr.VersionInfo
+	getJSON(t, ts.URL+"/versions", http.StatusOK, &vs)
+	if len(vs) < 2 || vs[len(vs)-1].Seq != st.Version {
+		t.Fatalf("versions = %+v", vs)
+	}
+
+	// A huge eps swallows every move.
+	getJSON(t, ts.URL+"/diff?eps=1e9", http.StatusOK, &d)
+	if d.ChangedCount != 0 {
+		t.Fatalf("eps=1e9 still reports %d changed nodes", d.ChangedCount)
+	}
+
+	// Parameter taxonomy.
+	getJSON(t, ts.URL+"/diff?from=banana", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?from=-1", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?eps=-2", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?eps=NaN", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?k=-3", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?limit=-1", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/diff?from=999", http.StatusNotFound, nil)
+}
+
+// TestPathsClientDisconnect is the goroutine-leak guard: a client that
+// walks away mid-stream must not leave the handler goroutine spinning.
+// The generator is pull-based, so the handler parks in the next write,
+// notices the dead connection, and returns.
+func TestPathsClientDisconnect(t *testing.T) {
+	_, ts := newTestServer(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/paths?k=1000000", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read one line to prove the stream started, then hang up.
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadString('\n'); err != nil {
+			cancel()
+			t.Fatalf("first path: %v", err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+	// The handler goroutines unwind as the server notices the closed
+	// connections; give them a moment before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by disconnected /paths streams: %d before, %d after", before, after)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// newFuzzServer builds the daemon once per fuzz process.
+func newFuzzServer(f *testing.F) *Server {
+	f.Helper()
+	s := New(Config{
+		Params:  tech.Default(),
+		Sched:   clocks.TwoPhase(1000, 0.8),
+		Workers: 1,
+		Corners: []tech.Corner{tech.Slow(), tech.Typical(), tech.Fast()},
+	})
+	sim, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer sim.Close()
+	if _, err := s.Load(context.Background(), "tutorial", sim); err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+// FuzzPathQuery drives the /paths, /why, and /diff query parsers with
+// arbitrary parameter strings: every response must be a well-formed
+// HTTP status — 200 with parseable output, or a tverr-classified 4xx —
+// and the handler must never panic (a panic trips the recovery
+// middleware's 500, which the fuzz target rejects).
+func FuzzPathQuery(f *testing.F) {
+	srv := newFuzzServer(f)
+	h := srv.Handler()
+	f.Add("5", "typ", "dout", "0")
+	f.Add("0", "", "", "")
+	f.Add("-1", "slow", "phi1", "1e-9")
+	f.Add("10000", "cryogenic", "no-such-node", "NaN")
+	f.Add("banana", "fast", "dout", "-5")
+	f.Add("9999999999999999999999", "typ%00", "a&b=c", "+Inf")
+	f.Fuzz(func(t *testing.T, k, corner, node, eps string) {
+		for _, target := range []string{
+			"/paths?k=" + queryEscape(k) + "&corner=" + queryEscape(corner),
+			"/why?node=" + queryEscape(node) + "&pol=" + queryEscape(k) + "&corner=" + queryEscape(corner),
+			"/diff?from=" + queryEscape(k) + "&eps=" + queryEscape(eps) + "&limit=" + queryEscape(k),
+		} {
+			req, err := http.NewRequest(http.MethodGet, target, nil)
+			if err != nil {
+				continue // unencodable parameter combination
+			}
+			rec := &fuzzRecorder{header: make(http.Header)}
+			h.ServeHTTP(rec, req)
+			if rec.status >= 500 {
+				t.Fatalf("GET %s = %d (panic or internal error)\nbody: %s", target, rec.status, rec.body.String())
+			}
+			if rec.status == 0 {
+				t.Fatalf("GET %s wrote no status", target)
+			}
+		}
+	})
+}
+
+// fuzzRecorder is a minimal ResponseWriter for the fuzz target;
+// deliberately NOT an http.Flusher, so the streaming handler's flusher
+// type-assertion failure path is exercised too.
+type fuzzRecorder struct {
+	header http.Header
+	status int
+	body   strings.Builder
+}
+
+func (r *fuzzRecorder) Header() http.Header { return r.header }
+func (r *fuzzRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+func (r *fuzzRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if r.body.Len() < 1<<16 {
+		r.body.Write(p)
+	}
+	return len(p), nil
+}
+
+// queryEscape keeps fuzz inputs inside a single query value.
+func queryEscape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_', c == '~':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}

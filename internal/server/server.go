@@ -15,6 +15,20 @@
 //	GET  /slack?k=N        slack-ordered ranking, worst first; ?corner=
 //	                       selects one corner, default is the merged
 //	                       worst-slack-per-node view across all corners
+//	GET  /paths?k=N        the k worst paths as NDJSON, one path per
+//	                       line, streamed lazily (k=10000 does not
+//	                       buffer 10000 paths); ?corner= selects a PVT
+//	                       corner's analysis
+//	GET  /why?node=X       "why is X late": the dominant-arrival chain
+//	                       from a fixed source with per-hop delay and
+//	                       clock-wait contributions; ?pol=rise|fall,
+//	                       ?corner= (default: the node's worst corner)
+//	GET  /diff?from=&to=   what changed between two published versions
+//	                       (?eps= tolerance, default bitwise; ?k= rank
+//	                       comparison depth; defaults diff the last
+//	                       delta batch)
+//	GET  /versions         retained versions with publish sequence
+//	                       numbers (the from/to namespace of /diff)
 //	GET  /corners          configured PVT corners with per-corner model
 //	                       hit rates and signoff summaries
 //	GET  /devices          device list with stable IDs (delta targets)
@@ -42,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -95,6 +110,10 @@ type Config struct {
 	// MaxLoadBytes and MaxDeltaBytes cap the request bodies of POST
 	// /load and POST /delta (413 on overrun). 0 means the defaults.
 	MaxLoadBytes, MaxDeltaBytes int64
+	// HistoryDepth bounds each session's retained-version ring for GET
+	// /diff and /versions (incr.Options.HistoryDepth). 0 means
+	// incr.DefaultHistoryDepth; 1 keeps only the latest version.
+	HistoryDepth int
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 	// Obs collects per-route request counters and latency histograms and
@@ -188,11 +207,12 @@ func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Se
 		return nil, err
 	}
 	sess, err := incr.New(ctx, name, nl, incr.Options{
-		Params:  s.cfg.Params,
-		Sched:   s.cfg.Sched,
-		Core:    core.Options{Workers: s.cfg.Workers},
-		Corners: s.cfg.Corners,
-		Obs:     s.cfg.Obs,
+		Params:       s.cfg.Params,
+		Sched:        s.cfg.Sched,
+		Core:         core.Options{Workers: s.cfg.Workers},
+		Corners:      s.cfg.Corners,
+		Obs:          s.cfg.Obs,
+		HistoryDepth: s.cfg.HistoryDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +301,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /verify", s.heavy(s.handleVerify))
 	mux.HandleFunc("GET /node/{name}", s.handleNode)
 	mux.HandleFunc("GET /critical", s.handleCritical)
+	mux.HandleFunc("GET /paths", s.handlePaths)
+	mux.HandleFunc("GET /why", s.handleWhy)
+	mux.HandleFunc("GET /diff", s.handleDiff)
+	mux.HandleFunc("GET /versions", s.handleVersions)
 	mux.HandleFunc("GET /slack", s.handleSlack)
 	mux.HandleFunc("GET /corners", s.handleCorners)
 	mux.HandleFunc("GET /devices", s.handleDevices)
@@ -311,6 +335,14 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(p []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON /paths) can push each line through the middleware stack.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // timed wraps the mux with request accounting: per-route counters labeled
@@ -523,6 +555,134 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, entries)
+}
+
+// handlePaths streams the k worst paths as NDJSON, one path per line.
+// The stream pulls lazily from the session's path generator — created
+// under the session read lock, consumed without it — so a large k costs
+// memory proportional to the search frontier, not to k, and a slow
+// client never blocks delta traffic. Each line is flushed as it is
+// produced, and the loop stops as soon as the client disconnects.
+// Deliberately not behind the heavy admission gate: reads of the
+// published result must stay available while the write path saturates.
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	k := 10
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		k, err = strconv.Atoi(kq)
+		if err != nil || k <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	stream, err := sess.PathStream(r.URL.Query().Get("corner"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for i := 0; i < k; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		p, ok := stream.Next()
+		if !ok {
+			return
+		}
+		if err := enc.Encode(p); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q := r.URL.Query()
+	node := q.Get("node")
+	if node == "" {
+		writeErr(w, http.StatusBadRequest, "missing node parameter")
+		return
+	}
+	info, err := sess.Why(node, q.Get("pol"), q.Get("corner"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q := r.URL.Query()
+	var from, to int64
+	for name, dst := range map[string]*int64{"from": &from, "to": &to} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				writeErr(w, http.StatusBadRequest, "bad %s %q", name, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	eps := 0.0
+	if e := q.Get("eps"); e != "" {
+		eps, err = strconv.ParseFloat(e, 64)
+		if err != nil || eps < 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+			writeErr(w, http.StatusBadRequest, "bad eps %q", e)
+			return
+		}
+	}
+	k := 10
+	if kq := q.Get("k"); kq != "" {
+		k, err = strconv.Atoi(kq)
+		if err != nil || k < 0 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	limit := 100
+	if lq := q.Get("limit"); lq != "" {
+		limit, err = strconv.Atoi(lq)
+		if err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", lq)
+			return
+		}
+	}
+	info, err := sess.Diff(from, to, eps, k, limit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Versions())
 }
 
 func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
