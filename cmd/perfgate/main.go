@@ -20,6 +20,12 @@
 // times the single-corner rate, its live heap stays under the T9 memory
 // ceiling, and its outputs match independent per-corner runs bit for bit.
 //
+// When the baseline carries a recorder_target_transistors entry, the gate
+// also measures flight-recorder overhead on the incremental apply path at
+// that size (bench T10) and fails if the recorder-on median exceeds
+// recorder_overhead_ceiling times the recorder-off median — the recorder
+// is always on in production, so a regression here taxes every request.
+//
 // Usage:
 //
 //	perfgate                      # gate against testdata/perf_baseline.json
@@ -45,7 +51,13 @@ type baseline struct {
 	// CornerRatioFloor × the single-corner rate (0 = the T9 default).
 	CornerTarget     int     `json:"corner_target_transistors,omitempty"`
 	CornerRatioFloor float64 `json:"corner_ratio_floor,omitempty"`
-	Note             string  `json:"note,omitempty"`
+	// RecorderTarget, when positive, adds the flight-recorder gate: the
+	// incremental apply path with a recorder request span attached must
+	// stay within RecorderOverheadCeiling × the recorder-off median at
+	// this size (0 = the T10 default, 1.03).
+	RecorderTarget          int     `json:"recorder_target_transistors,omitempty"`
+	RecorderOverheadCeiling float64 `json:"recorder_overhead_ceiling,omitempty"`
+	Note                    string  `json:"note,omitempty"`
 }
 
 type gateResult struct {
@@ -58,6 +70,10 @@ type gateResult struct {
 	// the multi-corner gate.
 	CornerFloor  float64         `json:"corner_ratio_floor,omitempty"`
 	CornerSample *bench.T9Sample `json:"corner_sample,omitempty"`
+	// RecorderCeiling and RecorderSample are present when the baseline
+	// enables the flight-recorder gate.
+	RecorderCeiling float64          `json:"recorder_overhead_ceiling,omitempty"`
+	RecorderSample  *bench.T10Sample `json:"recorder_sample,omitempty"`
 }
 
 func main() {
@@ -105,10 +121,25 @@ func main() {
 			cs.Corners, cs.Transistors, cs.PerCornerRatio, cornerFloor, cs.MemRatio, bench.T9MemCeiling, cs.BitIdentical)
 	}
 
+	var recorderSample *bench.T10Sample
+	recorderCeiling := b.RecorderOverheadCeiling
+	recorderPass := true
+	if b.RecorderTarget > 0 {
+		if recorderCeiling <= 0 {
+			recorderCeiling = bench.T10OverheadCeiling
+		}
+		rs := bench.MeasureRecorderOverhead(b.RecorderTarget, b.Workers)
+		recorderSample = &rs
+		recorderPass = rs.Overhead <= recorderCeiling
+		fmt.Printf("perfgate: flight recorder at %d transistors: %.2f%% apply overhead (ceiling %.0f%%), %d spans/apply, medians of %d pairs\n",
+			rs.Transistors, 100*(rs.Overhead-1), 100*(recorderCeiling-1), rs.SpansPerApply, rs.Pairs)
+	}
+
 	if *out != "" {
 		res := gateResult{Experiment: "perf-smoke", Baseline: b, Floor: floor,
-			Pass: pass && cornerPass, Sample: sample,
-			CornerFloor: cornerFloor, CornerSample: cornerSample}
+			Pass: pass && cornerPass && recorderPass, Sample: sample,
+			CornerFloor: cornerFloor, CornerSample: cornerSample,
+			RecorderCeiling: recorderCeiling, RecorderSample: recorderSample}
 		blob, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perfgate: marshal: %v\n", err)
@@ -127,6 +158,10 @@ func main() {
 	}
 	if !cornerPass {
 		fmt.Fprintf(os.Stderr, "perfgate: FAIL — multi-corner sweep missed its throughput, memory, or bit-identity budget\n")
+		os.Exit(1)
+	}
+	if !recorderPass {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL — flight recorder overhead exceeded its ceiling on the apply path\n")
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: PASS")

@@ -102,7 +102,7 @@ func main() {
 	flag.Parse()
 
 	if *showVersion {
-		fmt.Printf("tv %s\n", version)
+		fmt.Printf("tv %s %s\n", version, runtime.Version())
 		return
 	}
 	if flag.NArg() != 1 {

@@ -2,10 +2,10 @@
 
 package main
 
-import "log"
+import "nmostv/internal/obs"
 
 // armFaultPoints is a no-op in production builds: the fault-injection
 // harness only exists in binaries built with -tags faultpoint (the CI
 // chaos-smoke job), so a stray TVD_FAULTPOINTS in the environment cannot
 // sabotage a real deployment.
-func armFaultPoints(*log.Logger) error { return nil }
+func armFaultPoints(*obs.Logger) error { return nil }

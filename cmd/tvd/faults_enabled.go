@@ -3,17 +3,17 @@
 package main
 
 import (
-	"log"
 	"os"
 
 	"nmostv/internal/faultpoint"
+	"nmostv/internal/obs"
 )
 
 // armFaultPoints arms the fault-injection registry from TVD_FAULTPOINTS
 // (e.g. "core.propagate.level=delay:5ms,incr.apply.analyze=error:3").
 // Only compiled with -tags faultpoint; the CI chaos-smoke job uses it to
 // exercise the daemon's failure paths from the outside.
-func armFaultPoints(logger *log.Logger) error {
+func armFaultPoints(lg *obs.Logger) error {
 	spec := os.Getenv("TVD_FAULTPOINTS")
 	if spec == "" {
 		return nil
@@ -21,6 +21,6 @@ func armFaultPoints(logger *log.Logger) error {
 	if err := faultpoint.ArmSpec(spec); err != nil {
 		return err
 	}
-	logger.Printf("fault points armed: %s", spec)
+	lg.Info("fault points armed", obs.F("spec", spec))
 	return nil
 }

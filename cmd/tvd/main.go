@@ -40,6 +40,19 @@
 //	                 Off by default: profiles expose internals and can
 //	                 burn CPU, so only enable on a trusted interface
 //	                 (prefer pairing with -metrics-addr 127.0.0.1:port)
+//	-log-format f    request/lifecycle log encoding: text (logfmt-style)
+//	                 or json (one object per line)
+//	-log-level l     minimum log severity: debug, info, warn, or error
+//	-flight-recorder n  flight-recorder ring size: the daemon retains the
+//	                 last n request traces plus the last n pinned
+//	                 (errored, shed, panicked, slow) traces, dumpable at
+//	                 GET /debug/flightrecorder and /debug/requests
+//	                 (default 64, negative disables)
+//	-slow-request d  pin requests at least this slow in the flight
+//	                 recorder (default 1s, negative disables)
+//	-slo-latency d   latency objective behind the per-route
+//	                 tvd_slo_requests_total{slo="good"|"bad"} counters
+//	                 (default 500ms, negative disables)
 //	-quiet           drop the per-request log lines
 //	-version         print the version and exit
 //
@@ -62,12 +75,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -130,6 +143,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	metricsAddr := flag.String("metrics-addr", "", "also serve /metrics (and -pprof) on this dedicated address; pprof then stays off the main address")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof (exposes internals; only enable on a trusted interface)")
+	logFormat := flag.String("log-format", "text", "log line encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log severity: debug, info, warn, or error")
+	flightSize := flag.Int("flight-recorder", 0, "flight-recorder ring size (0 = default, negative disables)")
+	slowRequest := flag.Duration("slow-request", 0, "pin requests at least this slow in the flight recorder (0 = default, negative disables)")
+	sloLatency := flag.Duration("slo-latency", 0, "latency objective for the per-route SLO counters (0 = default, negative disables)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	var pre preloads
@@ -137,7 +155,7 @@ func main() {
 	flag.Parse()
 
 	if *showVersion {
-		fmt.Printf("tvd %s\n", version)
+		fmt.Printf("tvd %s %s\n", version, runtime.Version())
 		return
 	}
 	if flag.NArg() != 0 {
@@ -146,13 +164,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "tvd: ", log.LstdFlags)
-	if err := armFaultPoints(logger); err != nil {
-		logger.Fatalf("fault points: %v", err)
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tvd: -log-format: %v\n", err)
+		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tvd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	lg := obs.NewLogger(os.Stderr, format, level)
+	fatal := func(msg string, fields ...obs.Field) {
+		lg.Error(msg, fields...)
+		os.Exit(1)
+	}
+	if err := armFaultPoints(lg); err != nil {
+		fatal("fault points", obs.F("err", err))
 	}
 	corners, err := tech.ParseCorners(*cornerSpec)
 	if err != nil {
-		logger.Fatalf("-corners: %v", err)
+		fatal("-corners", obs.F("err", err))
 	}
 	o := obs.NewObs()
 	cfg := server.Config{
@@ -164,28 +196,33 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		MaxDesigns:     *maxDesigns,
 		HistoryDepth:   *history,
-		Logf:           logger.Printf,
+		Log:            lg,
 		Obs:            o,
+		Version:        version,
+		FlightSize:     *flightSize,
+		SlowRequest:    *slowRequest,
+		SLOLatency:     *sloLatency,
 	}
 	if *quiet {
-		cfg.Logf = nil
+		cfg.Log = nil
 	}
 	srv := server.New(cfg)
 
 	for _, path := range pre {
 		f, err := os.Open(path)
 		if err != nil {
-			logger.Fatalf("preload: %v", err)
+			fatal("preload", obs.F("err", err))
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		sess, err := srv.Load(context.Background(), name, f)
 		f.Close()
 		if err != nil {
-			logger.Fatalf("preload %s: %v", path, err)
+			fatal("preload", obs.F("file", path), obs.F("err", err))
 		}
 		info := sess.Info()
-		logger.Printf("preloaded %q: %d devices, %d nodes, %d stages, %d arcs",
-			name, info.Devices, info.Nodes, info.Stages, info.Arcs)
+		lg.Info("design preloaded", obs.F("design", name),
+			obs.F("devices", info.Devices), obs.F("nodes", info.Nodes),
+			obs.F("stages", info.Stages), obs.F("arcs", info.Arcs))
 	}
 
 	handler := srv.Handler()
@@ -201,11 +238,11 @@ func main() {
 		}
 		metricsSrv = newHTTPServer(*metricsAddr, omux)
 		go func() {
-			logger.Printf("metrics on %s (pprof %v)", *metricsAddr, *enablePprof)
+			lg.Info("metrics listener up", obs.F("addr", *metricsAddr), obs.F("pprof", *enablePprof))
 			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				// The observability listener is an accessory: losing it
 				// (port clash, say) should not take the daemon down.
-				logger.Printf("metrics listener: %v", err)
+				lg.Warn("metrics listener failed", obs.F("err", err))
 			}
 		}()
 	} else if *enablePprof {
@@ -213,7 +250,7 @@ func main() {
 		mux.Handle("/", handler)
 		mountPprof(mux)
 		handler = mux
-		logger.Printf("pprof mounted on main address %s", *addr)
+		lg.Info("pprof mounted on main address", obs.F("addr", *addr))
 	}
 
 	main := newHTTPServer(*addr, handler)
@@ -224,26 +261,27 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() {
-		logger.Printf("tvd %s listening on %s (period %g ns)", version, *addr, *period)
+		lg.Info("tvd listening", obs.F("version", version), obs.F("addr", *addr),
+			obs.F("period_ns", *period))
 		serveErr <- main.ListenAndServe()
 	}()
 
 	select {
 	case err := <-serveErr:
-		logger.Fatal(err)
+		fatal("serve", obs.F("err", err))
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills us
-	logger.Printf("shutdown signal received; draining (budget %s)", *drainTimeout)
+	lg.Info("shutdown signal received; draining", obs.F("budget", *drainTimeout))
 	srv.BeginDrain()
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := main.Shutdown(drainCtx); err != nil {
-		logger.Printf("drain incomplete: %v", err)
+		lg.Warn("drain incomplete", obs.F("err", err))
 	}
 	if metricsSrv != nil {
 		metricsSrv.Shutdown(drainCtx)
 	}
-	logger.Printf("drained; exiting")
+	lg.Info("drained; exiting")
 }

@@ -63,6 +63,7 @@ func All() []Experiment {
 		{"T7", "Load shedding at the /delta admission gate", RunT7},
 		{"T8", "Million-transistor throughput", RunT8},
 		{"T9", "Multi-corner sweep scaling", RunT9},
+		{"T10", "Flight-recorder overhead", RunT10},
 		{"F1", "Settle-time distribution per phase", RunF1},
 		{"F2", "Runtime scaling curve", RunF2},
 		{"F3", "Pass-chain delay vs length", RunF3},

@@ -85,6 +85,34 @@ func TestWavefrontEnabledCountersZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestWavefrontRecorderOnAllocBounded asserts the flight-recorder
+// contract: with a bounded per-request tracer attached (the recorder's
+// configuration), the walk's extra cost is one pooled span per level —
+// and once the tracer saturates, the drop path — so the steady-state walk
+// stays allocation-free. This is what lets the recorder ride along on
+// every request without perturbing the engine it is observing.
+func TestWavefrontRecorderOnAllocBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; alloc counts are meaningless")
+	}
+	a := settledAnalysis(t, 32)
+	tr := obs.NewTracerBounded(obs.DefaultSpanLimit)
+	a.opt.Obs = &obs.Obs{Reg: obs.NewRegistry(), Tr: tr}
+	a.initMetrics()
+	walk := a.rewalk()
+	// Warm up until the bounded tracer saturates; from then on End takes
+	// the drop path and the span pool is primed.
+	for tr.Dropped() == 0 {
+		walk()
+	}
+	if n := testing.AllocsPerRun(50, walk); n > 0.25 {
+		t.Fatalf("wavefront walk with bounded recorder tracer allocated %v times per run, want ~0", n)
+	}
+	if tr.Len() != obs.DefaultSpanLimit {
+		t.Fatalf("tracer recorded %d spans, want cap %d", tr.Len(), obs.DefaultSpanLimit)
+	}
+}
+
 func BenchmarkPropagateDisabledObs(b *testing.B) {
 	a := settledAnalysis(b, 64)
 	walk := a.rewalk()

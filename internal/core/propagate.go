@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"slices"
 	"sort"
 	"sync"
@@ -179,7 +178,10 @@ func (a *analysis) runLevel(li int, lvl []int32, fn func(ci int32)) bool {
 	a.mComps.Add(int64(len(lvl)))
 	var lsp *obs.Span
 	if tr != nil {
-		lsp = tr.Start(fmt.Sprintf("level %d (%d comps)", li, len(lvl)))
+		// StartTIDN defers the name formatting to export time, so an
+		// attached per-request tracer costs a pooled span per level, not
+		// a string build — the O(levels) bound of the flight recorder.
+		lsp = tr.StartTIDN("level", int64(li), int64(len(lvl)), 0)
 	}
 	workers := a.opt.Workers
 	if workers > len(lvl) {
@@ -213,7 +215,7 @@ func (a *analysis) runLevel(li int, lvl []int32, fn func(ci int32)) bool {
 			defer wg.Done()
 			var wsp *obs.Span
 			if tr != nil {
-				wsp = tr.StartTID(fmt.Sprintf("level %d worker", li), int64(w+1))
+				wsp = tr.StartTIDN("level worker", int64(li), -1, int64(w+1))
 			}
 			for {
 				k := int(next.Add(1)) - 1

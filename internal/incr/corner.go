@@ -64,14 +64,18 @@ type requiredCache struct {
 
 // get returns the required times for res, computing them on first use.
 // opt must not carry an arena: queries run concurrently under the session
-// read lock, and the backward pass needs no scratch reuse.
-func (c *requiredCache) get(res *core.Result, opt core.Options) (*core.Required, error) {
+// read lock, and the backward pass needs no scratch reuse. The context
+// cancels a first-use computation and carries the caller's request span,
+// so a query that triggers the lazy backward pass records its "required"
+// phase spans in that request's flight-recorder trace.
+func (c *requiredCache) get(ctx context.Context, res *core.Result, opt core.Options) (*core.Required, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.res == res && c.req != nil {
 		return c.req, nil
 	}
-	req, err := res.Required(context.Background(), opt)
+	opt.Obs = opt.Obs.ForRequest(ctx)
+	req, err := res.Required(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +101,11 @@ func validateCorners(corners []tech.Corner) error {
 // analyzeCornersFull runs every configured corner from scratch against
 // the freshly analyzed base (model, res), staging the updates for commit.
 // Called from runFull with the write lock held.
-func (s *Session) analyzeCornersFull(ctx context.Context, model *delay.Model, res *core.Result) ([]cornerUpdate, error) {
+func (s *Session) analyzeCornersFull(ctx context.Context, o *obs.Obs, model *delay.Model, res *core.Result) ([]cornerUpdate, error) {
 	if len(s.corners) == 0 {
 		return nil, nil
 	}
-	defer s.opt.Obs.Span("corner-analyses").End()
+	defer o.Span("corner-analyses").End()
 	plan := res.Plan()
 	pend := make([]cornerUpdate, len(s.corners))
 	for i, cs := range s.corners {
@@ -113,6 +117,7 @@ func (s *Session) analyzeCornersFull(ctx context.Context, model *delay.Model, re
 		}
 		cm := delay.ScaleModel(model, cs.corner.RScale, cs.corner.CScale)
 		copt := s.opt.Core
+		copt.Obs = o
 		copt.Arena = &cs.arena
 		copt.Plan = plan
 		cres, err := core.Analyze(ctx, s.nl, cm, s.opt.Sched, copt)
@@ -132,11 +137,11 @@ func (s *Session) analyzeCornersFull(ctx context.Context, model *delay.Model, re
 // used: it marks the stages whose arcs changed, and uniform scaling
 // changes a corner arc exactly when it changes the base arc. Called from
 // Apply with the write lock held; nothing is published here.
-func (s *Session) analyzeCornersDelta(ctx context.Context, model, prevModel *delay.Model, res *core.Result, seed []bool) ([]cornerUpdate, error) {
+func (s *Session) analyzeCornersDelta(ctx context.Context, o *obs.Obs, model, prevModel *delay.Model, res *core.Result, seed []bool) ([]cornerUpdate, error) {
 	if len(s.corners) == 0 {
 		return nil, nil
 	}
-	defer s.opt.Obs.Span("corner-analyses").End()
+	defer o.Span("corner-analyses").End()
 	plan := res.Plan()
 	pend := make([]cornerUpdate, len(s.corners))
 	for i, cs := range s.corners {
@@ -151,6 +156,7 @@ func (s *Session) analyzeCornersDelta(ctx context.Context, model, prevModel *del
 			cm = delay.ScaleModel(model, cs.corner.RScale, cs.corner.CScale)
 		}
 		copt := s.opt.Core
+		copt.Obs = o
 		copt.Arena = &cs.arena
 		copt.Plan = plan
 		cres, _, err := core.AnalyzeIncremental(ctx, s.nl, cm, s.opt.Sched, copt, cs.res, seed)
@@ -192,6 +198,8 @@ func (s *Session) commitCorners(pend []cornerUpdate) {
 // checks, and the backward pass. Called from SelfCheck with the write
 // lock held; model is the from-scratch reference base model.
 func (s *Session) selfCheckCorners(ctx context.Context, model *delay.Model) error {
+	refOpt := s.opt.Core
+	refOpt.Obs = s.opt.Obs.ForRequest(ctx)
 	for _, cs := range s.corners {
 		refM := delay.ScaleModel(model, cs.corner.RScale, cs.corner.CScale)
 		if len(refM.Edges) != len(cs.model.Edges) {
@@ -204,18 +212,18 @@ func (s *Session) selfCheckCorners(ctx context.Context, model *delay.Model) erro
 					cs.corner.Name, i, cs.model.Edges[i], refM.Edges[i])
 			}
 		}
-		ref, err := core.Analyze(ctx, s.nl, refM, s.opt.Sched, s.opt.Core)
+		ref, err := core.Analyze(ctx, s.nl, refM, s.opt.Sched, refOpt)
 		if err != nil {
 			return fmt.Errorf("selfcheck corner %s reference analysis: %w", cs.corner.Name, err)
 		}
 		if err := compareResults(cs.res, ref); err != nil {
 			return fmt.Errorf("corner %s: %w", cs.corner.Name, err)
 		}
-		refReq, err := ref.Required(ctx, s.opt.Core)
+		refReq, err := ref.Required(ctx, refOpt)
 		if err != nil {
 			return fmt.Errorf("selfcheck corner %s reference backward pass: %w", cs.corner.Name, err)
 		}
-		gotReq, err := cs.req.get(cs.res, s.opt.Core)
+		gotReq, err := cs.req.get(ctx, cs.res, s.opt.Core)
 		if err != nil {
 			return fmt.Errorf("selfcheck corner %s backward pass: %w", cs.corner.Name, err)
 		}
@@ -309,13 +317,14 @@ type SlackInfo struct {
 // that corner alone, or "" for the merged worst-slack-per-node view
 // across every configured corner (the base analysis when none are).
 // The backward pass runs lazily on first query and is cached until the
-// next committed batch.
-func (s *Session) Slack(k int, corner string) ([]SlackInfo, error) {
+// next committed batch; the context cancels that computation and routes
+// its phase spans to the request's flight-recorder trace.
+func (s *Session) Slack(ctx context.Context, k int, corner string) ([]SlackInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if corner != "" || len(s.corners) == 0 {
 		name := ""
-		res, req, err := s.cornerRequired(corner)
+		res, req, err := s.cornerRequired(ctx, corner)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +341,7 @@ func (s *Session) Slack(k int, corner string) ([]SlackInfo, error) {
 		}
 		return out, nil
 	}
-	sw, err := s.mergedSweep()
+	sw, err := s.mergedSweep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -349,14 +358,14 @@ func (s *Session) Slack(k int, corner string) ([]SlackInfo, error) {
 
 // cornerRequired resolves a corner name ("" = base) to its published
 // result and lazily computed required times. Caller holds a lock.
-func (s *Session) cornerRequired(corner string) (*core.Result, *core.Required, error) {
+func (s *Session) cornerRequired(ctx context.Context, corner string) (*core.Result, *core.Required, error) {
 	if corner == "" {
-		req, err := s.baseReq.get(s.res, s.opt.Core)
+		req, err := s.baseReq.get(ctx, s.res, s.opt.Core)
 		return s.res, req, err
 	}
 	for _, cs := range s.corners {
 		if cs.corner.Name == corner {
-			req, err := cs.req.get(cs.res, s.opt.Core)
+			req, err := cs.req.get(ctx, cs.res, s.opt.Core)
 			return cs.res, req, err
 		}
 	}
@@ -380,10 +389,10 @@ func (s *Session) cornerNames() string {
 
 // mergedSweep assembles the slack.Sweep over the published corner state,
 // computing any missing backward passes. Caller holds a lock.
-func (s *Session) mergedSweep() (*slack.Sweep, error) {
+func (s *Session) mergedSweep(ctx context.Context) (*slack.Sweep, error) {
 	crs := make([]slack.CornerResult, len(s.corners))
 	for i, cs := range s.corners {
-		req, err := cs.req.get(cs.res, s.opt.Core)
+		req, err := cs.req.get(ctx, cs.res, s.opt.Core)
 		if err != nil {
 			return nil, err
 		}

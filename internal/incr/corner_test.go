@@ -152,7 +152,7 @@ func TestCornerRollback(t *testing.T) {
 func TestSlackQueries(t *testing.T) {
 	s := newCornerSession(t, 1)
 
-	merged, err := s.Slack(0, "")
+	merged, err := s.Slack(context.Background(), 0, "")
 	if err != nil {
 		t.Fatalf("merged slack: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestSlackQueries(t *testing.T) {
 	}
 	perCorner := map[string][]SlackInfo{}
 	for _, c := range tech.Corners() {
-		rows, err := s.Slack(0, c.Name)
+		rows, err := s.Slack(context.Background(), 0, c.Name)
 		if err != nil {
 			t.Fatalf("slack at %s: %v", c.Name, err)
 		}
@@ -208,11 +208,11 @@ func TestSlackQueries(t *testing.T) {
 		t.Errorf("worst merged row at %q, want slow", merged[0].Corner)
 	}
 
-	if _, err := s.Slack(0, "warm"); tverr.KindOf(err) != tverr.NotFound {
+	if _, err := s.Slack(context.Background(), 0, "warm"); tverr.KindOf(err) != tverr.NotFound {
 		t.Fatalf("unknown corner: %v, want NotFound", err)
 	}
 	if top := func() []SlackInfo {
-		rows, err := s.Slack(3, "")
+		rows, err := s.Slack(context.Background(), 3, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func TestSlackSingleCorner(t *testing.T) {
 	b := gen.New("chain", tech.Default())
 	b.Output(b.InvChain(b.Input("in"), 8))
 	s := newTestSession(t, "chain", b.Finish(), 1)
-	rows, err := s.Slack(0, "")
+	rows, err := s.Slack(context.Background(), 0, "")
 	if err != nil {
 		t.Fatalf("Slack: %v", err)
 	}
@@ -253,7 +253,7 @@ func TestSlackSingleCorner(t *testing.T) {
 			t.Fatalf("single-corner row labeled %q", r.Corner)
 		}
 	}
-	if _, err := s.Slack(0, "slow"); tverr.KindOf(err) != tverr.NotFound {
+	if _, err := s.Slack(context.Background(), 0, "slow"); tverr.KindOf(err) != tverr.NotFound {
 		t.Fatalf("corner on single-corner session: %v, want NotFound", err)
 	}
 	if s.Corners() != nil {

@@ -7,6 +7,7 @@ package incr
 // serializable name-based snapshots.
 
 import (
+	"context"
 	"time"
 
 	"nmostv/internal/core"
@@ -224,7 +225,7 @@ type WhyInfo struct {
 // analysis when none are). Unknown nodes and corners are NotFound; a
 // transition that never happens is NotFound too (there is no lateness
 // to explain).
-func (s *Session) Why(node, pol, corner string) (WhyInfo, error) {
+func (s *Session) Why(ctx context.Context, node, pol, corner string) (WhyInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := s.nl.Lookup(node)
@@ -235,7 +236,7 @@ func (s *Session) Why(node, pol, corner string) (WhyInfo, error) {
 	if corner == "" && len(s.corners) > 0 {
 		// Pick the corner that sets this node's worst slack; fall back
 		// to the base analysis when no corner constrains it.
-		sw, err := s.mergedSweep()
+		sw, err := s.mergedSweep(ctx)
 		if err != nil {
 			return WhyInfo{}, err
 		}
@@ -274,7 +275,7 @@ func (s *Session) Why(node, pol, corner string) (WhyInfo, error) {
 	}
 	// The backward pass is lazily cached per published result, so the
 	// slack annotation is free after the first query per version.
-	req, err := s.whyRequired(cs)
+	req, err := s.whyRequired(ctx, cs)
 	if err == nil && req != nil {
 		info.Slack = finiteOrNil(req.Slack(n.Index, p))
 	}
@@ -298,11 +299,11 @@ func (s *Session) Why(node, pol, corner string) (WhyInfo, error) {
 
 // whyRequired returns the cached backward pass for the chosen corner
 // (nil cornerState = base). Caller holds a lock.
-func (s *Session) whyRequired(cs *cornerState) (*core.Required, error) {
+func (s *Session) whyRequired(ctx context.Context, cs *cornerState) (*core.Required, error) {
 	if cs == nil {
-		return s.baseReq.get(s.res, s.opt.Core)
+		return s.baseReq.get(ctx, s.res, s.opt.Core)
 	}
-	return cs.req.get(cs.res, s.opt.Core)
+	return cs.req.get(ctx, cs.res, s.opt.Core)
 }
 
 // NodeDeltaInfo is one node whose timing moved between two versions,
@@ -352,8 +353,9 @@ type DiffInfo struct {
 // sequence numbers from Stats.Version; 0 means "the previous version"
 // and "the latest" respectively. eps 0 compares bitwise. limit > 0
 // truncates the reported node list (ChangedCount keeps the true total);
-// k <= 0 skips the rank comparison.
-func (s *Session) Diff(from, to int64, eps float64, k, limit int) (DiffInfo, error) {
+// k <= 0 skips the rank comparison. The context cancels the lazy
+// backward passes a slack comparison may trigger.
+func (s *Session) Diff(ctx context.Context, from, to int64, eps float64, k, limit int) (DiffInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	vt, err := s.versionAt(to)
@@ -376,10 +378,10 @@ func (s *Session) Diff(from, to int64, eps float64, k, limit int) (DiffInfo, err
 	// table has since grown cannot run it. Gate on matching lengths.
 	var reqA, reqB *core.Required
 	if len(vf.res.RiseAt) == len(s.nl.Nodes) && len(vt.res.RiseAt) == len(s.nl.Nodes) {
-		if reqA, err = s.versionRequired(vf); err != nil {
+		if reqA, err = s.versionRequired(ctx, vf); err != nil {
 			return DiffInfo{}, err
 		}
-		if reqB, err = s.versionRequired(vt); err != nil {
+		if reqB, err = s.versionRequired(ctx, vt); err != nil {
 			return DiffInfo{}, err
 		}
 	}
@@ -438,9 +440,9 @@ func (s *Session) versionAt(seq int64) (*version, error) {
 // versionRequired returns the backward pass for a retained version,
 // sharing the session's base cache when the version is the currently
 // published result. Caller holds a lock.
-func (s *Session) versionRequired(v *version) (*core.Required, error) {
+func (s *Session) versionRequired(ctx context.Context, v *version) (*core.Required, error) {
 	if v.res == s.res {
-		return s.baseReq.get(s.res, s.opt.Core)
+		return s.baseReq.get(ctx, s.res, s.opt.Core)
 	}
-	return v.req.get(v.res, s.opt.Core)
+	return v.req.get(ctx, v.res, s.opt.Core)
 }

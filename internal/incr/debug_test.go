@@ -87,7 +87,7 @@ func TestDiffReportsExactChangedSet(t *testing.T) {
 					}
 				}
 
-				d, err := s.Diff(prevSeq, st.Version, 0, 0, 0)
+				d, err := s.Diff(context.Background(), prevSeq, st.Version, 0, 0, 0)
 				if err != nil {
 					t.Fatalf("round %d: Diff: %v", round, err)
 				}
@@ -115,7 +115,7 @@ func TestDiffReportsExactChangedSet(t *testing.T) {
 				}
 
 				// Defaults: from=0,to=0 must mean "previous vs latest".
-				dd, err := s.Diff(0, 0, 0, 0, 0)
+				dd, err := s.Diff(context.Background(), 0, 0, 0, 0, 0)
 				if err != nil {
 					t.Fatalf("round %d: default Diff: %v", round, err)
 				}
@@ -144,7 +144,7 @@ func TestDiffNoopFullIsEmpty(t *testing.T) {
 	if st.ChangedNodes != 0 {
 		t.Fatalf("no-op full run changed %d nodes", st.ChangedNodes)
 	}
-	d, err := s.Diff(0, 0, 0, 10, 0)
+	d, err := s.Diff(context.Background(), 0, 0, 0, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,10 +185,10 @@ func TestVersionRingRetention(t *testing.T) {
 	if vs[0].Seq != 4 || vs[1].Seq != 5 {
 		t.Fatalf("ring seqs %d,%d want 4,5", vs[0].Seq, vs[1].Seq)
 	}
-	if _, err := s.Diff(1, 5, 0, 0, 0); err == nil {
+	if _, err := s.Diff(context.Background(), 1, 5, 0, 0, 0); err == nil {
 		t.Fatal("diff against evicted version 1 succeeded")
 	}
-	if d, err := s.Diff(4, 5, 0, 0, 0); err != nil {
+	if d, err := s.Diff(context.Background(), 4, 5, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	} else if d.ChangedCount == 0 {
 		t.Fatal("resize diff is empty")
@@ -256,12 +256,12 @@ func TestWhyQueryCorners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := s.Slack(1, "")
+	rows, err := s.Slack(context.Background(), 1, "")
 	if err != nil || len(rows) == 0 {
 		t.Fatalf("slack: %v (%d rows)", err, len(rows))
 	}
 	worst := rows[0]
-	w, err := s.Why(worst.Node, worst.Pol, worst.Corner)
+	w, err := s.Why(context.Background(), worst.Node, worst.Pol, worst.Corner)
 	if err != nil {
 		t.Fatalf("Why(%s,%s,%s): %v", worst.Node, worst.Pol, worst.Corner, err)
 	}
@@ -275,7 +275,7 @@ func TestWhyQueryCorners(t *testing.T) {
 		t.Fatalf("why slack %v != ranking slack %v", w.Slack, worst.Slack)
 	}
 	// Defaulted corner picks the node's worst one.
-	wd, err := s.Why(worst.Node, worst.Pol, "")
+	wd, err := s.Why(context.Background(), worst.Node, worst.Pol, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,13 +283,13 @@ func TestWhyQueryCorners(t *testing.T) {
 		t.Fatalf("default corner %q, merged ranking says %q", wd.Corner, worst.Corner)
 	}
 	// Error taxonomy.
-	if _, err := s.Why("no-such-node", "", ""); err == nil {
+	if _, err := s.Why(context.Background(), "no-such-node", "", ""); err == nil {
 		t.Fatal("unknown node accepted")
 	}
-	if _, err := s.Why(worst.Node, "sideways", ""); err == nil {
+	if _, err := s.Why(context.Background(), worst.Node, "sideways", ""); err == nil {
 		t.Fatal("bad polarity accepted")
 	}
-	if _, err := s.Why(worst.Node, "", "cryogenic"); err == nil {
+	if _, err := s.Why(context.Background(), worst.Node, "", "cryogenic"); err == nil {
 		t.Fatal("unknown corner accepted")
 	}
 	if _, err := s.PathStream("cryogenic"); err == nil {

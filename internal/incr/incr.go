@@ -196,22 +196,27 @@ func New(ctx context.Context, name string, nl *netlist.Netlist, opt Options) (*S
 	return s, nil
 }
 
-func (s *Session) delayOpt() delay.Options {
+// delayOpt builds the delay-builder options around the effective Obs for
+// this call — s.opt.Obs, or its per-request derivation when the context
+// carries a flight-recorder span (see obs.Obs.ForRequest).
+func (s *Session) delayOpt(o *obs.Obs) delay.Options {
 	return delay.Options{
 		MaxPaths: s.opt.MaxPaths,
 		MaxDepth: s.opt.MaxDepth,
 		SetHigh:  s.opt.Core.SetHigh,
 		SetLow:   s.opt.Core.SetLow,
 		Workers:  s.opt.Core.Workers,
-		Obs:      s.opt.Obs,
+		Obs:      o,
 	}
 }
 
 // coreOpt is the session's analysis options with the session arena
-// attached. Only the serialized production analyses use it; concurrent
-// reference runs (SelfCheck) take s.opt.Core verbatim.
-func (s *Session) coreOpt() core.Options {
+// attached and the effective Obs swapped in. Only the serialized
+// production analyses use it; concurrent reference runs (SelfCheck) take
+// s.opt.Core verbatim.
+func (s *Session) coreOpt(o *obs.Obs) core.Options {
 	opt := s.opt.Core
+	opt.Obs = o
 	opt.Arena = &s.arena
 	return opt
 }
@@ -223,25 +228,26 @@ func (s *Session) coreOpt() core.Options {
 // old ones, so the session's equivalence invariant still holds.
 func (s *Session) runFull(ctx context.Context) (Stats, error) {
 	start := time.Now()
-	defer s.opt.Obs.Span("full-analysis").End()
-	sp := s.opt.Obs.Span("finalize")
+	o := s.opt.Obs.ForRequest(ctx)
+	defer o.Span("full-analysis").End()
+	sp := o.Span("finalize")
 	s.nl.Finalize()
 	sp.End()
-	sp = s.opt.Obs.Span("stage-partition")
+	sp = o.Span("stage-partition")
 	s.stages = stage.Extract(s.nl)
 	sp.End()
-	sp = s.opt.Obs.Span("flow")
+	sp = o.Span("flow")
 	s.flowSum = flow.Analyze(s.nl)
 	sp.End()
-	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(o), s.cache)
 	if err != nil {
 		return Stats{}, err
 	}
-	res, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.coreOpt())
+	res, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.coreOpt(o))
 	if err != nil {
 		return Stats{}, err
 	}
-	pend, err := s.analyzeCornersFull(ctx, model, res)
+	pend, err := s.analyzeCornersFull(ctx, o, model, res)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -285,14 +291,15 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
-	defer s.opt.Obs.Span("apply-batch").End()
+	o := s.opt.Obs.ForRequest(ctx)
+	defer o.Span("apply-batch").End()
 	if err := ctx.Err(); err != nil {
 		return Stats{}, err
 	}
 
 	// Phase 1: resolve everything against the current state. Each act
 	// mutates and returns its own undo.
-	rsp := s.opt.Obs.Span("delta-resolve")
+	rsp := o.Span("delta-resolve")
 	var acts []func() func()
 	var addedIDs *[]int64
 	structural := false
@@ -447,7 +454,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		}
 	}()
 	nodesBefore := len(s.nl.Nodes)
-	asp := s.opt.Obs.Span("delta-apply")
+	asp := o.Span("delta-apply")
 	undos := make([]func(), 0, len(acts))
 	for _, a := range acts {
 		undos = append(undos, a())
@@ -481,7 +488,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		s.opt.Obs.Counter("incr_rollbacks_total",
 			"delta batches rolled back after an aborted re-analysis").Inc()
 	}
-	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(), s.cache)
+	model, bstats, err := delay.BuildWithCache(ctx, s.nl, s.stages, s.opt.Params, s.delayOpt(o), s.cache)
 	if err != nil {
 		rollback()
 		return Stats{}, err
@@ -504,7 +511,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 		rollback()
 		return Stats{}, fmt.Errorf("incr: apply: %w", err)
 	}
-	res, dstats, err := core.AnalyzeIncremental(ctx, s.nl, model, s.opt.Sched, s.coreOpt(), s.res, seed)
+	res, dstats, err := core.AnalyzeIncremental(ctx, s.nl, model, s.opt.Sched, s.coreOpt(o), s.res, seed)
 	if err != nil {
 		rollback()
 		return Stats{}, err
@@ -516,7 +523,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Stats, error) {
 	// Corners re-analyze against the staged base result; nothing commits
 	// until every corner succeeds, so an abort mid-sweep rolls the whole
 	// batch back with the published per-corner state untouched.
-	pend, err := s.analyzeCornersDelta(ctx, model, s.model, res, seed)
+	pend, err := s.analyzeCornersDelta(ctx, o, model, s.model, res, seed)
 	if err != nil {
 		rollback()
 		return Stats{}, err
@@ -604,15 +611,18 @@ func capsEqual(a, b []float64) bool {
 func (s *Session) SelfCheck(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.opt.Obs.Span("verify").End()
+	o := s.opt.Obs.ForRequest(ctx)
+	defer o.Span("verify").End()
 	s.nl.Finalize()
 	st := stage.Extract(s.nl)
 	flow.Analyze(s.nl)
-	model, err := delay.BuildCtx(ctx, s.nl, st, s.opt.Params, s.delayOpt())
+	model, err := delay.BuildCtx(ctx, s.nl, st, s.opt.Params, s.delayOpt(o))
 	if err != nil {
 		return err
 	}
-	ref, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, s.opt.Core)
+	refOpt := s.opt.Core
+	refOpt.Obs = o
+	ref, err := core.Analyze(ctx, s.nl, model, s.opt.Sched, refOpt)
 	if err != nil {
 		return fmt.Errorf("selfcheck reference analysis: %w", err)
 	}

@@ -216,7 +216,7 @@ func scratchAnalyze(t *testing.T, s *Session) *core.Result {
 	s.nl.Finalize()
 	stg := stage.Extract(s.nl)
 	flow.Analyze(s.nl)
-	m := delay.Build(s.nl, stg, s.opt.Params, s.delayOpt())
+	m := delay.Build(s.nl, stg, s.opt.Params, s.delayOpt(s.opt.Obs))
 	ref, err := core.Analyze(context.Background(), s.nl, m, s.opt.Sched, s.opt.Core)
 	if err != nil {
 		t.Fatal(err)

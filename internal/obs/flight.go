@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: an always-on, fixed-memory ring of completed request
+// traces. Every request gets a bounded per-request tracer (the same Span
+// shape the offline `tv -trace` tracer records); on completion the spans
+// are snapshotted into a RequestTrace and pushed into a ring of recent
+// requests. Requests that matter for postmortems — errored, shed,
+// panicked, or slower than the -slow-request threshold — are additionally
+// pinned into a second ring so a burst of healthy traffic cannot evict
+// the one trace that explains an incident. Both rings are dumpable live:
+// as Chrome trace-event JSON (GET /debug/flightrecorder) or as structured
+// summaries (GET /debug/requests).
+
+// DefaultSpanLimit bounds the spans recorded per request. A delta batch
+// records a handful of phase spans plus one span per wavefront level in
+// the cone, so 256 covers real batches while keeping the worst case —
+// a full re-analysis of a deep design — at fixed memory.
+const DefaultSpanLimit = 256
+
+// ReqSpan is the per-request observability carrier: the request's W3C
+// trace identity plus its private bounded tracer. It travels in the
+// request context (WithRequest/RequestFrom); the analysis stack picks it
+// up via Obs.ForRequest without any new plumbing parameters.
+type ReqSpan struct {
+	TC     TraceContext
+	Method string
+	URI    string
+
+	start time.Time
+	seq   uint64
+	tr    *Tracer
+}
+
+// Start returns the request's start time; nil-safe (zero time).
+func (rs *ReqSpan) Start() time.Time {
+	if rs == nil {
+		return time.Time{}
+	}
+	return rs.start
+}
+
+// Tracer returns the request's bounded tracer; nil-safe.
+func (rs *ReqSpan) Tracer() *Tracer {
+	if rs == nil {
+		return nil
+	}
+	return rs.tr
+}
+
+type reqSpanKey struct{}
+
+// WithRequest attaches a request span to the context. A nil span returns
+// ctx unchanged.
+func WithRequest(ctx context.Context, rs *ReqSpan) context.Context {
+	if rs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqSpanKey{}, rs)
+}
+
+// RequestFrom returns the request span carried by ctx, or nil.
+func RequestFrom(ctx context.Context) *ReqSpan {
+	if ctx == nil {
+		return nil
+	}
+	rs, _ := ctx.Value(reqSpanKey{}).(*ReqSpan)
+	return rs
+}
+
+// PinReason classifies why a trace was pinned; empty = not pinned.
+type PinReason string
+
+const (
+	PinPanic PinReason = "panic"
+	PinShed  PinReason = "shed"
+	PinError PinReason = "error"
+	PinSlow  PinReason = "slow"
+)
+
+// SpanRecord is one completed span of a recorded request, with times as
+// offsets from the request start.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	TID     int64  `json:"tid"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// RequestTrace is one completed request held by the recorder.
+type RequestTrace struct {
+	Seq     uint64       `json:"seq"`
+	TraceID string       `json:"trace_id"`
+	SpanID  string       `json:"span_id"`
+	Method  string       `json:"method"`
+	URI     string       `json:"uri"`
+	Route   string       `json:"route"`
+	Status  int          `json:"status"`
+	Start   time.Time    `json:"start"`
+	DurNS   int64        `json:"dur_ns"`
+	Pinned  PinReason    `json:"pinned,omitempty"`
+	Dropped int64        `json:"spans_dropped,omitempty"`
+	Spans   []SpanRecord `json:"spans,omitempty"`
+}
+
+// RequestSummary is the spans-elided view of a RequestTrace served by
+// GET /debug/requests.
+type RequestSummary struct {
+	Seq     uint64    `json:"seq"`
+	TraceID string    `json:"trace_id"`
+	SpanID  string    `json:"span_id"`
+	Method  string    `json:"method"`
+	URI     string    `json:"uri"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status"`
+	Start   time.Time `json:"start"`
+	DurNS   int64     `json:"dur_ns"`
+	Pinned  PinReason `json:"pinned,omitempty"`
+	Spans   int       `json:"spans"`
+	Dropped int64     `json:"spans_dropped,omitempty"`
+}
+
+// traceRing is a fixed-size overwrite ring of completed traces.
+type traceRing struct {
+	buf  []*RequestTrace
+	next int
+}
+
+func (r *traceRing) push(t *RequestTrace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next%len(r.buf)] = t
+	r.next++
+}
+
+// FlightRecorder holds the rings. A nil *FlightRecorder is the disabled
+// state: Start returns a nil ReqSpan and every method no-ops.
+type FlightRecorder struct {
+	slow      time.Duration
+	spanLimit int
+	seq       atomic.Uint64
+
+	mu     sync.Mutex
+	recent traceRing
+	pinned traceRing
+}
+
+// NewFlightRecorder returns a recorder keeping the last size requests
+// plus, separately, the last size pinned requests. slow > 0 pins any
+// request at least that slow. size <= 0 returns nil (disabled).
+func NewFlightRecorder(size int, slow time.Duration) *FlightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	return &FlightRecorder{
+		slow:      slow,
+		spanLimit: DefaultSpanLimit,
+		recent:    traceRing{buf: make([]*RequestTrace, size)},
+		pinned:    traceRing{buf: make([]*RequestTrace, size)},
+	}
+}
+
+// Start opens a request: parent, when valid, keeps its trace ID with a
+// fresh server-side span ID; an invalid or absent parent mints a new root
+// trace. The returned ReqSpan carries a bounded tracer sized at
+// DefaultSpanLimit. Nil-safe (returns nil when the recorder is off).
+func (f *FlightRecorder) Start(parent TraceContext, method, uri string) *ReqSpan {
+	if f == nil {
+		return nil
+	}
+	tc := NewTraceContext()
+	if parent.Valid() {
+		tc = parent.Child()
+	}
+	return &ReqSpan{
+		TC:     tc,
+		Method: method,
+		URI:    uri,
+		start:  time.Now(),
+		seq:    f.seq.Add(1),
+		tr:     NewTracerBounded(f.spanLimit),
+	}
+}
+
+// Finish completes a request: snapshots its spans, applies the
+// keep-policy, and pushes the trace into the rings. Returns the recorded
+// trace (nil when the recorder or rs is nil). The pin order is
+// panic > shed (503) > error (5xx) > slow.
+func (f *FlightRecorder) Finish(rs *ReqSpan, route string, status int, panicked bool) *RequestTrace {
+	if f == nil || rs == nil {
+		return nil
+	}
+	dur := time.Since(rs.start)
+	var pin PinReason
+	switch {
+	case panicked:
+		pin = PinPanic
+	case status == http.StatusServiceUnavailable:
+		pin = PinShed
+	case status >= 500:
+		pin = PinError
+	case f.slow > 0 && dur >= f.slow:
+		pin = PinSlow
+	}
+	events := rs.tr.snapshot()
+	spans := make([]SpanRecord, len(events))
+	for i := range events {
+		ev := &events[i]
+		spans[i] = SpanRecord{
+			Name:    ev.label(),
+			TID:     ev.tid,
+			StartNS: ev.start.Sub(rs.start).Nanoseconds(),
+			DurNS:   ev.dur.Nanoseconds(),
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
+	rt := &RequestTrace{
+		Seq:     rs.seq,
+		TraceID: rs.TC.TraceIDString(),
+		SpanID:  rs.TC.SpanIDString(),
+		Method:  rs.Method,
+		URI:     rs.URI,
+		Route:   route,
+		Status:  status,
+		Start:   rs.start,
+		DurNS:   dur.Nanoseconds(),
+		Pinned:  pin,
+		Dropped: rs.tr.Dropped(),
+		Spans:   spans,
+	}
+	f.mu.Lock()
+	f.recent.push(rt)
+	if pin != "" {
+		f.pinned.push(rt)
+	}
+	f.mu.Unlock()
+	return rt
+}
+
+// Snapshot returns the union of the recent and pinned rings, deduplicated
+// (a pinned trace still in the recent ring appears once), oldest first.
+func (f *FlightRecorder) Snapshot() []*RequestTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	seen := make(map[uint64]bool, len(f.recent.buf)+len(f.pinned.buf))
+	out := make([]*RequestTrace, 0, len(f.recent.buf)+len(f.pinned.buf))
+	for _, ring := range []*traceRing{&f.recent, &f.pinned} {
+		for _, t := range ring.buf {
+			if t != nil && !seen[t.Seq] {
+				seen[t.Seq] = true
+				out = append(out, t)
+			}
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Summaries returns the spans-elided view of Snapshot, newest first —
+// the payload of GET /debug/requests.
+func (f *FlightRecorder) Summaries() []RequestSummary {
+	traces := f.Snapshot()
+	out := make([]RequestSummary, len(traces))
+	for i, t := range traces {
+		out[len(traces)-1-i] = RequestSummary{
+			Seq: t.Seq, TraceID: t.TraceID, SpanID: t.SpanID,
+			Method: t.Method, URI: t.URI, Route: t.Route, Status: t.Status,
+			Start: t.Start, DurNS: t.DurNS, Pinned: t.Pinned,
+			Spans: len(t.Spans), Dropped: t.Dropped,
+		}
+	}
+	return out
+}
+
+// WriteChrome dumps the recorded traces as one Chrome trace-event JSON
+// array: each request is a process (pid = request seq) whose name carries
+// method, route, status, and trace ID; the request itself is the root "X"
+// event on tid 0 with its phase spans stacked beneath it by containment.
+// Output is written incrementally, one request at a time, flushing after
+// each (when w supports it) so a live dump streams; the first write error
+// — a disconnected client — aborts the dump.
+func (f *FlightRecorder) WriteChrome(w io.Writer) error {
+	traces := f.Snapshot()
+	flusher, _ := w.(http.Flusher)
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	writeEvent := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	var epoch time.Time
+	for _, t := range traces {
+		if epoch.IsZero() || t.Start.Before(epoch) {
+			epoch = t.Start
+		}
+	}
+	for _, t := range traces {
+		pid := int(t.Seq)
+		name := t.Method + " " + t.Route + " -> " + http.StatusText(t.Status)
+		meta := map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid,
+			"args": map[string]string{
+				"name": t.Method + " " + t.URI + " [" + t.TraceID + "]",
+			},
+		}
+		if err := writeEvent(meta); err != nil {
+			return err
+		}
+		base := float64(t.Start.Sub(epoch).Nanoseconds()) / 1e3
+		root := chromeEvent{
+			Name: name, Cat: "tvd", Ph: "X",
+			Ts: base, Dur: float64(t.DurNS) / 1e3, Pid: pid, Tid: 0,
+		}
+		if err := writeEvent(root); err != nil {
+			return err
+		}
+		for _, sp := range t.Spans {
+			ev := chromeEvent{
+				Name: sp.Name, Cat: "tvd", Ph: "X",
+				Ts:  base + float64(sp.StartNS)/1e3,
+				Dur: float64(sp.DurNS) / 1e3,
+				Pid: pid, Tid: sp.TID,
+			}
+			if err := writeEvent(ev); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	var f *FlightRecorder
+	rs := f.Start(TraceContext{}, "GET", "/x")
+	if rs != nil {
+		t.Fatal("nil recorder handed out a span")
+	}
+	if f.Finish(rs, "/x", 200, false) != nil {
+		t.Fatal("nil recorder recorded a trace")
+	}
+	if len(f.Snapshot()) != 0 || len(f.Summaries()) != 0 {
+		t.Fatal("nil recorder holds traces")
+	}
+	if NewFlightRecorder(0, 0) != nil || NewFlightRecorder(-1, 0) != nil {
+		t.Fatal("size <= 0 must return a nil (disabled) recorder")
+	}
+	// Context plumbing is nil-safe end to end.
+	ctx := WithRequest(context.Background(), nil)
+	if RequestFrom(ctx) != nil {
+		t.Fatal("nil span round-tripped through context")
+	}
+}
+
+func TestFlightRecorderParent(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	parent, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+
+	rs := f.Start(parent, "GET", "/slack")
+	if rs.TC.TraceID != parent.TraceID {
+		t.Fatal("valid parent: trace ID not propagated")
+	}
+	if rs.TC.SpanID == parent.SpanID {
+		t.Fatal("valid parent: server span must get a fresh span ID")
+	}
+
+	root := f.Start(TraceContext{}, "GET", "/slack")
+	if !root.TC.Valid() {
+		t.Fatal("absent parent: no fresh root minted")
+	}
+	if root.TC.TraceID == parent.TraceID {
+		t.Fatal("absent parent reused another trace's ID")
+	}
+}
+
+func TestFlightRecorderPinPolicy(t *testing.T) {
+	cases := []struct {
+		status   int
+		panicked bool
+		sleep    time.Duration
+		want     PinReason
+	}{
+		{200, false, 0, ""},
+		{404, false, 0, ""},
+		{200, true, 0, PinPanic},
+		{503, false, 0, PinShed},
+		{500, false, 0, PinError},
+		{504, false, 0, PinError},
+		{200, false, 2 * time.Millisecond, PinSlow},
+		// Panic outranks status; shed outranks generic error.
+		{503, true, 0, PinPanic},
+	}
+	f := NewFlightRecorder(len(cases), time.Millisecond)
+	for i, tc := range cases {
+		rs := f.Start(TraceContext{}, "GET", fmt.Sprintf("/case/%d", i))
+		time.Sleep(tc.sleep)
+		rt := f.Finish(rs, "/case", tc.status, tc.panicked)
+		if rt.Pinned != tc.want {
+			t.Errorf("case %d (status %d panicked %v): pinned %q, want %q",
+				i, tc.status, tc.panicked, rt.Pinned, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderRings(t *testing.T) {
+	f := NewFlightRecorder(2, 0)
+	// One early pinned request, then a flood of healthy ones.
+	rs := f.Start(TraceContext{}, "POST", "/delta")
+	pinned := f.Finish(rs, "/delta", 500, false)
+	for i := 0; i < 5; i++ {
+		f.Finish(f.Start(TraceContext{}, "GET", "/ok"), "/ok", 200, false)
+	}
+	traces := f.Snapshot()
+	// 2 recent + 1 pinned survivor; the pinned trace must not be evicted
+	// by healthy traffic, and must appear exactly once.
+	if len(traces) != 3 {
+		t.Fatalf("%d traces, want 3", len(traces))
+	}
+	found := 0
+	for _, tr := range traces {
+		if tr.Seq == pinned.Seq {
+			found++
+			if tr.Pinned != PinError {
+				t.Fatalf("pinned trace lost its reason: %+v", tr)
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("pinned trace appears %d times, want 1", found)
+	}
+	// Oldest first.
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Seq <= traces[i-1].Seq {
+			t.Fatalf("snapshot not seq-ordered: %d after %d", traces[i].Seq, traces[i-1].Seq)
+		}
+	}
+	// Summaries: newest first, spans elided to a count.
+	sums := f.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("%d summaries, want 3", len(sums))
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i].Seq >= sums[i-1].Seq {
+			t.Fatal("summaries not newest-first")
+		}
+	}
+}
+
+func TestFlightRecorderSpans(t *testing.T) {
+	f := NewFlightRecorder(2, 0)
+	rs := f.Start(TraceContext{}, "POST", "/delta")
+	ctx := WithRequest(context.Background(), rs)
+	if RequestFrom(ctx) != rs {
+		t.Fatal("span lost in context round trip")
+	}
+	tr := RequestFrom(ctx).Tracer()
+	sp := tr.Start("apply-batch")
+	tr.StartTIDN("level", 3, 40, 0).End()
+	sp.End()
+	rt := f.Finish(rs, "/delta", 200, false)
+	if len(rt.Spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(rt.Spans))
+	}
+	// Start-ordered with offsets from the request start.
+	if rt.Spans[0].Name != "apply-batch" || rt.Spans[1].Name != "level 3 (40)" {
+		t.Fatalf("span names %q, %q", rt.Spans[0].Name, rt.Spans[1].Name)
+	}
+	for _, sp := range rt.Spans {
+		if sp.StartNS < 0 || sp.StartNS > rt.DurNS {
+			t.Fatalf("span offset %d outside request [0,%d]", sp.StartNS, rt.DurNS)
+		}
+	}
+}
+
+func TestFlightRecorderSpanLimit(t *testing.T) {
+	f := NewFlightRecorder(2, 0)
+	rs := f.Start(TraceContext{}, "GET", "/big")
+	tr := rs.Tracer()
+	for i := 0; i < DefaultSpanLimit+10; i++ {
+		tr.StartTIDN("level", int64(i), -1, 0).End()
+	}
+	rt := f.Finish(rs, "/big", 200, false)
+	if len(rt.Spans) != DefaultSpanLimit {
+		t.Fatalf("%d spans recorded, want cap %d", len(rt.Spans), DefaultSpanLimit)
+	}
+	if rt.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", rt.Dropped)
+	}
+}
+
+func TestFlightRecorderWriteChrome(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	parent, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rs := f.Start(parent, "POST", "/delta?design=chip")
+	rs.Tracer().Start("apply-batch").End()
+	f.Finish(rs, "/delta", 200, false)
+	f.Finish(f.Start(TraceContext{}, "GET", "/boom"), "/boom", 500, false)
+
+	var sb strings.Builder
+	if err := f.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, sb.String())
+	}
+	// 2 process_name metadata + 2 roots + 1 phase span.
+	if len(events) != 5 {
+		t.Fatalf("%d events, want 5", len(events))
+	}
+	if !strings.Contains(sb.String(), "4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Fatal("dump does not carry the propagated trace ID")
+	}
+	var metas, sawRoot int
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			metas++
+		}
+		if ev["name"] == "POST /delta -> OK" {
+			sawRoot++
+		}
+	}
+	if metas != 2 {
+		t.Fatalf("%d process_name events, want 2", metas)
+	}
+	if sawRoot != 1 {
+		t.Fatalf("root event name missing:\n%s", sb.String())
+	}
+}
+
+// TestFlightRecorderConcurrent races Start/Finish against Snapshot and
+// WriteChrome — the -race target for the recorder.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			rs := f.Start(TraceContext{}, "GET", "/x")
+			rs.Tracer().Start("phase").End()
+			status := 200
+			if i%7 == 0 {
+				status = 503
+			}
+			f.Finish(rs, "/x", status, false)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		f.Snapshot()
+		f.Summaries()
+		var sb strings.Builder
+		if err := f.WriteChrome(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Logger is a dependency-free leveled structured logger. Lines are either
+// logfmt-style text (`ts level msg key=value ...`) or JSON objects, one
+// per line, with deterministic field order (ts, level, msg, then fields
+// in call order). Like the rest of this package, a nil *Logger is the
+// disabled state: every method no-ops, so call sites never branch on
+// "is logging on".
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+	// now is the clock, swappable in tests for deterministic timestamps.
+	now func() time.Time
+}
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Format selects the line encoding.
+type Format int8
+
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat parses a -log-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("unknown log format %q (want text or json)", s)
+}
+
+// Field is one key/value pair on a log line.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field; it keeps call sites terse.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// NewLogger returns a logger writing to w. Writes are serialized by an
+// internal mutex, and each line is emitted as a single Write call.
+func NewLogger(w io.Writer, format Format, level Level) *Logger {
+	return &Logger{w: w, format: format, level: level, now: time.Now}
+}
+
+// Enabled reports whether lines at lv would be emitted; nil-safe.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Debug emits a debug-level line; nil-safe.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info emits an info-level line; nil-safe.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn emits a warn-level line; nil-safe.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error emits an error-level line; nil-safe.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	if l.format == FormatJSON {
+		buf = append(buf, `{"ts":`...)
+		buf = appendJSONString(buf, ts)
+		buf = append(buf, `,"level":`...)
+		buf = appendJSONString(buf, lv.String())
+		buf = append(buf, `,"msg":`...)
+		buf = appendJSONString(buf, msg)
+		for _, f := range fields {
+			buf = append(buf, ',')
+			buf = appendJSONString(buf, f.Key)
+			buf = append(buf, ':')
+			buf = appendJSONValue(buf, f.Val)
+		}
+		buf = append(buf, '}', '\n')
+	} else {
+		buf = append(buf, ts...)
+		buf = append(buf, ' ')
+		buf = append(buf, lv.String()...)
+		buf = append(buf, ' ')
+		buf = appendTextValue(buf, msg)
+		for _, f := range fields {
+			buf = append(buf, ' ')
+			buf = append(buf, f.Key...)
+			buf = append(buf, '=')
+			buf = appendTextValue(buf, valueString(f.Val))
+		}
+		buf = append(buf, '\n')
+	}
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// valueString renders a field value for the text format.
+func valueString(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// appendTextValue appends a logfmt value: bare when it has no spaces,
+// quotes, or control bytes, quoted otherwise.
+func appendTextValue(buf []byte, s string) []byte {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c == '"' || c == '=' {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return append(buf, s...)
+	}
+	return strconv.AppendQuote(buf, s)
+}
+
+// appendJSONValue appends v as a JSON value. The common scalar types are
+// encoded directly; everything else is stringified — log fields are for
+// humans and grep, not for round-tripping arbitrary structures.
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case string:
+		return appendJSONString(buf, x)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int32:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		// Non-finite floats are not valid JSON numbers; quote them.
+		if x != x || x > 1.7976931348623157e308 || x < -1.7976931348623157e308 {
+			return appendJSONString(buf, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case time.Duration:
+		return appendJSONString(buf, x.String())
+	case error:
+		return appendJSONString(buf, x.Error())
+	default:
+		return appendJSONString(buf, fmt.Sprint(v))
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. strconv.Quote is
+// not a JSON escaper (it emits \x and octal escapes JSON forbids), so the
+// escaping is done here: quote, backslash, and control bytes get escaped,
+// everything else — including multi-byte UTF-8 — passes through, with
+// invalid bytes replaced by U+FFFD.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			case c < 0x20:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				buf = append(buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, "�"...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

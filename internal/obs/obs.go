@@ -1,5 +1,7 @@
 package obs
 
+import "context"
+
 // Obs bundles the two instrumentation sinks — a metrics registry and a
 // phase-span tracer — into the single pointer the analysis stack threads
 // through its option structs. Either field may be nil independently
@@ -18,6 +20,28 @@ type Obs struct {
 // daemon configuration.
 func NewObs() *Obs {
 	return &Obs{Reg: NewRegistry()}
+}
+
+// ForRequest derives the effective Obs for a request: when ctx carries a
+// ReqSpan (the server middleware attached a flight-recorder request), the
+// returned Obs keeps o's metrics registry but swaps in the request's
+// bounded tracer, so every phase span recorded by the analysis stack
+// lands in that request's flight-recorder trace. Without a request span
+// it returns o unchanged — in particular, the recorder-off path keeps a
+// nil tracer and the wavefront walk stays zero-alloc. Nil-safe on both
+// receiver and ctx.
+func (o *Obs) ForRequest(ctx context.Context) *Obs {
+	rs := RequestFrom(ctx)
+	if rs == nil || rs.tr == nil {
+		return o
+	}
+	if o == nil {
+		return &Obs{Tr: rs.tr}
+	}
+	if o.Tr == rs.tr {
+		return o
+	}
+	return &Obs{Reg: o.Reg, Tr: rs.tr}
 }
 
 // Span opens a span on the main track; nil-safe.

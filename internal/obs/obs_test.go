@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestObsForRequest(t *testing.T) {
+	base := NewObs()
+	bg := context.Background()
+
+	// No request span: the receiver comes back unchanged (no allocation,
+	// no tracer) — the recorder-off fast path.
+	if got := base.ForRequest(bg); got != base {
+		t.Fatal("ForRequest without a span must return the receiver")
+	}
+	var nilObs *Obs
+	if got := nilObs.ForRequest(bg); got != nil {
+		t.Fatal("nil Obs without a span must stay nil")
+	}
+
+	f := NewFlightRecorder(2, 0)
+	rs := f.Start(TraceContext{}, "GET", "/x")
+	ctx := WithRequest(bg, rs)
+
+	got := base.ForRequest(ctx)
+	if got == base {
+		t.Fatal("ForRequest with a span must derive a new Obs")
+	}
+	if got.Reg != base.Reg {
+		t.Fatal("derived Obs lost the shared metrics registry")
+	}
+	if got.Tr != rs.Tracer() {
+		t.Fatal("derived Obs does not use the request tracer")
+	}
+	// Idempotent: deriving again from an already-derived Obs is a no-op.
+	if again := got.ForRequest(ctx); again != got {
+		t.Fatal("re-deriving with the same request span must be a no-op")
+	}
+	// A nil base still yields the request tracer.
+	if got := nilObs.ForRequest(ctx); got == nil || got.Tr != rs.Tracer() {
+		t.Fatal("nil Obs with a span must still carry the request tracer")
+	}
+
+	// Spans recorded through the derived Obs land in the request trace.
+	got.Span("phase").End()
+	if rs.Tracer().Len() != 1 {
+		t.Fatalf("request tracer recorded %d spans, want 1", rs.Tracer().Len())
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately drops Puts at random — so span-pool alloc
+// counts are meaningless and those assertions are skipped. The alloc
+// guards run for real in the plain `go test ./...` CI step.
+const raceEnabled = true

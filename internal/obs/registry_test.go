@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -153,6 +154,67 @@ func TestConcurrentUpdates(t *testing.T) {
 	if got := r.Histogram("conc_hist", "", nil).Count(); got != workers*per {
 		t.Fatalf("hist count = %d, want %d", got, workers*per)
 	}
+}
+
+// TestHistogramObserveRacesExposition scrapes the registry continuously
+// while workers hammer one histogram, and checks every mid-race scrape is
+// internally consistent: cumulative bucket counts must be monotonic and
+// the +Inf bucket must equal _count. Lock-free Observe makes this the
+// invariant most at risk from a torn read.
+func TestHistogramObserveRacesExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "", []float64{0.1, 0.5, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(i%20) * 0.1)
+			}
+		}(w)
+	}
+	for scrape := 0; scrape < 100; scrape++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var prev, inf, count float64
+		var sawCount bool
+		for _, line := range strings.Split(sb.String(), "\n") {
+			var v float64
+			switch {
+			case strings.HasPrefix(line, "race_seconds_bucket"):
+				if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err != nil {
+					t.Fatalf("scrape %d: bad bucket line %q", scrape, line)
+				}
+				if v < prev {
+					t.Fatalf("scrape %d: cumulative buckets not monotonic:\n%s", scrape, sb.String())
+				}
+				prev, inf = v, v
+			case strings.HasPrefix(line, "race_seconds_count"):
+				fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &count)
+				sawCount = true
+			}
+		}
+		if !sawCount {
+			t.Fatalf("scrape %d: no _count series:\n%s", scrape, sb.String())
+		}
+		// _count is read after the bucket scan, so it can only trail the
+		// +Inf bucket by observations caught between their two atomic
+		// adds — at most one per worker. Anything larger is a torn read.
+		if inf > count+4 {
+			t.Fatalf("scrape %d: +Inf bucket %g exceeds count %g by more than in-flight slack", scrape, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestNilSafety: the disabled configuration is a nil pointer at every

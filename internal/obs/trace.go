@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,59 +20,131 @@ import (
 // A nil *Tracer is the disabled state: Start returns a nil *Span, whose
 // End is a no-op, and neither call allocates — the analyzer threads one
 // pointer through and pays nothing when tracing is off.
+//
+// Open spans are pooled: End recycles the *Span, so the steady-state
+// Start/End cycle allocates nothing. A bounded tracer (NewTracerBounded)
+// additionally caps the recorded events — the per-request flight-recorder
+// configuration — counting overflow in Dropped instead of growing.
 type Tracer struct {
 	base time.Time
+	// limit caps len(events); 0 = unbounded. Set once at construction.
+	limit   int
+	dropped atomic.Int64
+	pool    sync.Pool
 
 	mu     sync.Mutex
 	events []spanEvent
 }
 
+// spanEvent is one recorded interval. Hot callers (the per-level wavefront
+// walk) avoid formatting span names per call: n1/n2 carry optional numeric
+// qualifiers (-1 = absent) that are rendered only at export time.
 type spanEvent struct {
-	name  string
-	tid   int64
-	start time.Time
-	dur   time.Duration
+	name   string
+	n1, n2 int64
+	tid    int64
+	start  time.Time
+	dur    time.Duration
 }
 
-// NewTracer returns a tracer whose timestamps are relative to now.
+// label renders the event's display name, expanding the deferred numeric
+// qualifiers recorded by StartTIDN.
+func (ev *spanEvent) label() string {
+	switch {
+	case ev.n1 < 0:
+		return ev.name
+	case ev.n2 < 0:
+		return fmt.Sprintf("%s %d", ev.name, ev.n1)
+	default:
+		return fmt.Sprintf("%s %d (%d)", ev.name, ev.n1, ev.n2)
+	}
+}
+
+// NewTracer returns an unbounded tracer whose timestamps are relative to
+// now — the `tv -trace` configuration, dumped once at exit.
 func NewTracer() *Tracer {
 	return &Tracer{base: time.Now()}
 }
 
+// NewTracerBounded returns a tracer that records at most limit spans and
+// counts the rest in Dropped. The event buffer is preallocated to the
+// cap, so End never grows it: a bounded tracer's Start/End cycle is
+// allocation-free at steady state, which is what lets the flight recorder
+// stay attached to every request. limit <= 0 falls back to unbounded.
+func NewTracerBounded(limit int) *Tracer {
+	if limit <= 0 {
+		return NewTracer()
+	}
+	return &Tracer{base: time.Now(), limit: limit, events: make([]spanEvent, 0, limit)}
+}
+
 // Span is one open interval; call End to record it.
 type Span struct {
-	t     *Tracer
-	name  string
-	tid   int64
-	start time.Time
+	t      *Tracer
+	name   string
+	n1, n2 int64
+	tid    int64
+	start  time.Time
 }
 
 // Start opens a span on the main track (tid 0). Nil-safe: a nil tracer
 // returns a nil span without allocating.
 func (t *Tracer) Start(name string) *Span {
-	return t.StartTID(name, 0)
+	return t.startSpan(name, -1, -1, 0)
 }
 
 // StartTID opens a span on the given track. Concurrent phases (per-worker
 // propagation) use distinct tids so the viewer lays them out as parallel
 // rows instead of an impossible single-threaded stack.
 func (t *Tracer) StartTID(name string, tid int64) *Span {
+	return t.startSpan(name, -1, -1, tid)
+}
+
+// StartTIDN opens a span whose display name is name qualified by up to two
+// integers ("level 12 (340)"), formatted lazily at export. Hot loops use
+// this instead of fmt.Sprintf so an attached tracer costs a pooled span,
+// not a per-iteration string build. n2 < 0 renders "name n1"; both
+// negative renders the bare name.
+func (t *Tracer) StartTIDN(name string, n1, n2, tid int64) *Span {
+	return t.startSpan(name, n1, n2, tid)
+}
+
+func (t *Tracer) startSpan(name string, n1, n2, tid int64) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, name: name, tid: tid, start: time.Now()}
+	s, _ := t.pool.Get().(*Span)
+	if s == nil {
+		s = new(Span)
+	}
+	s.t, s.name, s.n1, s.n2, s.tid = t, name, n1, n2, tid
+	s.start = time.Now()
+	return s
 }
 
-// End closes the span and records it. Safe on a nil span, and safe to
-// call from the goroutine that started the span while others end theirs.
+// End closes the span, records it, and recycles the span into its
+// tracer's pool. Safe on a nil span, safe to call concurrently with other
+// spans' Ends, and idempotent: a second End on the same span is a no-op
+// (the first End detaches it from the tracer).
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	ev := spanEvent{name: s.name, tid: s.tid, start: s.start, dur: time.Since(s.start)}
-	s.t.mu.Lock()
-	s.t.events = append(s.t.events, ev)
-	s.t.mu.Unlock()
+	t := s.t
+	if t == nil {
+		return
+	}
+	s.t = nil
+	ev := spanEvent{name: s.name, n1: s.n1, n2: s.n2, tid: s.tid, start: s.start, dur: time.Since(s.start)}
+	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+	} else {
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+	}
+	t.pool.Put(s)
 }
 
 // Len returns the number of recorded (ended) spans.
@@ -81,6 +155,28 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.events)
+}
+
+// Dropped returns the number of spans discarded over a bounded tracer's
+// event cap. Always 0 for an unbounded tracer.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// snapshot copies the recorded events for export (flight recorder, Chrome
+// dump) without holding the lock during encoding.
+func (t *Tracer) snapshot() []spanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]spanEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	return events
 }
 
 // chromeEvent is one complete ("ph":"X") trace event. Timestamps and
@@ -103,15 +199,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		_, err := io.WriteString(w, "[]\n")
 		return err
 	}
-	t.mu.Lock()
-	events := make([]spanEvent, len(t.events))
-	copy(events, t.events)
-	t.mu.Unlock()
-
+	events := t.snapshot()
 	out := make([]chromeEvent, len(events))
-	for i, ev := range events {
+	for i := range events {
+		ev := &events[i]
 		out[i] = chromeEvent{
-			Name: ev.name,
+			Name: ev.label(),
 			Cat:  "tv",
 			Ph:   "X",
 			Ts:   float64(ev.start.Sub(t.base).Nanoseconds()) / 1e3,

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// TraceContext is the W3C trace-context identity of one request hop: a
+// 128-bit trace ID shared by every span in a distributed trace, the
+// 64-bit ID of this particular span, and the trace flags (bit 0 =
+// sampled). It round-trips through the `traceparent` HTTP header, so a
+// fleet proxy in front of tvd — or any standards-following client — can
+// correlate its spans with the daemon's flight-recorder entries.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// Valid reports whether the context carries usable identifiers: the spec
+// reserves all-zero trace and span IDs as invalid.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-char lowercase hex trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-char lowercase hex span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the context as a version-00 traceparent header
+// value: 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tc.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], tc.SpanID[:])
+	buf[52] = '-'
+	hex.Encode(buf[53:55], []byte{tc.Flags})
+	return string(buf[:])
+}
+
+// NewTraceContext mints a fresh root: random trace and span IDs, sampled.
+// IDs come from math/rand/v2 — they are correlation handles, not secrets,
+// and the global generator is cheap and concurrency-safe.
+func NewTraceContext() TraceContext {
+	tc := TraceContext{Flags: 0x01}
+	putRand(tc.TraceID[:])
+	for tc.SpanID == [8]byte{} {
+		putRand(tc.SpanID[:])
+	}
+	for tc.TraceID == [16]byte{} {
+		putRand(tc.TraceID[:])
+	}
+	return tc
+}
+
+// Child returns a context in the same trace with a fresh span ID — the
+// server-side span of an incoming request whose parent is tc.
+func (tc TraceContext) Child() TraceContext {
+	child := tc
+	child.SpanID = [8]byte{}
+	for child.SpanID == [8]byte{} {
+		putRand(child.SpanID[:])
+	}
+	return child
+}
+
+func putRand(b []byte) {
+	for i := 0; i < len(b); i += 8 {
+		v := rand.Uint64()
+		for j := i; j < len(b) && j < i+8; j++ {
+			b[j] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// ParseTraceparent parses a traceparent header value. It follows the W3C
+// trace-context processing rules: version ff, malformed or short values,
+// uppercase hex, and all-zero IDs are all rejected by returning ok=false
+// — the caller's contract is to mint a fresh root trace in that case,
+// never to error the request. Future versions (01+) are accepted as long
+// as the version-00 prefix parses and any extra data is '-'-separated.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(h) < 55 {
+		return tc, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	var ver [1]byte
+	if !hexDecodeLower(ver[:], h[0:2]) {
+		return tc, false
+	}
+	if ver[0] == 0xff {
+		return tc, false
+	}
+	if ver[0] == 0x00 && len(h) != 55 {
+		// Version 00 defines no trailing fields.
+		return tc, false
+	}
+	if !hexDecodeLower(tc.TraceID[:], h[3:35]) ||
+		!hexDecodeLower(tc.SpanID[:], h[36:52]) {
+		return tc, false
+	}
+	var flags [1]byte
+	if !hexDecodeLower(flags[:], h[53:55]) {
+		return tc, false
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// hexDecodeLower decodes src into dst, rejecting anything but lowercase
+// hex (the spec requires lowercase; encoding/hex would accept A-F).
+func hexDecodeLower(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"future version with extra field", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"empty", "", false},
+		{"short", valid[:54], false},
+		{"truncated to ids", "00-4bf92f3577b34da6a3ce929d0e0e4736", false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"version 00 with trailing field", valid + "-extra", false},
+		{"trailing junk unseparated", valid + "x", false},
+		{"uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", false},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"wrong separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01", false},
+		{"garbage", "not-a-traceparent-at-all-but-long-enough-to-pass-len-check", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseTraceparent(tc.in)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			}
+			if ok && !got.Valid() {
+				t.Fatalf("ParseTraceparent(%q) returned invalid context %+v", tc.in, got)
+			}
+		})
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceparent(in)
+	if !ok {
+		t.Fatal("valid header rejected")
+	}
+	if got := tc.Traceparent(); got != in {
+		t.Fatalf("round trip: got %q, want %q", got, in)
+	}
+	if tc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %q", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "00f067aa0ba902b7" {
+		t.Fatalf("span id = %q", tc.SpanIDString())
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("fresh contexts must be valid")
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatal("two fresh roots share a trace ID")
+	}
+	if a.Flags&0x01 == 0 {
+		t.Fatal("fresh root not sampled")
+	}
+	// The rendered header must parse back to itself.
+	back, ok := ParseTraceparent(a.Traceparent())
+	if !ok || back != a {
+		t.Fatalf("self round trip failed: %+v vs %+v", back, a)
+	}
+	if !strings.Contains(a.Traceparent(), a.TraceIDString()) {
+		t.Fatal("traceparent does not embed the trace id")
+	}
+}
+
+func TestChildKeepsTraceID(t *testing.T) {
+	parent := NewTraceContext()
+	child := parent.Child()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child changed the trace ID")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child kept the parent span ID")
+	}
+	if !child.Valid() {
+		t.Fatal("child invalid")
+	}
+}

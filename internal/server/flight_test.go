@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output
+// from the server's request goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newFlightTestServer builds a server with the full observability stack:
+// metrics, JSON request log into buf, and a flight recorder that pins
+// everything slower than slow.
+func newFlightTestServer(t *testing.T, buf *syncBuffer, slow time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Params:      tech.Default(),
+		Sched:       clocks.TwoPhase(1000, 0.8),
+		Workers:     1,
+		Obs:         obs.NewObs(),
+		Log:         obs.NewLogger(buf, obs.FormatJSON, obs.LevelInfo),
+		Version:     "test-build",
+		SlowRequest: slow,
+	})
+	f, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := s.Load(context.Background(), "tutorial", f); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestTraceparentEndToEnd is the tracing contract in one pass: a client
+// traceparent is honored (same trace ID, fresh server span), echoed on
+// the response, stamped on the JSON request log, and retrievable from
+// both /debug/requests and the /debug/flightrecorder dump.
+func TestTraceparentEndToEnd(t *testing.T) {
+	var buf syncBuffer
+	// slow = 1ns pins every request, so the trace survives in the pinned
+	// ring no matter what else the test suite does.
+	_, ts := newFlightTestServer(t, &buf, time.Nanosecond)
+
+	// A delta triggers an incremental re-analysis, so the request trace
+	// picks up the engine's phase spans, not just the HTTP envelope.
+	var devs []struct {
+		ID int64 `json:"id"`
+	}
+	getJSON(t, ts.URL+"/devices", http.StatusOK, &devs)
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00-" + traceID + "-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/delta",
+		strings.NewReader(`[{"op":"resize","id":`+jsonID(devs[len(devs)-1].ID)+`,"w":16}]`))
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// Response header: same trace, new span ID.
+	echo, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+	if echo.TraceIDString() != traceID {
+		t.Fatalf("response trace ID %s, want %s", echo.TraceIDString(), traceID)
+	}
+	if echo.SpanIDString() == "00f067aa0ba902b7" {
+		t.Fatal("server reused the client span ID")
+	}
+
+	// Request log line carries the same trace.
+	var logged map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("request log is not JSON lines: %v\n%s", err, line)
+		}
+		if m["msg"] == "request" && m["trace"] == traceID {
+			logged = m
+		}
+	}
+	if logged == nil {
+		t.Fatalf("no request log line with trace %s:\n%s", traceID, buf.String())
+	}
+	if logged["route"] != "POST /delta" || logged["status"] != float64(200) {
+		t.Fatalf("log line fields wrong: %v", logged)
+	}
+
+	// /debug/requests: a pinned summary with the trace ID and phase spans.
+	var sums []obs.RequestSummary
+	getJSON(t, ts.URL+"/debug/requests", http.StatusOK, &sums)
+	var found *obs.RequestSummary
+	for i := range sums {
+		if sums[i].TraceID == traceID {
+			found = &sums[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not in /debug/requests: %+v", traceID, sums)
+	}
+	if found.Pinned != obs.PinSlow {
+		t.Fatalf("request not pinned slow: %+v", found)
+	}
+	if found.SpanID != echo.SpanIDString() {
+		t.Fatalf("summary span %s, response span %s", found.SpanID, echo.SpanIDString())
+	}
+	if found.Spans == 0 {
+		t.Fatal("no phase spans recorded for an analysis request")
+	}
+
+	// /debug/flightrecorder: a valid Chrome trace carrying the trace ID.
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("flight recorder dump is not valid JSON: %v", err)
+	}
+	dumped := false
+	for _, ev := range events {
+		if args, ok := ev["args"].(map[string]any); ok {
+			if name, _ := args["name"].(string); strings.Contains(name, traceID) {
+				dumped = true
+			}
+		}
+	}
+	if !dumped {
+		t.Fatalf("trace %s not in flight recorder dump (%d events)", traceID, len(events))
+	}
+}
+
+// TestTraceparentInvalidMintsFreshRoot: malformed, short, or wrong-version
+// parents are never a client error — the request succeeds under a fresh
+// root trace.
+func TestTraceparentInvalidMintsFreshRoot(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newFlightTestServer(t, &buf, -1)
+	for _, h := range []string{
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // short
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/node/dout", nil)
+		req.Header.Set("traceparent", h)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traceparent %q: status %d, want 200", h, resp.StatusCode)
+		}
+		fresh, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+		if !ok {
+			t.Fatalf("traceparent %q: response header %q invalid", h, resp.Header.Get("traceparent"))
+		}
+		if fresh.TraceIDString() == "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("traceparent %q: invalid parent's trace ID was adopted", h)
+		}
+	}
+}
+
+// TestBuildInfoAndSLOMetrics checks the satellite metrics: the build-info
+// gauge, the process start time, SLO counters, and the pinned-trace
+// counter.
+func TestBuildInfoAndSLOMetrics(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newFlightTestServer(t, &buf, time.Nanosecond)
+	getJSON(t, ts.URL+"/node/dout", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/node/zzz_none", http.StatusNotFound, nil)
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		`tvd_build_info{go_version="` + runtime.Version() + `",version="test-build"} 1`,
+		"tvd_process_start_time_seconds",
+		// 404 is not an SLO violation; both requests were within 500ms.
+		`tvd_slo_requests_total{route="GET /node/{name}",slo="good"} 2`,
+		// slow=1ns pins everything.
+		`tvd_flightrecorder_pinned_total{reason="slow"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestFlightRecorderDisabled: a negative FlightSize removes the recorder
+// and its endpoints; requests still succeed with no traceparent echo.
+func TestFlightRecorderDisabledServer(t *testing.T) {
+	s := New(Config{
+		Params:     tech.Default(),
+		Sched:      clocks.TwoPhase(1000, 0.8),
+		Workers:    1,
+		FlightSize: -1,
+	})
+	f, err := os.Open("../../testdata/tutorial.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := s.Load(context.Background(), "tutorial", f); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/node/dout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("traceparent"); h != "" {
+		t.Fatalf("disabled recorder still echoes traceparent %q", h)
+	}
+	getJSON(t, ts.URL+"/debug/requests", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/debug/flightrecorder", http.StatusNotFound, nil)
+}
+
+// TestFlightRecorderClientDisconnect is the goroutine-leak guard for the
+// streaming dump, the same contract /paths has: a client that hangs up
+// mid-stream must not leave the handler goroutine behind.
+func TestFlightRecorderClientDisconnect(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newFlightTestServer(t, &buf, time.Nanosecond)
+	// Fill both rings so the dump has real volume to stream.
+	for i := 0; i < 2*DefaultFlightSize; i++ {
+		resp, err := http.Get(ts.URL + "/node/dout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/debug/flightrecorder", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read one line to prove the stream started, then hang up.
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadString('\n'); err != nil {
+			cancel()
+			t.Fatalf("first line: %v", err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by disconnected /debug/flightrecorder streams: %d before, %d after", before, after)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

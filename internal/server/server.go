@@ -37,6 +37,18 @@
 //	GET  /healthz          liveness (always 200 while the process serves)
 //	GET  /readyz           readiness (503 once draining begins)
 //	GET  /metrics          Prometheus text exposition (when Config.Obs set)
+//	GET  /debug/requests   flight-recorder summaries: the most recent and
+//	                       the pinned (errored/shed/panicked/slow)
+//	                       requests with trace IDs, newest first
+//	GET  /debug/flightrecorder  the same requests as a Chrome trace-event
+//	                       JSON dump with per-phase analysis spans
+//
+// Tracing: every request gets a W3C trace context — the incoming
+// `traceparent` header is honored when valid (same trace ID, fresh span
+// ID) and replaced by a fresh root trace otherwise — echoed back in the
+// response `traceparent` header, stamped on the structured request log,
+// and recorded with the request's analysis phase spans in the always-on
+// flight recorder.
 //
 // Resilience: analysis routes (load, delta, full, verify) run under a
 // bounded in-flight semaphore — excess requests are shed with 503 and a
@@ -58,6 +70,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -81,6 +94,16 @@ const (
 	DefaultMaxDesigns     = 16
 	DefaultMaxLoadBytes   = 64 << 20
 	DefaultMaxDeltaBytes  = 16 << 20
+	// DefaultFlightSize is the flight recorder's ring size: the last N
+	// requests, plus separately the last N pinned (errored/shed/panicked/
+	// slow) requests.
+	DefaultFlightSize = 64
+	// DefaultSlowRequest pins requests at least this slow in the flight
+	// recorder.
+	DefaultSlowRequest = 1 * time.Second
+	// DefaultSLOLatency is the per-request latency objective behind the
+	// tvd_slo_requests_total good/bad counters.
+	DefaultSLOLatency = 500 * time.Millisecond
 )
 
 // Config parameterizes the daemon.
@@ -114,13 +137,32 @@ type Config struct {
 	// /diff and /versions (incr.Options.HistoryDepth). 0 means
 	// incr.DefaultHistoryDepth; 1 keeps only the latest version.
 	HistoryDepth int
-	// Logf receives one line per request; nil disables logging.
-	Logf func(format string, args ...any)
+	// Log receives one structured line per request (trace ID, route,
+	// status) plus lifecycle events (evictions, panics); nil disables
+	// logging.
+	Log *obs.Logger
 	// Obs collects per-route request counters and latency histograms and
 	// is threaded into every session's analysis pipeline. When its
 	// registry is non-nil the handler also serves GET /metrics. Nil
 	// disables all instrumentation.
 	Obs *obs.Obs
+	// Version identifies the build in the tvd_build_info metric. Empty
+	// means "dev".
+	Version string
+	// FlightSize is the flight recorder's ring size (recent and pinned
+	// rings each hold this many completed request traces). 0 means
+	// DefaultFlightSize; negative disables the recorder and its
+	// /debug/flightrecorder and /debug/requests endpoints.
+	FlightSize int
+	// SlowRequest pins any request at least this slow in the flight
+	// recorder. 0 means DefaultSlowRequest; negative disables the
+	// slowness keep-policy (errors, sheds, and panics still pin).
+	SlowRequest time.Duration
+	// SLOLatency is the latency objective behind the per-route
+	// tvd_slo_requests_total{slo="good"|"bad"} counters: a request is
+	// good when it finishes within the objective without a 5xx. 0 means
+	// DefaultSLOLatency; negative disables SLO accounting.
+	SLOLatency time.Duration
 }
 
 func (c *Config) withDefaults() {
@@ -141,6 +183,18 @@ func (c *Config) withDefaults() {
 	}
 	if c.MaxDeltaBytes == 0 {
 		c.MaxDeltaBytes = DefaultMaxDeltaBytes
+	}
+	if c.FlightSize == 0 {
+		c.FlightSize = DefaultFlightSize
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = DefaultSlowRequest
+	}
+	if c.SLOLatency == 0 {
+		c.SLOLatency = DefaultSLOLatency
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 }
 
@@ -165,6 +219,10 @@ type Server struct {
 	inflight chan struct{}
 	draining atomic.Bool
 
+	// flight is the always-on request flight recorder; nil when disabled
+	// (Config.FlightSize < 0).
+	flight *obs.FlightRecorder
+
 	start    time.Time
 	requests atomic.Int64
 }
@@ -179,6 +237,23 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.FlightSize > 0 {
+		slow := cfg.SlowRequest
+		if slow < 0 {
+			slow = 0
+		}
+		s.flight = obs.NewFlightRecorder(cfg.FlightSize, slow)
+	}
+	if o := cfg.Obs; o != nil {
+		// The standard info-gauge pattern: the value is always 1, the
+		// payload is the labels. go_version rides along so a fleet scrape
+		// can audit toolchain skew without shelling into instances.
+		o.Gauge("tvd_build_info", "build identity; the value is always 1",
+			obs.Label{Key: "version", Val: cfg.Version},
+			obs.Label{Key: "go_version", Val: runtime.Version()}).Set(1)
+		o.Gauge("tvd_process_start_time_seconds",
+			"unix time the process started").Set(float64(s.start.UnixNano()) / 1e9)
 	}
 	return s
 }
@@ -230,9 +305,8 @@ func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Se
 	for _, victim := range evicted {
 		s.cfg.Obs.Counter("tvd_sessions_evicted_total",
 			"designs evicted from the registry by the LRU cap").Inc()
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("evicted design %q (registry over -max-designs=%d)", victim, s.cfg.MaxDesigns)
-		}
+		s.cfg.Log.Warn("design evicted",
+			obs.F("design", victim), obs.F("max_designs", s.cfg.MaxDesigns))
 	}
 	return sess, nil
 }
@@ -314,16 +388,25 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Obs != nil && s.cfg.Obs.Reg != nil {
 		mux.Handle("GET /metrics", s.cfg.Obs.Reg.Handler())
 	}
+	if s.flight != nil {
+		// Deliberately outside the heavy admission gate, like /paths:
+		// the flight recorder exists to explain incidents, so it must
+		// answer while the write path is saturated or failing.
+		mux.HandleFunc("GET /debug/requests", s.handleRequests)
+		mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
+	}
 	return s.timed(s.recovered(mux))
 }
 
 // statusWriter captures the response code for the request log and the
-// per-route metrics, and whether anything was written (so the panic
-// recovery knows if a 500 can still be sent).
+// per-route metrics, whether anything was written (so the panic recovery
+// knows if a 500 can still be sent), and whether the handler panicked
+// (the flight recorder's strongest pin reason).
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	wrote  bool
+	status   int
+	wrote    bool
+	panicked bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -345,10 +428,13 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// timed wraps the mux with request accounting: per-route counters labeled
-// by matched pattern and status code, a per-route latency histogram, and
-// the optional request log. Requests that match no route are grouped under
-// route="unmatched" so probe scans cannot mint unbounded label values.
+// timed wraps the mux with request accounting: the per-request trace
+// (W3C traceparent in, traceparent out, flight-recorder span buffer down
+// the context), per-route counters labeled by matched pattern and status
+// code, a per-route latency histogram, SLO good/bad counters, and the
+// optional structured request log. Requests that match no route are
+// grouped under route="unmatched" so probe scans cannot mint unbounded
+// label values.
 func (s *Server) timed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -357,21 +443,56 @@ func (s *Server) timed(next http.Handler) http.Handler {
 		if !ok {
 			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		}
+		// An invalid or absent traceparent mints a fresh root trace —
+		// per the W3C processing rules it is never a client error.
+		parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		rs := s.flight.Start(parent, r.Method, r.URL.RequestURI())
+		if rs != nil {
+			sw.Header().Set("traceparent", rs.TC.Traceparent())
+			r = r.WithContext(obs.WithRequest(r.Context(), rs))
+		}
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
 		if o := s.cfg.Obs; o != nil {
-			route := r.Pattern
-			if route == "" {
-				route = "unmatched"
-			}
 			o.Counter("tvd_requests_total", "HTTP requests by matched route and status code",
 				obs.Label{Key: "route", Val: route},
 				obs.Label{Key: "code", Val: strconv.Itoa(sw.status)}).Inc()
 			o.Histogram("tvd_request_duration_seconds", "HTTP request latency by matched route",
 				nil, obs.Label{Key: "route", Val: route}).Observe(elapsed.Seconds())
+			if s.cfg.SLOLatency > 0 {
+				outcome := "good"
+				if sw.status >= 500 || elapsed > s.cfg.SLOLatency {
+					outcome = "bad"
+				}
+				o.Counter("tvd_slo_requests_total",
+					"requests judged against the -slo-latency objective (good = no 5xx and within the objective)",
+					obs.Label{Key: "route", Val: route},
+					obs.Label{Key: "slo", Val: outcome}).Inc()
+			}
 		}
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), sw.status, elapsed)
+		if rt := s.flight.Finish(rs, route, sw.status, sw.panicked); rt != nil && rt.Pinned != "" {
+			s.cfg.Obs.Counter("tvd_flightrecorder_pinned_total",
+				"request traces pinned in the flight recorder by keep-policy reason",
+				obs.Label{Key: "reason", Val: string(rt.Pinned)}).Inc()
+		}
+		if lg := s.cfg.Log; lg != nil {
+			fields := make([]obs.Field, 0, 7)
+			fields = append(fields,
+				obs.F("method", r.Method),
+				obs.F("uri", r.URL.RequestURI()),
+				obs.F("route", route),
+				obs.F("status", sw.status),
+				obs.F("dur", elapsed))
+			if rs != nil {
+				fields = append(fields,
+					obs.F("trace", rs.TC.TraceIDString()),
+					obs.F("span", rs.TC.SpanIDString()))
+			}
+			lg.Info("request", fields...)
 		}
 	})
 }
@@ -395,8 +516,18 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 			}
 			s.cfg.Obs.Counter("tvd_panics_total",
 				"handler panics recovered by the middleware").Inc()
-			if s.cfg.Logf != nil {
-				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			sw.panicked = true
+			if lg := s.cfg.Log; lg != nil {
+				fields := []obs.Field{
+					obs.F("method", r.Method),
+					obs.F("uri", r.URL.RequestURI()),
+					obs.F("panic", fmt.Sprint(rec)),
+					obs.F("stack", string(debug.Stack())),
+				}
+				if rs := obs.RequestFrom(r.Context()); rs != nil {
+					fields = append(fields, obs.F("trace", rs.TC.TraceIDString()))
+				}
+				lg.Error("panic serving request", fields...)
 			}
 			if !sw.wrote {
 				writeErr(sw, http.StatusInternalServerError, "internal error")
@@ -618,7 +749,7 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing node parameter")
 		return
 	}
-	info, err := sess.Why(node, q.Get("pol"), q.Get("corner"))
+	info, err := sess.Why(r.Context(), node, q.Get("pol"), q.Get("corner"))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -668,7 +799,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	info, err := sess.Diff(from, to, eps, k, limit)
+	info, err := sess.Diff(r.Context(), from, to, eps, k, limit)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -699,7 +830,7 @@ func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rows, err := sess.Slack(k, r.URL.Query().Get("corner"))
+	rows, err := sess.Slack(r.Context(), k, r.URL.Query().Get("corner"))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -760,6 +891,26 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, body)
+}
+
+// handleRequests serves the flight recorder's structured summaries,
+// newest first: one row per retained request with its trace identity,
+// route, status, duration, and pin reason.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Summaries())
+}
+
+// handleFlightRecorder dumps every retained request trace as one Chrome
+// trace-event JSON file (load it in ui.perfetto.dev): each request is a
+// process whose root span carries method, route, and status, with the
+// analysis phase spans stacked beneath. The dump streams trace by trace
+// and stops at the first write error, so a disconnecting client costs
+// nothing.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="flightrecorder.json"`)
+	w.WriteHeader(http.StatusOK)
+	s.flight.WriteChrome(w)
 }
 
 type statsBody struct {
