@@ -1,5 +1,5 @@
 // Command experiments regenerates the reconstructed evaluation: every
-// table (T1–T10), figure (F1–F4), and ablation (A1–A2) documented in
+// table (T1–T11), figure (F1–F4), and ablation (A1–A2) documented in
 // DESIGN.md, printed as plain text. EXPERIMENTS.md is produced from this
 // output.
 //
@@ -8,7 +8,7 @@
 //	experiments            # run everything
 //	experiments -t T3,F1   # run a subset
 //	experiments -j 1       # force the serial engine (0 = one worker per CPU)
-//	experiments -cap 100000  # cap the T8/T9/T10 sweeps at this transistor
+//	experiments -cap 100000  # cap the T8–T11 sweeps at this transistor
 //	                         # target (CI keeps those jobs fast; committed
 //	                         # artifacts come from uncapped runs)
 //
@@ -20,8 +20,10 @@
 // T8 writes BENCH_T5.json (tiled-chip throughput sweep, 10k → 1M
 // transistors, vs the seed-engine baseline), T9 writes BENCH_T6.json
 // (3-corner MCMM sweep vs single-corner analysis over the shared plan),
-// and T10 writes BENCH_T7.json (flight-recorder overhead on the
-// incremental apply path, recorder-on vs recorder-off medians).
+// T10 writes BENCH_T7.json (flight-recorder overhead on the incremental
+// apply path, recorder-on vs recorder-off medians), and T11 writes
+// BENCH_T8.json (durability cost: snapshot save/restore latency and
+// journal overhead on the apply path vs design size).
 package main
 
 import (
@@ -38,12 +40,13 @@ import (
 func main() {
 	only := flag.String("t", "", "comma-separated experiment IDs (default all)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
-	capN := flag.Int("cap", 0, "drop T8/T9/T10 sweep points above this transistor target (0 = uncapped)")
+	capN := flag.Int("cap", 0, "drop T8–T11 sweep points above this transistor target (0 = uncapped)")
 	flag.Parse()
 	bench.Workers = *jobs
 	bench.T8Cap = *capN
 	bench.T9Cap = *capN
 	bench.T10Cap = *capN
+	bench.T11Cap = *capN
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -76,7 +79,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 T6 T7 T8 T9 T10 F1 F2 F3 F4 A1 A2")
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -t; known IDs: T1 T2 T3 T4 T5 T6 T7 T8 T9 T10 T11 F1 F2 F3 F4 A1 A2")
 		os.Exit(2)
 	}
 }

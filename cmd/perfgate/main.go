@@ -57,7 +57,13 @@ type baseline struct {
 	// this size (0 = the T10 default, 1.03).
 	RecorderTarget          int     `json:"recorder_target_transistors,omitempty"`
 	RecorderOverheadCeiling float64 `json:"recorder_overhead_ceiling,omitempty"`
-	Note                    string  `json:"note,omitempty"`
+	// JournalTarget, when positive, adds the durability gate: the
+	// journaled apply (append, no fsync) at this size must stay within
+	// JournalOverheadCeiling × the bare apply median (0 = the T11
+	// default, 1.25).
+	JournalTarget          int     `json:"journal_target_transistors,omitempty"`
+	JournalOverheadCeiling float64 `json:"journal_overhead_ceiling,omitempty"`
+	Note                   string  `json:"note,omitempty"`
 }
 
 type gateResult struct {
@@ -74,6 +80,10 @@ type gateResult struct {
 	// enables the flight-recorder gate.
 	RecorderCeiling float64          `json:"recorder_overhead_ceiling,omitempty"`
 	RecorderSample  *bench.T10Sample `json:"recorder_sample,omitempty"`
+	// JournalCeiling and JournalSample are present when the baseline
+	// enables the durability gate.
+	JournalCeiling float64          `json:"journal_overhead_ceiling,omitempty"`
+	JournalSample  *bench.T11Sample `json:"journal_sample,omitempty"`
 }
 
 func main() {
@@ -135,11 +145,27 @@ func main() {
 			rs.Transistors, 100*(rs.Overhead-1), 100*(recorderCeiling-1), rs.SpansPerApply, rs.Pairs)
 	}
 
+	var journalSample *bench.T11Sample
+	journalCeiling := b.JournalOverheadCeiling
+	journalPass := true
+	if b.JournalTarget > 0 {
+		if journalCeiling <= 0 {
+			journalCeiling = bench.T11OverheadCeiling
+		}
+		js := bench.MeasureDurability(b.JournalTarget, b.Workers)
+		journalSample = &js
+		journalPass = js.Overhead <= journalCeiling
+		fmt.Printf("perfgate: journal at %d transistors: %.2f%% apply overhead (ceiling %.0f%%), snapshot %.1f MiB save %.1fms restore %.1fms\n",
+			js.Transistors, 100*(js.Overhead-1), 100*(journalCeiling-1),
+			float64(js.SnapshotBytes)/(1<<20), float64(js.SaveNS)/1e6, float64(js.RestoreNS)/1e6)
+	}
+
 	if *out != "" {
 		res := gateResult{Experiment: "perf-smoke", Baseline: b, Floor: floor,
-			Pass: pass && cornerPass && recorderPass, Sample: sample,
+			Pass: pass && cornerPass && recorderPass && journalPass, Sample: sample,
 			CornerFloor: cornerFloor, CornerSample: cornerSample,
-			RecorderCeiling: recorderCeiling, RecorderSample: recorderSample}
+			RecorderCeiling: recorderCeiling, RecorderSample: recorderSample,
+			JournalCeiling: journalCeiling, JournalSample: journalSample}
 		blob, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perfgate: marshal: %v\n", err)
@@ -162,6 +188,10 @@ func main() {
 	}
 	if !recorderPass {
 		fmt.Fprintf(os.Stderr, "perfgate: FAIL — flight recorder overhead exceeded its ceiling on the apply path\n")
+		os.Exit(1)
+	}
+	if !journalPass {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL — journal append overhead exceeded its ceiling on the apply path\n")
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: PASS")

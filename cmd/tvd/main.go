@@ -53,6 +53,15 @@
 //	-slo-latency d   latency objective behind the per-route
 //	                 tvd_slo_requests_total{slo="good"|"bad"} counters
 //	                 (default 500ms, negative disables)
+//	-state-dir dir   durable sessions: every design keeps a versioned
+//	                 snapshot plus a crash-safe delta journal under dir;
+//	                 eviction becomes evict-to-snapshot with rehydration
+//	                 on next touch, and a restart (clean or crashed)
+//	                 warm-starts from the persisted state. Empty (the
+//	                 default) disables durability
+//	-fsync-every n   journal fsync batching: 1 (default) syncs every
+//	                 committed batch, n > 1 every nth batch, negative
+//	                 never (the OS decides when)
 //	-quiet           drop the per-request log lines
 //	-version         print the version and exit
 //
@@ -148,6 +157,8 @@ func main() {
 	flightSize := flag.Int("flight-recorder", 0, "flight-recorder ring size (0 = default, negative disables)")
 	slowRequest := flag.Duration("slow-request", 0, "pin requests at least this slow in the flight recorder (0 = default, negative disables)")
 	sloLatency := flag.Duration("slo-latency", 0, "latency objective for the per-route SLO counters (0 = default, negative disables)")
+	stateDir := flag.String("state-dir", "", "persist sessions (snapshot + journal) under this directory; empty disables durability")
+	fsyncEvery := flag.Int("fsync-every", 0, "journal fsync batching: 1 (default) every batch, n>1 every nth, negative never")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	var pre preloads
@@ -186,6 +197,14 @@ func main() {
 	if err != nil {
 		fatal("-corners", obs.F("err", err))
 	}
+	if *stateDir != "" {
+		// Fail fast on an unusable state dir: a daemon that silently ran
+		// without the durability it was asked for would betray the
+		// operator at the worst possible moment.
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fatal("-state-dir", obs.F("dir", *stateDir), obs.F("err", err))
+		}
+	}
 	o := obs.NewObs()
 	cfg := server.Config{
 		Params:         tech.Default(),
@@ -202,6 +221,8 @@ func main() {
 		FlightSize:     *flightSize,
 		SlowRequest:    *slowRequest,
 		SLOLatency:     *sloLatency,
+		StateDir:       *stateDir,
+		FsyncEvery:     *fsyncEvery,
 	}
 	if *quiet {
 		cfg.Log = nil
@@ -224,6 +245,16 @@ func main() {
 			obs.F("devices", info.Devices), obs.F("nodes", info.Nodes),
 			obs.F("stages", info.Stages), obs.F("arcs", info.Arcs))
 	}
+
+	// Warm restart in the background: the listener comes up immediately
+	// and /readyz answers 503 "restoring" until every persisted design is
+	// rehydrated, so orchestrators hold traffic without timing out the
+	// process start. Preloads above win over persisted state by name.
+	go func() {
+		if err := srv.WarmRestart(context.Background()); err != nil {
+			lg.Warn("warm restart incomplete", obs.F("err", err))
+		}
+	}()
 
 	handler := srv.Handler()
 	var metricsSrv *http.Server
@@ -282,6 +313,11 @@ func main() {
 	}
 	if metricsSrv != nil {
 		metricsSrv.Shutdown(drainCtx)
+	}
+	// With the request stream quiet, snapshot every dirty session so the
+	// next start is a warm restart with no journal replay.
+	if err := srv.SnapshotAll(drainCtx); err != nil {
+		lg.Warn("drain snapshots incomplete", obs.F("err", err))
 	}
 	lg.Info("drained; exiting")
 }

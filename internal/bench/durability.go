@@ -1,0 +1,270 @@
+package bench
+
+// T11: durability cost. The durable-session layer (internal/snapshot)
+// adds three costs to the daemon: writing a snapshot, restoring one
+// (re-analysis plus the bitwise proof), and journaling every committed
+// batch. This experiment measures all three against design size on the
+// tiled benchmark chip, and isolates the journal's apply-path overhead
+// the way perfgate gates it: append-without-fsync vs no-journal, because
+// the fsync itself is a disk property the operator dials with
+// -fsync-every, not an engine cost a code change can regress. Persisted
+// as BENCH_T8.json (artifact numbers follow emission order).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"nmostv/internal/core"
+	"nmostv/internal/gen"
+	"nmostv/internal/incr"
+	"nmostv/internal/report"
+	"nmostv/internal/snapshot"
+	"nmostv/internal/tech"
+)
+
+// T11Cap, when positive, drops measurement points whose transistor target
+// exceeds it (the first point always survives). CI caps at 100k; the
+// full-size 1M point is a workstation run.
+var T11Cap int
+
+// T11Pairs is how many journal-on/journal-off apply pairs each point
+// measures after warm-up, interleaved like T10 so cone shape and resize
+// direction cancel out of the comparison.
+var T11Pairs = 24
+
+// T11FsyncApplies is how many applies the fsync-every-batch column
+// averages. Smaller than T11Pairs: each one pays a real fsync.
+var T11FsyncApplies = 8
+
+// T11OverheadCeiling is the acceptance bound perfgate holds CI to: the
+// median journaled apply (append, no fsync) must stay within 25% of the
+// median bare apply. The append is a JSON marshal of the batch plus one
+// buffered write, so on any non-trivial cone it should be far below this;
+// the ceiling catches an accidental per-append allocation or sync.
+const T11OverheadCeiling = 1.25
+
+// T11Sample is one machine-readable row of the T11 measurement.
+type T11Sample struct {
+	Transistors   int   `json:"transistors"`
+	Workers       int   `json:"workers"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// SaveNS is one Export+Save (atomic write, fsync included).
+	SaveNS int64 `json:"save_ns"`
+	// RestoreNS is one Load+Restore: read, decode, re-analyze, and prove
+	// the result bitwise against the persisted arrays.
+	RestoreNS int64 `json:"restore_ns"`
+	Pairs     int   `json:"pairs"`
+	// OffNSPerApply is the bare apply; OnNSPerApply adds the journal
+	// append without fsync; FsyncNSPerApply syncs every batch.
+	OffNSPerApply   int64   `json:"off_ns_per_apply"`
+	OnNSPerApply    int64   `json:"on_ns_per_apply"`
+	FsyncNSPerApply int64   `json:"fsync_ns_per_apply"`
+	Overhead        float64 `json:"overhead"`
+}
+
+func (s T11Sample) pass() bool { return s.Overhead <= T11OverheadCeiling }
+
+// MeasureDurability builds the tiled chip at the given transistor target
+// and measures the three durability costs. cmd/perfgate calls this for
+// the journal-overhead CI gate.
+func MeasureDurability(target, workers int) T11Sample {
+	dir, err := os.MkdirTemp("", "tvd-bench-t11-")
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: temp dir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: store: %v", err))
+	}
+
+	p := tech.Default()
+	nl := gen.TiledChip(p, gen.DefaultTiledChip(target))
+	opts := incr.Options{Params: p, Sched: genericSchedule(), Core: core.Options{Workers: workers}}
+	ctx := context.Background()
+	sess, err := incr.New(ctx, "t11", nl, opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: open: %v", err))
+	}
+	devs := sess.Devices()
+	info := sess.Info()
+
+	// Snapshot write: export plus the store's atomic temp+fsync+rename.
+	start := time.Now()
+	if err := store.Save(sess.Export()); err != nil {
+		panic(fmt.Sprintf("bench T11: save: %v", err))
+	}
+	saveNS := time.Since(start).Nanoseconds()
+	fi, err := os.Stat(store.SnapshotPath("t11"))
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: stat snapshot: %v", err))
+	}
+
+	// Restore: read + decode + re-analysis + bitwise proof.
+	start = time.Now()
+	st, err := store.Load("t11")
+	if err == nil {
+		_, err = incr.Restore(ctx, st, opts)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: restore: %v", err))
+	}
+	restoreNS := time.Since(start).Nanoseconds()
+
+	// Journal overhead on the apply path. The journaled variant pays
+	// exactly what the daemon pays per committed batch: marshal the
+	// deltas and append one checksummed record — minus fsync, which the
+	// separate column below prices.
+	j, _, err := store.OpenJournal("t11", -1)
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: journal: %v", err))
+	}
+	type rec struct {
+		Kind   string       `json:"kind"`
+		Deltas []incr.Delta `json:"deltas"`
+	}
+	apply := func(journaled bool, jo *snapshot.Journal, id int64, w float64) int64 {
+		deltas := []incr.Delta{{Op: "resize", ID: id, W: w}}
+		t0 := time.Now()
+		stats, err := sess.Apply(ctx, deltas)
+		if err != nil {
+			panic(fmt.Sprintf("bench T11: resize dev %d: %v", id, err))
+		}
+		if journaled {
+			payload, err := json.Marshal(rec{Kind: "delta", Deltas: deltas})
+			if err == nil {
+				err = jo.Append(uint64(stats.Version), payload)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("bench T11: append: %v", err))
+			}
+		}
+		return time.Since(t0).Nanoseconds()
+	}
+
+	for i := 0; i < 3; i++ {
+		d := devs[0]
+		apply(true, j, d.ID, d.W*1.25)
+		apply(false, nil, d.ID, d.W)
+	}
+	var on, off []int64
+	for i := 0; i < T11Pairs; i++ {
+		d := devs[1+((i*(len(devs)-1))/T11Pairs)]
+		jFirst := i%2 == 0
+		a := apply(jFirst, j, d.ID, d.W*1.25)
+		b := apply(!jFirst, j, d.ID, d.W)
+		if jFirst {
+			on, off = append(on, a), append(off, b)
+		} else {
+			off, on = append(off, a), append(on, b)
+		}
+	}
+	j.Close()
+
+	// The fsync-every-batch column: what -fsync-every 1 (the default)
+	// costs per committed batch on this filesystem.
+	jf, _, err := store.OpenJournal("t11-fsync", 1)
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: fsync journal: %v", err))
+	}
+	var fsynced []int64
+	for i := 0; i < T11FsyncApplies; i++ {
+		d := devs[1+((i*(len(devs)-1))/T11FsyncApplies)]
+		w := d.W * 1.25
+		if i%2 == 1 {
+			w = d.W
+		}
+		fsynced = append(fsynced, apply(true, jf, d.ID, w))
+	}
+	jf.Close()
+
+	if err := sess.SelfCheck(ctx); err != nil {
+		panic(fmt.Sprintf("bench T11: equivalence check failed: %v", err))
+	}
+	med := func(xs []int64) int64 {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return xs[len(xs)/2]
+	}
+	onMed, offMed := med(on), med(off)
+	return T11Sample{
+		Transistors:     info.Devices,
+		Workers:         workers,
+		SnapshotBytes:   fi.Size(),
+		SaveNS:          saveNS,
+		RestoreNS:       restoreNS,
+		Pairs:           T11Pairs,
+		OffNSPerApply:   offMed,
+		OnNSPerApply:    onMed,
+		FsyncNSPerApply: med(fsynced),
+		Overhead:        float64(onMed) / float64(offMed),
+	}
+}
+
+// t11Artifact is the BENCH_T8.json payload.
+type t11Artifact struct {
+	Experiment      string      `json:"experiment"`
+	OverheadCeiling float64     `json:"overhead_ceiling"`
+	Pass            bool        `json:"pass"`
+	Samples         []T11Sample `json:"samples"`
+}
+
+// RunT11 measures durability cost — snapshot save/restore latency and
+// journal apply overhead — at 10k, 100k, and (uncapped) 1M transistors,
+// and emits BENCH_T8.json.
+func RunT11() *Report {
+	var targets []int
+	dropped := 0
+	for _, t := range []int{10_000, 100_000, 1_000_000} {
+		if T11Cap > 0 && t > T11Cap && len(targets) > 0 {
+			dropped++
+			continue
+		}
+		targets = append(targets, t)
+	}
+
+	var samples []T11Sample
+	pass := true
+	for _, target := range targets {
+		s := MeasureDurability(target, Workers)
+		pass = pass && s.pass()
+		samples = append(samples, s)
+	}
+
+	tab := report.NewTable("Table T11 — durability cost: snapshot, restore, and journal on the apply path",
+		"transistors", "snap (MiB)", "save (ms)", "restore (ms)",
+		"apply (µs)", "+journal (µs)", "+fsync (µs)", "overhead %", "ok")
+	for _, s := range samples {
+		tab.Add(s.Transistors, float64(s.SnapshotBytes)/(1<<20),
+			float64(s.SaveNS)/1e6, float64(s.RestoreNS)/1e6,
+			float64(s.OffNSPerApply)/1e3, float64(s.OnNSPerApply)/1e3,
+			float64(s.FsyncNSPerApply)/1e3, 100*(s.Overhead-1), s.pass())
+	}
+	verdict := "PASS"
+	if !pass {
+		verdict = "FAIL"
+	}
+	notes := fmt.Sprintf("claim under test: durable sessions are affordable — the journal append\n"+
+		"(what every committed batch pays) stays within %.0f%% of the bare apply,\n"+
+		"snapshot restore is one full analysis plus a bitwise proof, and fsync\n"+
+		"cost is a visible, operator-dialed column rather than a hidden tax.\n"+
+		"Medians of %d interleaved on/off apply pairs per point; %s.\n",
+		100*(T11OverheadCeiling-1), T11Pairs, verdict)
+	if dropped > 0 {
+		notes += fmt.Sprintf("T11Cap=%d dropped the %d largest point(s).\n", T11Cap, dropped)
+	}
+
+	blob, err := json.MarshalIndent(t11Artifact{
+		Experiment: "T11", OverheadCeiling: T11OverheadCeiling,
+		Pass: pass, Samples: samples,
+	}, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("bench T11: marshal samples: %v", err))
+	}
+	return &Report{ID: "T11", Title: "Durability cost: snapshot, restore, journal",
+		Sections:  []string{tab.String(), notes},
+		Artifacts: map[string][]byte{"BENCH_T8.json": append(blob, '\n')}}
+}

@@ -64,6 +64,7 @@ func All() []Experiment {
 		{"T8", "Million-transistor throughput", RunT8},
 		{"T9", "Multi-corner sweep scaling", RunT9},
 		{"T10", "Flight-recorder overhead", RunT10},
+		{"T11", "Durability cost: snapshot, restore, journal", RunT11},
 		{"F1", "Settle-time distribution per phase", RunF1},
 		{"F2", "Runtime scaling curve", RunF2},
 		{"F3", "Pass-chain delay vs length", RunF3},

@@ -139,3 +139,19 @@ func BuildWithCache(ctx context.Context, nl *netlist.Netlist, st *stage.Result, 
 	sp.End()
 	return m, stats, nil
 }
+
+// Fingerprints computes the per-stage content fingerprints for the
+// current netlist state without building any edges — exactly the keys a
+// BuildWithCache on the same state would probe. Session persistence uses
+// it: the snapshot stores these as a compact proof that a restore
+// re-derived the same partition and shard-cache keyspace.
+func Fingerprints(nl *netlist.Netlist, st *stage.Result, p tech.Params, opt Options) []uint64 {
+	opt = opt.withDefaults()
+	caps := ComputeCaps(nl, p)
+	forced := forcedMap(nl, opt)
+	fps := make([]uint64, len(st.Stages))
+	for i, s := range st.Stages {
+		fps[i] = s.Fingerprint(caps, forced)
+	}
+	return fps
+}

@@ -113,7 +113,7 @@ func TestCornerRollback(t *testing.T) {
 	defer faultpoint.Reset()
 	ctx := context.Background()
 	s := newCornerSession(t, 1)
-	snap := snapshot(s)
+	snap := captureNetlist(s)
 	resBefore := s.Result()
 	cornersBefore := make([]*core.Result, len(s.corners))
 	for i, cs := range s.corners {

@@ -42,7 +42,7 @@ type netlistSnapshot struct {
 	w0    float64
 }
 
-func snapshot(s *Session) netlistSnapshot {
+func captureNetlist(s *Session) netlistSnapshot {
 	snap := netlistSnapshot{devs: len(s.nl.Trans), nodes: len(s.nl.Nodes), w0: s.nl.Trans[0].W}
 	for _, tr := range s.nl.Trans {
 		snap.ids = append(snap.ids, tr.ID)
@@ -81,7 +81,7 @@ func TestApplyAbortRollsBack(t *testing.T) {
 	b.Output(b.InvChain(b.Input("in"), 24))
 	s := newTestSession(t, "chain", b.Finish(), 1)
 	resBefore := s.Result()
-	snap := snapshot(s)
+	snap := captureNetlist(s)
 	batch := structuralBatch(s)
 
 	faultpoint.Arm("incr.apply.analyze", faultpoint.Action{Err: faultpoint.ErrInjected})
@@ -116,7 +116,7 @@ func TestApplyCancellationRollsBack(t *testing.T) {
 	b := gen.New("chain", tech.Default())
 	b.Output(b.InvChain(b.Input("in"), 48))
 	s := newTestSession(t, "chain", b.Finish(), 1)
-	snap := snapshot(s)
+	snap := captureNetlist(s)
 
 	faultpoint.Arm("core.propagate.level", faultpoint.Action{Delay: 2 * time.Millisecond})
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
@@ -141,7 +141,7 @@ func TestApplyPanicRollsBack(t *testing.T) {
 	b := gen.New("chain", tech.Default())
 	b.Output(b.InvChain(b.Input("in"), 24))
 	s := newTestSession(t, "chain", b.Finish(), 1)
-	snap := snapshot(s)
+	snap := captureNetlist(s)
 
 	faultpoint.Arm("incr.apply.analyze", faultpoint.Action{Panic: true})
 	func() {

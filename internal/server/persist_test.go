@@ -1,0 +1,311 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nmostv/internal/clocks"
+	"nmostv/internal/faultpoint"
+	"nmostv/internal/incr"
+	"nmostv/internal/obs"
+	"nmostv/internal/tech"
+)
+
+func durableConfig(dir string, maxDesigns int) Config {
+	return Config{
+		Params:     tech.Default(),
+		Sched:      clocks.TwoPhase(1000, 0.8),
+		Workers:    1,
+		MaxDesigns: maxDesigns,
+		StateDir:   dir,
+		Obs:        obs.NewObs(),
+	}
+}
+
+func loadChain(t *testing.T, s *Server, name string, n int) *incr.Session {
+	t.Helper()
+	sess, err := s.Load(context.Background(), name, strings.NewReader(chainSim(t, n)))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return sess
+}
+
+func resizeBody(t *testing.T, ts *httptest.Server, design string, w float64) string {
+	t.Helper()
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices?design="+design, http.StatusOK, &devs)
+	return fmt.Sprintf(`[{"op":"resize","id":%d,"w":%g}]`, devs[len(devs)/2].ID, w)
+}
+
+// TestEvictToSnapshotAndRehydrate: with durability on, eviction unloads
+// the session to disk and the next touch rebuilds it — same version,
+// bit-identical under /verify — instead of forgetting the design.
+func TestEvictToSnapshotAndRehydrate(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 1))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	loadChain(t, s, "a", 8)
+	var st incr.Stats
+	postJSON(t, ts.URL+"/delta?design=a", resizeBody(t, ts, "a", 9), http.StatusOK, &st)
+	wantVersion := st.Version
+
+	// Loading b over the cap evicts a — to disk, not to oblivion.
+	loadChain(t, s, "b", 6)
+	var sb statsBody
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &sb)
+	pa, ok := sb.Persist["a"]
+	if !ok || !pa.Cold {
+		t.Fatalf("design a not cold after eviction: %+v", sb.Persist)
+	}
+	if sb.Persisted != 2 {
+		t.Fatalf("persisted = %d, want 2", sb.Persisted)
+	}
+
+	// First touch rehydrates; the journaled delta is part of the state.
+	var devs []incr.DeviceInfo
+	getJSON(t, ts.URL+"/devices?design=a", http.StatusOK, &devs)
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &sb)
+	if sb.PerDesign["a"].Last.Version != wantVersion {
+		t.Fatalf("rehydrated version %d, want %d", sb.PerDesign["a"].Last.Version, wantVersion)
+	}
+	var vb verifyBody
+	getJSON(t, ts.URL+"/verify?design=a", http.StatusOK, &vb)
+	if !vb.OK {
+		t.Fatalf("rehydrated design fails verify: %+v", vb)
+	}
+}
+
+// TestPinnedStreamSurvivesEviction is the mid-flight regression: a long
+// /paths stream holds the session while another load marks it for
+// eviction. The stream must finish on the live session; the eviction runs
+// on the stream's release, not under it.
+func TestPinnedStreamSurvivesEviction(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 1))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	loadChain(t, s, "a", 10)
+
+	resp, err := http.Get(ts.URL + "/paths?design=a&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first streamed path: %v", err)
+	}
+
+	// Mid-stream, b evicts a. The entry must be pinned, not unloaded.
+	loadChain(t, s, "b", 6)
+
+	lines := 1
+	for {
+		if _, err := br.ReadString('\n'); err != nil {
+			break
+		}
+		lines++
+	}
+	if lines == 1 {
+		t.Fatal("stream died after the concurrent eviction")
+	}
+
+	// With the stream closed, the deferred eviction completes: a goes
+	// cold (the release runs when the handler returns, so poll briefly).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var sb statsBody
+		getJSON(t, ts.URL+"/stats", http.StatusOK, &sb)
+		if pa, ok := sb.Persist["a"]; ok && pa.Cold {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("eviction never completed after stream release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And a still rehydrates on demand.
+	var vb verifyBody
+	getJSON(t, ts.URL+"/verify?design=a", http.StatusOK, &vb)
+	if !vb.OK {
+		t.Fatalf("post-eviction verify: %+v", vb)
+	}
+}
+
+// TestWarmRestart: a new server over the same state dir recovers every
+// design — snapshot plus journaled batches — and reports `restoring` on
+// /readyz only while the rehydration is in flight.
+func TestWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(durableConfig(dir, 4))
+	ts1 := httptest.NewServer(s1.Handler())
+
+	loadChain(t, s1, "a", 8)
+	loadChain(t, s1, "b", 5)
+	var st incr.Stats
+	postJSON(t, ts1.URL+"/delta?design=a", resizeBody(t, ts1, "a", 10), http.StatusOK, &st)
+	postJSON(t, ts1.URL+"/delta?design=a", resizeBody(t, ts1, "a", 6), http.StatusOK, &st)
+	wantVersion := st.Version
+	ts1.Close()
+	// No SnapshotAll, no journal handoff: this is the crash shape. The
+	// journal files hold the two batches; the snapshots hold version 1.
+
+	s2 := New(durableConfig(dir, 4))
+	if err := s2.WarmRestart(context.Background()); err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	var sb statsBody
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
+	if got := sb.PerDesign["a"].Last.Version; got != wantVersion {
+		t.Fatalf("recovered a at version %d, want %d", got, wantVersion)
+	}
+	if sb.PerDesign["b"].Last.Version != 1 {
+		t.Fatalf("recovered b at version %d, want 1", sb.PerDesign["b"].Last.Version)
+	}
+	for _, name := range []string{"a", "b"} {
+		var vb verifyBody
+		getJSON(t, ts2.URL+"/verify?design="+name, http.StatusOK, &vb)
+		if !vb.OK {
+			t.Fatalf("recovered %s fails verify: %+v", name, vb)
+		}
+	}
+}
+
+// TestWarmRestartReadyz: /readyz is 503 "restoring" while WarmRestart
+// runs and 200 after.
+func TestWarmRestartReadyz(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(durableConfig(dir, 4))
+	loadChain(t, s1, "a", 6)
+
+	s2 := New(durableConfig(dir, 4))
+	s2.restoring.Store(true) // what WarmRestart sets while running
+	ts := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("readyz while restoring: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	s2.restoring.Store(false)
+	if err := s2.WarmRestart(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/node/in?design=a", http.StatusOK, nil)
+}
+
+// TestWarmRestartTornJournal: garbage appended to a journal (the torn
+// tail a kill -9 leaves) costs at most the uncommitted suffix — recovery
+// still lands on the last committed batch.
+func TestWarmRestartTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(durableConfig(dir, 4))
+	ts1 := httptest.NewServer(s1.Handler())
+	loadChain(t, s1, "a", 8)
+	var st incr.Stats
+	postJSON(t, ts1.URL+"/delta?design=a", resizeBody(t, ts1, "a", 12), http.StatusOK, &st)
+	ts1.Close()
+
+	jpath := filepath.Join(dir, "a", "journal.tvwal")
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\xde\xad torn half-record \xbe\xef")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := New(durableConfig(dir, 4))
+	if err := s2.WarmRestart(context.Background()); err != nil {
+		t.Fatalf("warm restart over torn journal: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	var sb statsBody
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
+	if got := sb.PerDesign["a"].Last.Version; got != st.Version {
+		t.Fatalf("recovered version %d, want %d", got, st.Version)
+	}
+	var vb verifyBody
+	getJSON(t, ts2.URL+"/verify?design=a", http.StatusOK, &vb)
+	if !vb.OK {
+		t.Fatalf("verify after torn-tail recovery: %+v", vb)
+	}
+}
+
+// TestReplayFaultSurfacesTyped: an injected failure on the replay fault
+// point must surface as a mapped HTTP error on the touch that triggered
+// rehydration — and succeed once the fault clears (no poisoned entry).
+func TestReplayFaultSurfacesTyped(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	s1 := New(durableConfig(dir, 4))
+	ts1 := httptest.NewServer(s1.Handler())
+	loadChain(t, s1, "a", 6)
+	var st incr.Stats
+	postJSON(t, ts1.URL+"/delta?design=a", resizeBody(t, ts1, "a", 9), http.StatusOK, &st)
+	ts1.Close()
+
+	// Two injected failures: one for the warm restart's hydration (the
+	// design stays registered but cold), one for the first HTTP touch.
+	faultpoint.Arm(FaultReplay, faultpoint.Action{Err: faultpoint.ErrInjected, Count: 2})
+	s2 := New(durableConfig(dir, 4))
+	if err := s2.WarmRestart(context.Background()); err == nil {
+		t.Fatal("warm restart with poisoned replay reported success")
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	resp, err := http.Get(ts2.URL + "/devices?design=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Fatalf("poisoned replay answered %d, want 5xx", resp.StatusCode)
+	}
+	// Fault exhausted: the design recovers on the next touch — a failed
+	// rehydration never poisons the entry.
+	getJSON(t, ts2.URL+"/devices?design=a", http.StatusOK, nil)
+	var sb statsBody
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
+	if got := sb.PerDesign["a"].Last.Version; got != st.Version {
+		t.Fatalf("recovered version %d, want %d", got, st.Version)
+	}
+}
+
+// TestEvictionWithoutStoreStillDrops: durability off keeps the seed
+// behavior — eviction removes the design and a later query is a 404.
+func TestEvictionWithoutStoreStillDrops(t *testing.T) {
+	s := New(Config{
+		Params:     tech.Default(),
+		Sched:      clocks.TwoPhase(1000, 0.8),
+		Workers:    1,
+		MaxDesigns: 1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	loadChain(t, s, "a", 6)
+	loadChain(t, s, "b", 6)
+	getJSON(t, ts.URL+"/devices?design=a", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/devices?design=b", http.StatusOK, nil)
+}

@@ -83,6 +83,7 @@ import (
 	"nmostv/internal/incr"
 	"nmostv/internal/obs"
 	"nmostv/internal/simfile"
+	"nmostv/internal/snapshot"
 	"nmostv/internal/tech"
 	"nmostv/internal/tverr"
 )
@@ -163,6 +164,19 @@ type Config struct {
 	// good when it finishes within the objective without a 5xx. 0 means
 	// DefaultSLOLatency; negative disables SLO accounting.
 	SLOLatency time.Duration
+	// StateDir enables durable sessions: every design keeps a versioned
+	// snapshot plus a delta journal under this directory. Committed
+	// batches append to the journal; registry eviction becomes
+	// evict-to-snapshot with lazy rehydration on next touch; WarmRestart
+	// reloads persisted designs after a restart or crash (last snapshot +
+	// journal tail replay). Empty disables durability: eviction drops
+	// sessions outright and a restart starts empty.
+	StateDir string
+	// FsyncEvery batches journal fsync: 1 (or 0, the default) syncs every
+	// committed batch — the crash-safe setting; n > 1 syncs every nth
+	// batch, trading the tail of the journal for append throughput;
+	// negative never syncs (the OS decides).
+	FsyncEvery int
 }
 
 func (c *Config) withDefaults() {
@@ -196,14 +210,51 @@ func (c *Config) withDefaults() {
 	if c.Version == "" {
 		c.Version = "dev"
 	}
+	if c.FsyncEvery == 0 {
+		c.FsyncEvery = 1
+	}
 }
 
-// regEntry is one registered design with its LRU stamp.
+// regEntry is one registered design. With durability on, an entry can be
+// hot (live session in memory) or cold (state on disk only, rehydrated
+// on next touch); without it, entries are always hot and eviction
+// removes them from the registry.
+//
+// Lock order: s.mu may be held while taking e.mu, never the reverse.
+// The live pointer mirrors sess for the lock-free read path: queries
+// resolve a hot session without touching e.mu, so a long hydration or
+// journaled apply on one design never stalls reads of another — or even
+// concurrent reads of the same design's published result.
 type regEntry struct {
-	sess *incr.Session
+	name string
 	// lastUse is the registry-wide use sequence at the entry's last
 	// resolution; the smallest stamp is the eviction victim.
 	lastUse atomic.Uint64
+	// pins counts requests currently holding the session (resolved but
+	// not yet released). Eviction never unloads a pinned entry: a long
+	// /paths stream keeps its design resident, and the eviction it
+	// deferred runs on the last release.
+	pins atomic.Int64
+	// wantEvict marks the entry as chosen for eviction while it was
+	// pinned; a fresh resolution cancels the mark (the LRU was wrong —
+	// the design is in use).
+	wantEvict atomic.Bool
+	// live mirrors sess for lock-free resolution; nil means cold.
+	live atomic.Pointer[incr.Session]
+
+	// snapSeq, lastSnap, and jlag mirror the durable state for /stats
+	// without taking mu: the publish seq covered by the on-disk snapshot,
+	// its write time, and the journal bytes a recovery would replay.
+	snapSeq  atomic.Int64
+	lastSnap atomic.Int64
+	jlag     atomic.Int64
+
+	// mu serializes the entry's state transitions (hydrate, snapshot,
+	// unload, reload) and the {commit, journal-append} pair, keeping the
+	// journal's record order identical to the session's publish order.
+	mu      sync.Mutex
+	sess    *incr.Session
+	journal *snapshot.Journal
 }
 
 // Server is the HTTP facade over a registry of incremental sessions.
@@ -213,6 +264,12 @@ type Server struct {
 	mu       sync.RWMutex
 	sessions map[string]*regEntry
 	useSeq   atomic.Uint64
+
+	// store is the durable session store; nil when Config.StateDir is
+	// empty (durability off). restoring is true while WarmRestart is
+	// rehydrating persisted designs; /readyz reports 503 until done.
+	store     *snapshot.Store
+	restoring atomic.Bool
 
 	// inflight is the admission semaphore for analysis routes; nil when
 	// shedding is disabled.
@@ -237,6 +294,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.StateDir != "" {
+		store, err := snapshot.NewStore(cfg.StateDir)
+		if err != nil {
+			// A daemon that silently ran without durability would betray
+			// the operator at the worst moment; cmd/tvd pre-creates the
+			// directory and fails fast, so this path is a last resort.
+			cfg.Log.Error("state dir unusable; durability DISABLED",
+				obs.F("dir", cfg.StateDir), obs.F("err", err.Error()))
+		} else {
+			s.store = store
+		}
 	}
 	if cfg.FlightSize > 0 {
 		slow := cfg.SlowRequest
@@ -267,9 +336,25 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// sessionOpts is the incr.Options every design is analyzed under — the
+// single analysis configuration restore fingerprints against.
+func (s *Server) sessionOpts() incr.Options {
+	return incr.Options{
+		Params:       s.cfg.Params,
+		Sched:        s.cfg.Sched,
+		Core:         core.Options{Workers: s.cfg.Workers},
+		Corners:      s.cfg.Corners,
+		Obs:          s.cfg.Obs,
+		HistoryDepth: s.cfg.HistoryDepth,
+	}
+}
+
 // Load parses .sim text and registers (or replaces) the named design,
 // evicting the least-recently-used design when the registry is over
-// Config.MaxDesigns. The context cancels the initial analysis.
+// Config.MaxDesigns. With durability on, the design's journal is emptied
+// and an initial snapshot written before Load returns, so a crash at any
+// later point recovers the design. The context cancels the initial
+// analysis.
 func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Session, error) {
 	nl, err := simfile.Read(sim, name)
 	if err != nil {
@@ -281,76 +366,110 @@ func (s *Server) Load(ctx context.Context, name string, sim io.Reader) (*incr.Se
 		}
 		return nil, err
 	}
-	sess, err := incr.New(ctx, name, nl, incr.Options{
-		Params:       s.cfg.Params,
-		Sched:        s.cfg.Sched,
-		Core:         core.Options{Workers: s.cfg.Workers},
-		Corners:      s.cfg.Corners,
-		Obs:          s.cfg.Obs,
-		HistoryDepth: s.cfg.HistoryDepth,
-	})
+	sess, err := incr.New(ctx, name, nl, s.sessionOpts())
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	e, ok := s.sessions[name]
 	if !ok {
-		e = &regEntry{}
+		e = &regEntry{name: name}
 		s.sessions[name] = e
 	}
-	e.sess = sess
 	e.lastUse.Store(s.useSeq.Add(1))
-	evicted := s.evictLocked(name)
+	// Pin through setup so a concurrent Load's eviction pass cannot
+	// unload the half-installed entry.
+	e.pins.Add(1)
 	s.mu.Unlock()
-	for _, victim := range evicted {
-		s.cfg.Obs.Counter("tvd_sessions_evicted_total",
-			"designs evicted from the registry by the LRU cap").Inc()
-		s.cfg.Log.Warn("design evicted",
-			obs.F("design", victim), obs.F("max_designs", s.cfg.MaxDesigns))
+
+	e.mu.Lock()
+	if e.journal != nil {
+		e.journal.Close()
+		e.journal = nil
 	}
+	e.sess = sess
+	e.live.Store(sess)
+	e.snapSeq.Store(0)
+	e.jlag.Store(0)
+	if s.store != nil {
+		// Empty the journal BEFORE writing the snapshot: a crash between
+		// the two leaves the old snapshot with an empty journal (stale
+		// but consistent), never a new design with the old design's
+		// records replayed onto it.
+		if j, _, jerr := s.store.OpenJournal(name, s.cfg.FsyncEvery); jerr != nil {
+			s.degraded(e, "journal open failed", jerr)
+		} else if jerr = j.Reset(0); jerr != nil {
+			j.Close()
+			s.degraded(e, "journal reset failed", jerr)
+		} else {
+			e.journal = j
+		}
+		if serr := s.snapshotLocked(e); serr != nil {
+			s.degraded(e, "initial snapshot failed", serr)
+		}
+	}
+	e.mu.Unlock()
+
+	s.mu.Lock()
+	victims := s.evictLocked(name)
+	s.mu.Unlock()
+	for _, v := range victims {
+		if v.pins.Load() == 0 {
+			s.finishEvict(v)
+		}
+	}
+	s.releaseEntry(e)
 	return sess, nil
 }
 
-// evictLocked drops least-recently-used entries until the registry is
-// within MaxDesigns, never evicting keep (the design just loaded).
-// Returns the evicted names. Caller holds the write lock.
-func (s *Server) evictLocked(keep string) []string {
+// evictLocked marks least-recently-used hot entries for eviction until
+// the hot count is within MaxDesigns, never choosing keep (the design
+// just loaded) or a cold entry (already unloaded). Pinned victims are
+// only marked — their last release finishes the eviction — so the
+// registry can transiently exceed the cap while streams hold sessions.
+// Returns the chosen entries. Caller holds the write lock.
+func (s *Server) evictLocked(keep string) []*regEntry {
 	if s.cfg.MaxDesigns <= 0 {
 		return nil
 	}
-	var evicted []string
-	for len(s.sessions) > s.cfg.MaxDesigns {
-		victim := ""
+	hot := 0
+	for _, e := range s.sessions {
+		if e.live.Load() != nil && !e.wantEvict.Load() {
+			hot++
+		}
+	}
+	var victims []*regEntry
+	for hot > s.cfg.MaxDesigns {
+		var victim *regEntry
 		var oldest uint64
 		for name, e := range s.sessions {
-			if name == keep {
+			if name == keep || e.live.Load() == nil || e.wantEvict.Load() {
 				continue
 			}
-			if u := e.lastUse.Load(); victim == "" || u < oldest {
-				victim, oldest = name, u
+			if u := e.lastUse.Load(); victim == nil || u < oldest {
+				victim, oldest = e, u
 			}
 		}
-		if victim == "" {
-			return evicted
+		if victim == nil {
+			return victims
 		}
-		delete(s.sessions, victim)
-		evicted = append(evicted, victim)
+		victim.wantEvict.Store(true)
+		victims = append(victims, victim)
+		hot--
 	}
-	return evicted
+	return victims
 }
 
-// session resolves the `design` query parameter; with exactly one design
-// loaded the parameter is optional. An unknown design is NotFound (404);
-// an ambiguous or empty selection is Invalid (400).
-func (s *Server) session(r *http.Request) (*incr.Session, error) {
+// entryFor resolves a design name (empty = the single loaded design) to
+// its registry entry. An unknown design is NotFound (404); an ambiguous
+// or empty selection is Invalid (400).
+func (s *Server) entryFor(name string) (*regEntry, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	name := r.URL.Query().Get("design")
 	if name == "" {
 		if len(s.sessions) == 1 {
 			for _, e := range s.sessions {
-				e.lastUse.Store(s.useSeq.Add(1))
-				return e.sess, nil
+				return e, nil
 			}
 		}
 		return nil, tverr.Errorf(tverr.Invalid, "server.session",
@@ -360,8 +479,104 @@ func (s *Server) session(r *http.Request) (*incr.Session, error) {
 	if !ok {
 		return nil, tverr.Errorf(tverr.NotFound, "server.session", "no design %q loaded", name)
 	}
+	return e, nil
+}
+
+// acquire resolves the `design` query parameter to a pinned live
+// session. The caller MUST call release when done with the session —
+// including after a long streaming response — at which point a deferred
+// eviction, if one was marked while the pin was held, finally runs. A
+// cold entry is rehydrated from its snapshot + journal on the spot.
+func (s *Server) acquire(r *http.Request) (*regEntry, *incr.Session, func(), error) {
+	return s.acquireName(r.Context(), r.URL.Query().Get("design"))
+}
+
+func (s *Server) acquireName(ctx context.Context, name string) (*regEntry, *incr.Session, func(), error) {
+	e, err := s.entryFor(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	e.lastUse.Store(s.useSeq.Add(1))
-	return e.sess, nil
+	e.pins.Add(1)
+	// A touch cancels a pending eviction: the LRU chose this entry while
+	// it was idle, and it no longer is.
+	e.wantEvict.Store(false)
+	release := func() { s.releaseEntry(e) }
+	if sess := e.live.Load(); sess != nil {
+		return e, sess, release, nil
+	}
+	// Cold: rehydrate under the entry lock. Concurrent requests for the
+	// same design queue here and find the session on their turn.
+	e.mu.Lock()
+	if e.sess == nil {
+		if err := s.hydrate(ctx, e); err != nil {
+			e.mu.Unlock()
+			s.releaseEntry(e)
+			return nil, nil, nil, err
+		}
+	}
+	sess := e.sess
+	e.mu.Unlock()
+	return e, sess, release, nil
+}
+
+// releaseEntry drops one pin; the last pin out runs a deferred eviction.
+func (s *Server) releaseEntry(e *regEntry) {
+	if e.pins.Add(-1) == 0 && e.wantEvict.Load() {
+		s.finishEvict(e)
+	}
+}
+
+// finishEvict completes a marked eviction once no pins remain. With
+// durability on, the session is snapshotted and unloaded in place (the
+// entry stays registered, cold); without it, the entry is removed from
+// the registry. Both paths re-check pins and the mark, so a racing
+// acquire either cancels the eviction or finds a cold entry and
+// rehydrates — never a torn state.
+func (s *Server) finishEvict(e *regEntry) {
+	if s.store == nil {
+		s.mu.Lock()
+		if !e.wantEvict.Load() || e.pins.Load() != 0 {
+			s.mu.Unlock()
+			return
+		}
+		if s.sessions[e.name] == e {
+			delete(s.sessions, e.name)
+		}
+		e.wantEvict.Store(false)
+		s.mu.Unlock()
+		s.noteEvicted(e, false)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.wantEvict.Load() || e.sess == nil || e.pins.Load() != 0 {
+		return
+	}
+	if err := s.snapshotLocked(e); err != nil {
+		// Never drop state that failed to persist: keep the session hot
+		// (over cap) and let the next eviction pass retry.
+		e.wantEvict.Store(false)
+		s.cfg.Log.Error("evict-to-snapshot failed; keeping design resident",
+			obs.F("design", e.name), obs.F("err", err.Error()))
+		return
+	}
+	e.live.Store(nil)
+	e.sess = nil
+	if e.journal != nil {
+		e.journal.Close()
+		e.journal = nil
+	}
+	e.wantEvict.Store(false)
+	s.noteEvicted(e, true)
+}
+
+func (s *Server) noteEvicted(e *regEntry, persisted bool) {
+	s.cfg.Obs.Counter("tvd_sessions_evicted_total",
+		"designs evicted from the registry by the LRU cap").Inc()
+	s.cfg.Log.Warn("design evicted",
+		obs.F("design", e.name), obs.F("persisted", persisted),
+		obs.F("max_designs", s.cfg.MaxDesigns))
 }
 
 // Handler returns the routed HTTP handler with the full middleware stack:
@@ -606,11 +821,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	e, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	var deltas []incr.Delta
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxDeltaBytes))
 	dec.DisallowUnknownFields()
@@ -629,7 +845,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty delta batch")
 		return
 	}
-	stats, err := sess.Apply(r.Context(), deltas)
+	stats, err := s.commit(e, batchDelta, deltas, func() (incr.Stats, error) {
+		return sess.Apply(r.Context(), deltas)
+	})
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -638,12 +856,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	e, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	stats, err := sess.Full(r.Context())
+	defer release()
+	stats, err := s.commit(e, batchFull, nil, func() (incr.Stats, error) {
+		return sess.Full(r.Context())
+	})
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -652,11 +873,12 @@ func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	name := r.PathValue("name")
 	nt, ok := sess.NodeTiming(name)
 	if !ok {
@@ -667,11 +889,12 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	k := 5
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		k, err = strconv.Atoi(kq)
@@ -697,11 +920,12 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 // Deliberately not behind the heavy admission gate: reads of the
 // published result must stay available while the write path saturates.
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	k := 10
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		k, err = strconv.Atoi(kq)
@@ -738,11 +962,12 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	q := r.URL.Query()
 	node := q.Get("node")
 	if node == "" {
@@ -758,11 +983,12 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	q := r.URL.Query()
 	var from, to int64
 	for name, dst := range map[string]*int64{"from": &from, "to": &to} {
@@ -808,20 +1034,22 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	writeJSON(w, http.StatusOK, sess.Versions())
 }
 
 func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	k := 10
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		k, err = strconv.Atoi(kq)
@@ -842,11 +1070,12 @@ func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	corners := sess.Corners()
 	if corners == nil {
 		corners = []incr.CornerInfo{}
@@ -855,11 +1084,12 @@ func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	writeJSON(w, http.StatusOK, sess.Devices())
 }
 
@@ -871,11 +1101,12 @@ type verifyBody struct {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	_, sess, release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	defer release()
 	start := time.Now()
 	vErr := sess.SelfCheck(r.Context())
 	if vErr != nil && tverr.HTTPStatus(vErr) != http.StatusInternalServerError {
@@ -914,30 +1145,71 @@ func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsBody struct {
-	Designs   int                  `json:"designs"`
-	Requests  int64                `json:"requests"`
-	UptimeNS  int64                `json:"uptime_ns"`
-	Draining  bool                 `json:"draining,omitempty"`
-	PerDesign map[string]incr.Info `json:"per_design"`
-	Names     []string             `json:"names"`
+	Designs  int   `json:"designs"`
+	Requests int64 `json:"requests"`
+	UptimeNS int64 `json:"uptime_ns"`
+	Draining bool  `json:"draining,omitempty"`
+	// Persisted counts designs with durable state on disk (hot or cold);
+	// Restoring is true while a warm restart is still rehydrating them.
+	Persisted int                    `json:"persisted,omitempty"`
+	Restoring bool                   `json:"restoring,omitempty"`
+	PerDesign map[string]incr.Info   `json:"per_design"`
+	Persist   map[string]persistInfo `json:"persist,omitempty"`
+	Names     []string               `json:"names"`
+}
+
+// persistInfo is the per-design durability view in /stats.
+type persistInfo struct {
+	// Cold means the design currently lives only on disk; the next
+	// request rehydrates it.
+	Cold bool `json:"cold,omitempty"`
+	// SnapshotSeq is the publish sequence covered by the on-disk
+	// snapshot; the session's Version minus this is the replay distance.
+	SnapshotSeq int64 `json:"snapshot_seq"`
+	// JournalLagBytes is how much journal a crash recovery would replay
+	// on top of the snapshot.
+	JournalLagBytes int64 `json:"journal_lag_bytes"`
+	// LastSnapshotUnix is when the snapshot was written (unix seconds).
+	LastSnapshotUnix int64 `json:"last_snapshot_unix,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		sess *incr.Session
+		pi   persistInfo
+	}
 	s.mu.RLock()
-	sessions := make(map[string]*incr.Session, len(s.sessions))
+	rows := make(map[string]row, len(s.sessions))
 	for name, e := range s.sessions {
-		sessions[name] = e.sess
+		rows[name] = row{sess: e.live.Load(), pi: persistInfo{
+			Cold:             e.live.Load() == nil,
+			SnapshotSeq:      e.snapSeq.Load(),
+			JournalLagBytes:  e.jlag.Load(),
+			LastSnapshotUnix: e.lastSnap.Load(),
+		}}
 	}
 	s.mu.RUnlock()
 	body := statsBody{
-		Designs:   len(sessions),
+		Designs:   len(rows),
 		Requests:  s.requests.Load(),
 		UptimeNS:  time.Since(s.start).Nanoseconds(),
 		Draining:  s.draining.Load(),
-		PerDesign: make(map[string]incr.Info, len(sessions)),
+		Restoring: s.restoring.Load(),
+		PerDesign: make(map[string]incr.Info, len(rows)),
 	}
-	for name, sess := range sessions {
-		body.PerDesign[name] = sess.Info()
+	for name, rw := range rows {
+		if rw.sess != nil {
+			body.PerDesign[name] = rw.sess.Info()
+		}
+		if s.store != nil {
+			if body.Persist == nil {
+				body.Persist = make(map[string]persistInfo, len(rows))
+			}
+			if rw.pi.SnapshotSeq > 0 || rw.pi.Cold {
+				body.Persisted++
+			}
+			body.Persist[name] = rw.pi
+		}
 		body.Names = append(body.Names, name)
 	}
 	sort.Strings(body.Names)
@@ -961,11 +1233,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: 503 once draining so routing layers pull the
-// instance before shutdown completes.
+// instance before shutdown completes, and 503 while a warm restart is
+// still rehydrating persisted designs (Retry-After tells probes when to
+// look again).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable,
 			healthBody{OK: false, State: "draining", UptimeNS: time.Since(s.start).Nanoseconds()})
+		return
+	}
+	if s.restoring.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			healthBody{OK: false, State: "restoring", UptimeNS: time.Since(s.start).Nanoseconds()})
 		return
 	}
 	writeJSON(w, http.StatusOK, healthBody{OK: true, State: "serving", UptimeNS: time.Since(s.start).Nanoseconds()})

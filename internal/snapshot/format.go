@@ -1,0 +1,231 @@
+// Package snapshot is the durability layer's on-disk format: a versioned
+// binary snapshot of one incremental session's state, a crash-safe
+// append-only delta journal, and a per-design store that writes both with
+// atomic-rename and fsync discipline.
+//
+// The snapshot is a sequence of checksummed sections behind a magic/
+// version header; the journal is a stream of length-prefixed, checksummed
+// records. Both decoders share one failure contract: arbitrary or
+// corrupted bytes yield a typed tverr error (never a panic), and a torn
+// journal tail — the expected artifact of a crash mid-append — is
+// detected and truncated rather than treated as corruption.
+//
+// The package is deliberately ignorant of analysis types: the State it
+// round-trips is plain names and numbers, produced and consumed by
+// internal/incr. Float64 values are stored as raw IEEE-754 bits, so a
+// decode reproduces every capacitance, size, and arrival time bit for
+// bit — the property the session's restore verification depends on.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"nmostv/internal/tverr"
+)
+
+// Magic and version identify the two file kinds. The version bumps on
+// any incompatible layout change; decoders reject versions they do not
+// know rather than guessing.
+const (
+	snapMagic    = "TVSNAP\x00\x01"
+	journalMagic = "TVJRNL\x00\x01"
+	// FormatVersion is the snapshot section-layout version.
+	FormatVersion = 1
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// modern CPUs); the same checksum guards snapshot sections and journal
+// records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errf builds the decoder's uniform typed error: everything a corrupt or
+// truncated file can produce is tverr.Invalid, so callers (and the fuzz
+// harness) can distinguish "bad bytes" from a genuine internal failure.
+func errf(format string, args ...any) error {
+	return tverr.Errorf(tverr.Invalid, "snapshot", format, args...)
+}
+
+// enc is a sticky-error binary writer. All integers are little-endian
+// fixed width; strings and byte slices are u32-length-prefixed.
+type enc struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *enc) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *enc) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+func (e *enc) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.write([]byte(s))
+}
+
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.write(p)
+}
+
+func (e *enc) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *enc) u64s(vs []uint64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u64(v)
+	}
+}
+
+// dec is the sticky-error reader mirroring enc. Every length field is
+// sanity-bounded against the remaining input before allocation, so a
+// fuzzer flipping a length byte cannot demand a multi-gigabyte slice.
+type dec struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = errf(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.p) {
+		d.fail("truncated: need %d bytes at offset %d of %d", n, d.off, len(d.p))
+		return nil
+	}
+	b := d.p[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// length reads a u32 count and bounds it by what the remaining payload
+// could possibly hold at elemSize bytes per element.
+func (d *dec) length(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (elemSize > 0 && n > (len(d.p)-d.off)/elemSize) {
+		d.fail("implausible count %d at offset %d", n, d.off)
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.length(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *dec) bytes() []byte {
+	n := d.length(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) u64s() []uint64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+
+// rest reports how many undecoded bytes remain; section decoders use it
+// to reject trailing garbage (a symptom of a version skew the header
+// check somehow missed).
+func (d *dec) rest() int { return len(d.p) - d.off }
+
+// sectionTag is a 4-byte section identifier.
+type sectionTag [4]byte
+
+func tag(s string) sectionTag {
+	var t sectionTag
+	copy(t[:], s)
+	return t
+}
+
+func (t sectionTag) String() string { return fmt.Sprintf("%q", string(t[:])) }
+
+var (
+	tagMeta    = tag("META")
+	tagNetlist = tag("NETL")
+	tagPrints  = tag("FPRT")
+	tagResult  = tag("RESL")
+	tagEnd     = tag("END\x00")
+)

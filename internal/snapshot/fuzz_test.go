@@ -1,0 +1,256 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nmostv/internal/tverr"
+)
+
+// FuzzSnapshotDecode asserts the decoder's failure contract on arbitrary
+// bytes: a typed tverr error or a fully valid State, never a panic, and
+// a valid decode must re-encode to an equivalent snapshot (no partially
+// initialized structures escape).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("TVSNAP\x00\x02garbage"))
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleState()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if tverr.KindOf(err) != tverr.Invalid {
+				t.Fatalf("error kind %v, want Invalid: %v", tverr.KindOf(err), err)
+			}
+			return
+		}
+		// A valid decode must survive a round trip: encode and decode
+		// again, proving every field the decoder returned is coherent.
+		var out bytes.Buffer
+		if err := Encode(&out, st); err != nil {
+			t.Fatalf("re-encode of valid decode failed: %v", err)
+		}
+		if _, err := Decode(out.Bytes()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if _, err := DecodeMeta(data); err != nil {
+			t.Fatalf("DecodeMeta failed on fully valid snapshot: %v", err)
+		}
+	})
+}
+
+// FuzzJournalReplay asserts the journal scanner's crash contract on
+// arbitrary bytes: no panic, typed errors only, and the valid prefix it
+// reports must itself rescan to the same records — so truncating a torn
+// tail converges instead of cascading.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(journalMagic))
+	f.Add([]byte("TVJRNL\x00\x09"))
+	// A journal with two good records and a torn third.
+	good := buildJournal(f, [][2]any{{uint64(1), []byte(`[{"op":"setcap"}]`)}, {uint64(2), []byte(`full`)}})
+	f.Add(good)
+	f.Add(append(bytes.Clone(good), good[:20]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := ScanJournal(data)
+		if err != nil {
+			if tverr.KindOf(err) != tverr.Invalid {
+				t.Fatalf("error kind %v, want Invalid: %v", tverr.KindOf(err), err)
+			}
+			return
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid length %d outside [0,%d]", valid, len(data))
+		}
+		// Monotone sequence invariant.
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Seq <= recs[i-1].Seq {
+				t.Fatalf("non-monotone recovered seqs: %d then %d", recs[i-1].Seq, recs[i].Seq)
+			}
+		}
+		// Rescanning the valid prefix must be a fixed point.
+		recs2, valid2, err := ScanJournal(data[:valid])
+		if err != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("rescan of valid prefix diverged: %d/%d records, %d/%d bytes, err %v",
+				len(recs2), len(recs), valid2, valid, err)
+		}
+		// OpenJournal on the same bytes must recover identically and
+		// leave a file that appends cleanly after the truncation.
+		path := filepath.Join(t.TempDir(), "journal.tvwal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs3, err := OpenJournal(path, -1)
+		if err != nil {
+			if tverr.KindOf(err) != tverr.Invalid {
+				t.Fatalf("OpenJournal error kind %v: %v", tverr.KindOf(err), err)
+			}
+			return
+		}
+		defer j.Close()
+		if len(recs3) != len(recs) {
+			t.Fatalf("OpenJournal recovered %d records, scan %d", len(recs3), len(recs))
+		}
+		if last := j.LastSeq(); last < ^uint64(0) {
+			if err := j.Append(last+1, []byte("post-recovery")); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+		}
+	})
+}
+
+// buildJournal assembles a valid journal image from (seq, payload) pairs.
+func buildJournal(tb testing.TB, recs [][2]any) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "j.tvwal")
+	j, _, err := OpenJournal(path, -1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r[0].(uint64), r[1].([]byte)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// TestJournalTornTail covers the crash shapes directly: a half-written
+// record header, a truncated payload, a flipped payload byte, and a
+// sequence regression must each truncate to the last good record.
+func TestJournalTornTail(t *testing.T) {
+	base := buildJournal(t, [][2]any{{uint64(1), []byte("one")}, {uint64(2), []byte("two")}})
+	tails := map[string][]byte{
+		"half header":     append(bytes.Clone(base), 0x4c, 0x52),
+		"garbage":         append(bytes.Clone(base), []byte("not a record at all")...),
+		"claimed too big": appendRecHeader(base, 3, 1<<30),
+	}
+	for name, data := range tails {
+		recs, valid, err := ScanJournal(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) != 2 || valid != int64(len(base)) {
+			t.Fatalf("%s: %d records, valid %d (want 2 records, %d)", name, len(recs), valid, len(base))
+		}
+	}
+	// Flip one payload byte of the second record: scan stops after the
+	// first.
+	flipped := bytes.Clone(base)
+	flipped[len(flipped)-6] ^= 0xff
+	recs, _, err := ScanJournal(flipped)
+	if err != nil || len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("flipped payload: recs %+v err %v", recs, err)
+	}
+
+	// OpenJournal truncates the torn bytes on disk.
+	path := filepath.Join(t.TempDir(), "j.tvwal")
+	if err := os.WriteFile(path, append(bytes.Clone(base), 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recovered, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d records", len(recovered))
+	}
+	if err := j.Append(3, []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.LagBytes(); got <= 0 {
+		t.Fatalf("LagBytes = %d", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs2, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs2) != 3 || string(recs2[2].Payload) != "three" {
+		t.Fatalf("after truncate+append: %+v", recs2)
+	}
+}
+
+// appendRecHeader appends a record header claiming a huge payload.
+func appendRecHeader(base []byte, seq uint64, size uint32) []byte {
+	out := bytes.Clone(base)
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[:4], recMagic)
+	binary.LittleEndian.PutUint64(h[4:12], seq)
+	binary.LittleEndian.PutUint32(h[12:16], size)
+	return append(out, h[:]...)
+}
+
+// TestJournalReset verifies the snapshot-supersedes-journal handshake:
+// Reset empties the file and later appends with higher seqs recover.
+func TestJournalReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.tvwal")
+	j, _, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := j.Append(seq, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if j.LagBytes() != 0 {
+		t.Fatalf("LagBytes after Reset = %d", j.LagBytes())
+	}
+	// With floor 3, seqs keep rising across the reset.
+	if err := j.Append(3, []byte("stale")); tverr.KindOf(err) != tverr.Internal {
+		t.Fatal("append at the floor accepted")
+	}
+	if err := j.Append(4, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// A stale or duplicate seq is a caller bug, refused without a write.
+	if err := j.Append(4, []byte("z")); tverr.KindOf(err) != tverr.Internal {
+		t.Fatalf("duplicate seq: %v", err)
+	}
+	// A reload resets the floor to zero so the replacement design's
+	// sequence can restart at 1.
+	if err := j.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(4, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("after reset: %+v", recs)
+	}
+}

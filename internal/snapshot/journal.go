@@ -1,0 +1,250 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+
+	"nmostv/internal/faultpoint"
+	"nmostv/internal/tverr"
+)
+
+// The delta journal is a per-design redo log: after every committed batch
+// the server appends one record — the batch's publish sequence number and
+// an opaque payload (the server serializes the deltas; this package never
+// interprets them). Recovery is last snapshot + replay of records with
+// seq greater than the snapshot's. A snapshot supersedes the journal, so
+// the store resets it to an empty header after each successful save.
+//
+// Crash safety comes from the record framing, not from write ordering
+// tricks: each record is [magic][seq][len][payload][crc32c], appended
+// after the in-memory commit. A crash mid-append leaves a torn tail —
+// short bytes, a bad checksum, or a broken sequence — which the opening
+// scan detects and truncates, losing exactly the uncommitted suffix and
+// nothing before it. Fsync is batched behind a policy knob: every Nth
+// append (1 = every append, the durable default; negative = never, the
+// throughput end of the dial).
+
+const (
+	journalHeaderLen = len(journalMagic)
+	recMagic         = uint32(0x544A524C) // "LRJT" little-endian
+	recHeaderLen     = 4 + 8 + 4          // magic + seq + payload length
+	// MaxRecordBytes bounds one record's payload; a scan treats a larger
+	// claimed length as a torn tail rather than attempting the allocation.
+	MaxRecordBytes = 256 << 20
+)
+
+// FaultAppend is the fault point armed on every journal append; chaos
+// tests inject errors or delays here.
+const FaultAppend = "journal.append"
+
+// Record is one recovered journal entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ScanJournal validates journal bytes and returns the decodable records
+// plus the byte length of the valid prefix (header included). A torn or
+// corrupt tail — truncated record, checksum mismatch, non-increasing
+// sequence, implausible length — ends the scan at the last good record;
+// that is the crash contract, not an error. The only errors are a
+// non-journal file (bad magic with enough bytes to know) — typed
+// tverr.Invalid so callers refuse to clobber a foreign file — while a
+// file shorter than the header is a torn creation: zero records, valid
+// length 0, and the opener rewrites the header.
+func ScanJournal(data []byte) ([]Record, int64, error) {
+	if len(data) < journalHeaderLen {
+		return nil, 0, nil
+	}
+	if string(data[:journalHeaderLen]) != journalMagic {
+		return nil, 0, tverr.Errorf(tverr.Invalid, "snapshot.journal",
+			"not a journal file (bad magic)")
+	}
+	var recs []Record
+	off := int64(journalHeaderLen)
+	var lastSeq uint64
+	for {
+		rest := int64(len(data)) - off
+		if rest < int64(recHeaderLen) {
+			return recs, off, nil
+		}
+		h := data[off:]
+		if binary.LittleEndian.Uint32(h[:4]) != recMagic {
+			return recs, off, nil
+		}
+		seq := binary.LittleEndian.Uint64(h[4:12])
+		n := int64(binary.LittleEndian.Uint32(h[12:16]))
+		if seq <= lastSeq || n > MaxRecordBytes || rest < int64(recHeaderLen)+n+4 {
+			return recs, off, nil
+		}
+		payload := data[off+int64(recHeaderLen) : off+int64(recHeaderLen)+n]
+		sum := binary.LittleEndian.Uint32(data[off+int64(recHeaderLen)+n:])
+		if crc32.Checksum(data[off+4:off+int64(recHeaderLen)+n], castagnoli) != sum {
+			return recs, off, nil
+		}
+		cp := make([]byte, n)
+		copy(cp, payload)
+		recs = append(recs, Record{Seq: seq, Payload: cp})
+		lastSeq = seq
+		off += int64(recHeaderLen) + n + 4
+	}
+}
+
+// Journal is an open, append-position journal file.
+type Journal struct {
+	f          *os.File
+	fsyncEvery int
+	pending    int
+	size       int64
+	lastSeq    uint64
+	buf        []byte
+}
+
+// OpenJournal opens (creating if absent) the journal at path, scans and
+// returns its committed records, truncates any torn tail, and leaves the
+// file positioned for appends. fsyncEvery batches fsync: 1 (or 0, the
+// default) syncs every append, n > 1 every nth, negative never.
+func OpenJournal(path string, fsyncEvery int) (*Journal, []Record, error) {
+	if fsyncEvery == 0 {
+		fsyncEvery = 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	recs, valid, err := ScanJournal(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{f: f, fsyncEvery: fsyncEvery, size: valid}
+	if len(recs) > 0 {
+		j.lastSeq = recs[len(recs)-1].Seq
+	}
+	if valid == 0 {
+		// Fresh file, or a creation so torn not even the header survived.
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	} else if valid < int64(len(data)) {
+		// Torn tail: cut the file back to the last committed record and
+		// make the truncation itself durable before accepting appends.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(j.size, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, recs, nil
+}
+
+func (j *Journal) writeHeader() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.WriteAt([]byte(journalMagic), 0); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size = int64(journalHeaderLen)
+	j.pending = 0
+	return nil
+}
+
+// Append writes one committed batch. seq must exceed the last appended
+// sequence (publish sequence numbers are monotone); violating that is a
+// caller bug, reported as tverr.Internal without touching the file.
+func (j *Journal) Append(seq uint64, payload []byte) error {
+	if seq <= j.lastSeq {
+		return tverr.Errorf(tverr.Internal, "snapshot.journal",
+			"append seq %d not after %d", seq, j.lastSeq)
+	}
+	if int64(len(payload)) > MaxRecordBytes {
+		return tverr.Errorf(tverr.Internal, "snapshot.journal",
+			"record payload %d bytes exceeds the %d limit", len(payload), MaxRecordBytes)
+	}
+	if err := faultpoint.Hit(FaultAppend); err != nil {
+		return err
+	}
+	need := recHeaderLen + len(payload) + 4
+	if cap(j.buf) < need {
+		j.buf = make([]byte, need)
+	}
+	b := j.buf[:need]
+	binary.LittleEndian.PutUint32(b[:4], recMagic)
+	binary.LittleEndian.PutUint64(b[4:12], seq)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(len(payload)))
+	copy(b[recHeaderLen:], payload)
+	sum := crc32.Checksum(b[4:recHeaderLen+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(b[recHeaderLen+len(payload):], sum)
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	j.size += int64(need)
+	j.lastSeq = seq
+	j.pending++
+	if j.fsyncEvery > 0 && j.pending >= j.fsyncEvery {
+		return j.Sync()
+	}
+	return nil
+}
+
+// Sync flushes pending appends to stable storage.
+func (j *Journal) Sync() error {
+	if j.pending == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Reset empties the journal and sets the append floor: the next Append
+// must carry a sequence above floor. After a successful snapshot at seq
+// S the caller resets with floor S — everything recorded is folded into
+// the snapshot, and replay-after-crash skips seq ≤ S anyway, so the
+// truncation is safe even if the process dies between the snapshot
+// rename and this call. A design reload resets with floor 0: the new
+// session's publish sequence restarts, and the reload path empties the
+// journal before writing the new snapshot so no stale record can replay
+// onto the replacement design.
+func (j *Journal) Reset(floor uint64) error {
+	if err := j.writeHeader(); err != nil {
+		return err
+	}
+	j.lastSeq = floor
+	_, err := j.f.Seek(j.size, 0)
+	return err
+}
+
+// LagBytes reports how many journal bytes a recovery would replay on top
+// of the last snapshot — the /stats journal_lag_bytes figure.
+func (j *Journal) LagBytes() int64 { return j.size - int64(journalHeaderLen) }
+
+// LastSeq returns the highest appended (or recovered) sequence number.
+func (j *Journal) LastSeq() uint64 { return j.lastSeq }
+
+// Close syncs and closes the file.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

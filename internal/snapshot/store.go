@@ -1,0 +1,198 @@
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nmostv/internal/tverr"
+)
+
+// Store is the per-design on-disk layout under a state directory:
+//
+//	<dir>/<sanitized-design>/current.tvsnap   the last snapshot
+//	<dir>/<sanitized-design>/journal.tvwal    the delta journal since it
+//
+// Design names are registry keys chosen by clients, so the directory name
+// is a sanitized form (safe characters only, hash-suffixed whenever
+// sanitization changed anything, so distinct names never collide); the
+// true name lives inside the snapshot's META section.
+//
+// Snapshot writes are atomic: encode to a temp file in the same
+// directory, fsync it, rename over current.tvsnap, fsync the directory.
+// A crash at any point leaves either the old snapshot or the new one,
+// never a torn file.
+type Store struct {
+	dir string
+}
+
+const (
+	snapshotFile = "current.tvsnap"
+	journalFile  = "journal.tvwal"
+)
+
+// NewStore creates (if needed) and returns the store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// sanitizeName maps an arbitrary design name to a filesystem-safe
+// directory name. Names made only of safe characters map to themselves;
+// anything else keeps its safe characters and gains an FNV hash suffix,
+// so "a/b" and "a_b" land in different directories.
+func sanitizeName(name string) string {
+	safe := func(r rune) bool {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.'
+	}
+	var b strings.Builder
+	clean := true
+	for _, r := range name {
+		if safe(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+			clean = false
+		}
+	}
+	out := b.String()
+	// Dot-led names would hide from directory listings (or collide with
+	// "." and ".."); over-long ones risk filesystem limits.
+	if out == "" || out[0] == '.' || len(out) > 100 {
+		clean = false
+		if len(out) > 100 {
+			out = out[:100]
+		}
+	}
+	if clean {
+		return out
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%s-%08x", strings.TrimLeft(out, "."), h.Sum32())
+}
+
+func (s *Store) designDir(name string) string {
+	return filepath.Join(s.dir, sanitizeName(name))
+}
+
+// SnapshotPath returns where the named design's snapshot lives (whether
+// or not one exists yet).
+func (s *Store) SnapshotPath(name string) string {
+	return filepath.Join(s.designDir(name), snapshotFile)
+}
+
+// JournalPath returns where the named design's journal lives.
+func (s *Store) JournalPath(name string) string {
+	return filepath.Join(s.designDir(name), journalFile)
+}
+
+// Save writes st as the design's current snapshot, atomically.
+func (s *Store) Save(st *State) error {
+	dir := s.designDir(st.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := Encode(bw, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Load reads and decodes the named design's snapshot. A missing snapshot
+// is tverr.NotFound; a corrupt one is the decoder's tverr.Invalid.
+func (s *Store) Load(name string) (*State, error) {
+	data, err := os.ReadFile(s.SnapshotPath(name))
+	if os.IsNotExist(err) {
+		return nil, tverr.Errorf(tverr.NotFound, "snapshot.store",
+			"no snapshot for design %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// OpenJournal opens the named design's journal (see OpenJournal).
+func (s *Store) OpenJournal(name string, fsyncEvery int) (*Journal, []Record, error) {
+	if err := os.MkdirAll(s.designDir(name), 0o755); err != nil {
+		return nil, nil, err
+	}
+	return OpenJournal(s.JournalPath(name), fsyncEvery)
+}
+
+// List returns the Meta of every design with a readable snapshot, sorted
+// by name. Unreadable or corrupt snapshots are skipped (their designs
+// simply do not warm-restart; a later Load reports the precise error).
+func (s *Store) List() ([]Meta, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name(), snapshotFile))
+		if err != nil {
+			continue
+		}
+		m, err := DecodeMeta(data)
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove deletes the named design's persisted state entirely.
+func (s *Store) Remove(name string) error {
+	return os.RemoveAll(s.designDir(name))
+}
