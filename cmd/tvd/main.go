@@ -249,7 +249,11 @@ func main() {
 	// Warm restart in the background: the listener comes up immediately
 	// and /readyz answers 503 "restoring" until every persisted design is
 	// rehydrated, so orchestrators hold traffic without timing out the
-	// process start. Preloads above win over persisted state by name.
+	// process start. The flag flips synchronously, before the goroutine is
+	// even scheduled, so a fast first probe can never see 200 "serving"
+	// ahead of the restore window. Preloads above win over persisted
+	// state by name.
+	srv.BeginRestore()
 	go func() {
 		if err := srv.WarmRestart(context.Background()); err != nil {
 			lg.Warn("warm restart incomplete", obs.F("err", err))

@@ -54,10 +54,22 @@ const (
 // deferred unlock matters: an injected panic inside the analysis unwinds
 // through the recovery middleware, and the entry must not stay locked
 // behind it.
-func (s *Server) commit(e *regEntry, kind string,
+//
+// sess is the session the handler acquired; commit refuses to run if it
+// is no longer the entry's registered session. Between acquire and the
+// lock here the entry can be evicted (session detached, journal closed)
+// or replaced by a concurrent POST /load — applying the batch then would
+// return 200 for a write that lands on a detached session, or journal it
+// against another design's WAL. 503 tells the client to retry: the retry
+// re-acquires and finds (or rehydrates) the current session.
+func (s *Server) commit(e *regEntry, sess *incr.Session, kind string,
 	deltas []incr.Delta, run func() (incr.Stats, error)) (incr.Stats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.sess != sess {
+		return incr.Stats{}, tverr.Errorf(tverr.Unavailable, "server.commit",
+			"design %q was evicted or reloaded mid-request; retry", e.name)
+	}
 	stats, err := run()
 	if err == nil {
 		s.appendJournal(e, kind, deltas, stats.Version)
@@ -100,16 +112,27 @@ func (s *Server) snapshotLocked(e *regEntry) error {
 // immediate snapshot — if that also fails, durability is degraded until
 // the next successful snapshot and the operator is told so.
 func (s *Server) appendJournal(e *regEntry, kind string, deltas []incr.Delta, version int64) {
-	if s.store == nil || e.journal == nil {
+	if s.store == nil {
 		return
 	}
-	payload, err := json.Marshal(journalBatch{Kind: kind, Deltas: deltas})
-	if err == nil {
-		err = e.journal.Append(uint64(version), payload)
-	}
-	if err == nil {
-		e.jlag.Store(e.journal.LagBytes())
-		return
+	var err error
+	if e.journal == nil {
+		// The journal never opened (Load or rehydrate degraded). Durability
+		// is on, so a committed batch must still reach disk — fall through
+		// to the snapshot fallback below rather than silently dropping every
+		// batch until the next eviction.
+		err = tverr.Errorf(tverr.Internal, "server.journal",
+			"no journal open for %q", e.name)
+	} else {
+		var payload []byte
+		payload, err = json.Marshal(journalBatch{Kind: kind, Deltas: deltas})
+		if err == nil {
+			err = e.journal.Append(uint64(version), payload)
+		}
+		if err == nil {
+			e.jlag.Store(e.journal.LagBytes())
+			return
+		}
 	}
 	s.cfg.Obs.Counter("tvd_journal_append_failures_total",
 		"journal appends that failed and fell back to a snapshot").Inc()
@@ -132,6 +155,15 @@ func (s *Server) degraded(e *regEntry, what string, err error) {
 // tail. Caller holds e.mu. The live pointer is published last, so the
 // lock-free read path never sees a session mid-replay.
 func (s *Server) hydrate(ctx context.Context, e *regEntry) error {
+	if e.sess != nil {
+		// Already live: a concurrent POST /load or a lazy rehydrate won the
+		// race (WarmRestart registers entries before the background loop
+		// reaches them, and the listener is up the whole time). Replacing
+		// the session here would drop its committed in-memory state and
+		// overwrite its open journal handle without Close — two writers on
+		// one WAL. The live session IS the newest state; keep it.
+		return nil
+	}
 	if s.store == nil {
 		return tverr.Errorf(tverr.NotFound, "server.restore",
 			"design %q was evicted and durability is off", e.name)
@@ -218,10 +250,24 @@ func replayRecord(ctx context.Context, sess *incr.Session, rec snapshot.Record) 
 // server reports `restoring` on /readyz. Designs that fail to rehydrate
 // stay registered cold — the failure surfaces, with full detail, on the
 // first request that touches them.
+// BeginRestore flips /readyz to 503 "restoring" ahead of WarmRestart.
+// The daemon calls it synchronously before spawning WarmRestart in the
+// background, closing the window where an orchestrator could probe 200
+// "serving" and route traffic before the restore scan even begins.
+// WarmRestart clears the flag on completion, including every early
+// return.
+func (s *Server) BeginRestore() {
+	if s.store != nil {
+		s.restoring.Store(true)
+	}
+}
+
 func (s *Server) WarmRestart(ctx context.Context) error {
 	if s.store == nil {
 		return nil
 	}
+	s.restoring.Store(true) // idempotent after BeginRestore
+	defer s.restoring.Store(false)
 	metas, err := s.store.List()
 	if err != nil {
 		return err
@@ -229,8 +275,6 @@ func (s *Server) WarmRestart(ctx context.Context) error {
 	if len(metas) == 0 {
 		return nil
 	}
-	s.restoring.Store(true)
-	defer s.restoring.Store(false)
 
 	// Newest snapshots first, so the cap keeps the designs most likely to
 	// be queried next.

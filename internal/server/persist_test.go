@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 	"nmostv/internal/faultpoint"
 	"nmostv/internal/incr"
 	"nmostv/internal/obs"
+	"nmostv/internal/snapshot"
 	"nmostv/internal/tech"
+	"nmostv/internal/tverr"
 )
 
 func durableConfig(dir string, maxDesigns int) Config {
@@ -290,6 +293,282 @@ func TestReplayFaultSurfacesTyped(t *testing.T) {
 	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
 	if got := sb.PerDesign["a"].Last.Version; got != st.Version {
 		t.Fatalf("recovered version %d, want %d", got, st.Version)
+	}
+}
+
+// TestCommitRefusesDetachedSession: commit must reject a session that is
+// no longer the entry's registered one — the shape left behind when an
+// eviction or a concurrent /load wins the race between acquire and the
+// entry lock. Applying the batch anyway would return 200 for a write
+// that the next rehydrate silently drops.
+func TestCommitRefusesDetachedSession(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 4))
+	sess := loadChain(t, s, "a", 6)
+	e, err := s.entryFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unpinned and marked: the eviction completes, detaching sess.
+	e.wantEvict.Store(true)
+	s.finishEvict(e)
+	if e.live.Load() != nil {
+		t.Fatal("eviction did not unload the session")
+	}
+
+	_, err = s.commit(e, sess, batchFull, nil, func() (incr.Stats, error) {
+		t.Fatal("commit ran its batch against a detached session")
+		return incr.Stats{}, nil
+	})
+	if tverr.KindOf(err) != tverr.Unavailable {
+		t.Fatalf("commit on detached session: err %v, want Unavailable", err)
+	}
+}
+
+// TestEvictRollsBackOnRacingPin reproduces the review-found race
+// deterministically: finishEvict passes its pin check, then a request
+// pins and reads e.live while the eviction is still inside its snapshot
+// write (an armed delay on the section fault point holds it in exactly
+// that window). The post-clear pin re-check must roll the eviction back,
+// so the racer's session stays the registered one and its commits
+// journal rather than vanish.
+func TestEvictRollsBackOnRacingPin(t *testing.T) {
+	defer faultpoint.Reset()
+	s := New(durableConfig(t.TempDir(), 4))
+	sess := loadChain(t, s, "a", 6)
+	e, err := s.entryFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Arm(snapshot.FaultSection,
+		faultpoint.Action{Delay: 300 * time.Millisecond, Count: 1})
+	e.wantEvict.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.finishEvict(e)
+	}()
+	time.Sleep(50 * time.Millisecond) // finishEvict is mid-snapshot now
+	// The racing acquire hot path, verbatim: pin, cancel the mark, read
+	// live without the entry lock.
+	e.pins.Add(1)
+	e.wantEvict.Store(false)
+	e.live.Load()
+	<-done
+
+	if e.live.Load() != sess {
+		t.Fatal("eviction unloaded a pinned session")
+	}
+	if e.wantEvict.Load() {
+		t.Fatal("rollback left the evict mark set")
+	}
+	// The rolled-back session still commits — and journals — normally.
+	if _, err := s.commit(e, sess, batchFull, nil, func() (incr.Stats, error) {
+		return sess.Full(context.Background())
+	}); err != nil {
+		t.Fatalf("commit after rollback: %v", err)
+	}
+	e.pins.Add(-1)
+}
+
+// TestEvictDeferredWhilePinned: an entry that is pinned when finishEvict
+// runs is left marked, never unloaded; the last release completes the
+// eviction — to cold with durability on, out of the registry without.
+func TestEvictDeferredWhilePinned(t *testing.T) {
+	for _, durable := range []bool{true, false} {
+		cfg := durableConfig(t.TempDir(), 4)
+		if !durable {
+			cfg.StateDir = ""
+		}
+		s := New(cfg)
+		sess := loadChain(t, s, "a", 6)
+		e, err := s.entryFor("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		e.pins.Add(1)
+		e.wantEvict.Store(true)
+		s.finishEvict(e)
+		if e.live.Load() != sess {
+			t.Fatalf("durable=%v: eviction unloaded a pinned session", durable)
+		}
+		if !e.wantEvict.Load() {
+			t.Fatalf("durable=%v: deferred eviction lost its mark", durable)
+		}
+
+		s.releaseEntry(e) // last pin out finishes the eviction
+		if e.live.Load() != nil {
+			t.Fatalf("durable=%v: eviction did not run on last release", durable)
+		}
+		_, err = s.entryFor("a")
+		if durable && err != nil {
+			t.Fatalf("durable: evicted entry left the registry: %v", err)
+		}
+		if !durable && tverr.KindOf(err) != tverr.NotFound {
+			t.Fatalf("no store: evicted entry still registered (err %v)", err)
+		}
+	}
+}
+
+// TestHydrateKeepsLiveSession: hydrate on an entry that already has a
+// live session (a concurrent /load or lazy rehydrate won) must be a
+// no-op — clobbering it would drop committed in-memory state and leak
+// the open journal handle.
+func TestHydrateKeepsLiveSession(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 4))
+	sess := loadChain(t, s, "a", 6)
+	e, err := s.entryFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	j := e.journal
+	err = s.hydrate(context.Background(), e)
+	same := e.sess == sess && e.journal == j
+	e.mu.Unlock()
+	if err != nil || !same {
+		t.Fatalf("hydrate over live session: err=%v, session/journal replaced=%v", err, !same)
+	}
+}
+
+// TestBeginRestoreFlipsReadyzEarly: BeginRestore marks restoring before
+// WarmRestart's scan begins, and WarmRestart clears it on every path —
+// including the empty-state-dir early return.
+func TestBeginRestoreFlipsReadyzEarly(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 4))
+	s.BeginRestore()
+	if !s.restoring.Load() {
+		t.Fatal("BeginRestore did not mark restoring")
+	}
+	if err := s.WarmRestart(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.restoring.Load() {
+		t.Fatal("WarmRestart left restoring set after the empty-dir return")
+	}
+	// Without a store the flag must not stick (WarmRestart would never
+	// clear it).
+	s2 := New(Config{Params: tech.Default(), Sched: clocks.TwoPhase(1000, 0.8), Workers: 1})
+	s2.BeginRestore()
+	if s2.restoring.Load() {
+		t.Fatal("BeginRestore set restoring with durability off")
+	}
+}
+
+// TestAppendJournalFallsBackWithoutJournal: a design whose journal never
+// opened (degraded load) must still persist every committed batch via
+// the snapshot fallback — never a silent unjournaled 200.
+func TestAppendJournalFallsBackWithoutJournal(t *testing.T) {
+	s := New(durableConfig(t.TempDir(), 4))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	loadChain(t, s, "a", 6)
+	e, err := s.entryFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	if e.journal != nil {
+		e.journal.Close()
+		e.journal = nil // the degraded shape: store on, journal gone
+	}
+	e.mu.Unlock()
+
+	var st incr.Stats
+	postJSON(t, ts.URL+"/delta?design=a", resizeBody(t, ts, "a", 9), http.StatusOK, &st)
+	if got := e.snapSeq.Load(); got != st.Version {
+		t.Fatalf("snapshot fallback did not persist the batch: snapSeq %d, want %d", got, st.Version)
+	}
+
+	// The snapshot is the real thing: a fresh server recovers the batch.
+	ts.Close()
+	s2 := New(durableConfig(s.cfg.StateDir, 4))
+	if err := s2.WarmRestart(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	var sb statsBody
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
+	if got := sb.PerDesign["a"].Last.Version; got != st.Version {
+		t.Fatalf("recovered version %d, want %d", got, st.Version)
+	}
+}
+
+// TestEvictDeltaStress hammers the acquire/evict race the review-found
+// bug lived in: one goroutine streams deltas at design a while another
+// repeatedly loads design b over a cap of one, so every load marks a for
+// eviction and every delta re-pins or rehydrates it. The invariant is
+// the durability contract itself: every 200-acknowledged batch survives
+// into the state a final restart recovers — the recovered version equals
+// acked batches + 1 (the load), since versions advance by one per batch.
+func TestEvictDeltaStress(t *testing.T) {
+	dir := t.TempDir()
+	s := New(durableConfig(dir, 1))
+	ts := httptest.NewServer(s.Handler())
+	loadChain(t, s, "a", 6)
+	body := resizeBody(t, ts, "a", 9)
+
+	const rounds = 25
+	var acked int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; {
+			resp, err := http.Post(ts.URL+"/delta?design=a", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				acked++
+				r++
+			case http.StatusServiceUnavailable:
+				// The commit-time staleness check shed us mid-evict; the
+				// contract is "retry lands on the current session".
+			default:
+				t.Errorf("delta a: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			// Over the cap: every load marks a for eviction.
+			if _, err := s.Load(context.Background(), "b",
+				strings.NewReader(chainSim(t, 5))); err != nil {
+				t.Errorf("load b: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	ts.Close()
+
+	// The crash shape: no SnapshotAll. Whatever the journal + snapshots
+	// hold is what the acknowledged writes bought.
+	s2 := New(durableConfig(dir, 4))
+	if err := s2.WarmRestart(context.Background()); err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	var sb statsBody
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &sb)
+	if got := sb.PerDesign["a"].Last.Version; got != acked+1 {
+		t.Fatalf("recovered version %d, want %d acked batches + load", got, acked+1)
+	}
+	var vb verifyBody
+	getJSON(t, ts2.URL+"/verify?design=a", http.StatusOK, &vb)
+	if !vb.OK {
+		t.Fatalf("verify after stress recovery: %+v", vb)
 	}
 }
 

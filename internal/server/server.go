@@ -530,20 +530,46 @@ func (s *Server) releaseEntry(e *regEntry) {
 // finishEvict completes a marked eviction once no pins remain. With
 // durability on, the session is snapshotted and unloaded in place (the
 // entry stays registered, cold); without it, the entry is removed from
-// the registry. Both paths re-check pins and the mark, so a racing
-// acquire either cancels the eviction or finds a cold entry and
-// rehydrates — never a torn state.
+// the registry.
+//
+// acquire pins and reads e.live without taking e.mu, so a request can
+// slip in between the pin check here and the live-pointer clear. Both
+// paths therefore re-check pins AFTER publishing the unload (atomics are
+// sequentially consistent): a racer either loaded the session before the
+// clear — the re-check sees its pin and the eviction rolls back, so its
+// commits land on the still-registered session — or it reads nil and
+// queues on e.mu to rehydrate once the eviction finishes. Either way no
+// acknowledged write lands on a detached session.
 func (s *Server) finishEvict(e *regEntry) {
 	if s.store == nil {
 		s.mu.Lock()
-		if !e.wantEvict.Load() || e.pins.Load() != 0 {
+		e.mu.Lock()
+		if !e.wantEvict.Load() || e.sess == nil || e.pins.Load() != 0 {
+			e.mu.Unlock()
 			s.mu.Unlock()
 			return
 		}
-		if s.sessions[e.name] == e {
+		deleted := s.sessions[e.name] == e
+		if deleted {
 			delete(s.sessions, e.name)
 		}
+		e.live.Store(nil)
+		if e.pins.Load() != 0 {
+			// A request pinned during the window above. Roll back: with
+			// durability off there is no disk copy, so unloading now would
+			// drop whatever that request commits.
+			e.live.Store(e.sess)
+			if deleted {
+				s.sessions[e.name] = e
+			}
+			e.wantEvict.Store(false)
+			e.mu.Unlock()
+			s.mu.Unlock()
+			return
+		}
+		e.sess = nil
 		e.wantEvict.Store(false)
+		e.mu.Unlock()
 		s.mu.Unlock()
 		s.noteEvicted(e, false)
 		return
@@ -562,6 +588,15 @@ func (s *Server) finishEvict(e *regEntry) {
 		return
 	}
 	e.live.Store(nil)
+	if e.pins.Load() != 0 {
+		// A request acquired the session during the snapshot window. Keep
+		// the entry hot so its commit journals against the live session;
+		// the snapshot just written stays valid (the journal was reset to
+		// its sequence, later batches append after it).
+		e.live.Store(e.sess)
+		e.wantEvict.Store(false)
+		return
+	}
 	e.sess = nil
 	if e.journal != nil {
 		e.journal.Close()
@@ -845,7 +880,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty delta batch")
 		return
 	}
-	stats, err := s.commit(e, batchDelta, deltas, func() (incr.Stats, error) {
+	stats, err := s.commit(e, sess, batchDelta, deltas, func() (incr.Stats, error) {
 		return sess.Apply(r.Context(), deltas)
 	})
 	if err != nil {
@@ -862,7 +897,7 @@ func (s *Server) handleFull(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	stats, err := s.commit(e, batchFull, nil, func() (incr.Stats, error) {
+	stats, err := s.commit(e, sess, batchFull, nil, func() (incr.Stats, error) {
 		return sess.Full(r.Context())
 	})
 	if err != nil {
